@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Figure 6: CPI comparison of performing security operations before
+ * the WPQ (the feasible Fig 5-b baseline) versus the hypothetical
+ * placement after the WPQ (Fig 5-c, infeasible under standard ADR).
+ *
+ * Paper: 2.1x average slowdown when security sits before the WPQ.
+ */
+
+#include "bench/common.hh"
+
+using namespace dolos;
+using namespace dolos::bench;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = BenchOptions::parse(argc, argv);
+    printHeader("Figure 6: CPI, security before vs. after the WPQ",
+                "2.1x average slowdown for the pre-WPQ placement",
+                opts);
+
+    std::printf("%-12s %12s %12s %10s\n", "benchmark", "pre-WPQ CPI",
+                "post-WPQ CPI", "slowdown");
+    std::vector<double> ratios;
+    for (const auto &wl : workloads::workloadNames()) {
+        const auto pre = runOne(wl, SecurityMode::PreWpqSecure, opts);
+        const auto post =
+            runOne(wl, SecurityMode::PostWpqUnprotected, opts);
+        const double ratio = pre.cpi / post.cpi;
+        ratios.push_back(ratio);
+        std::printf("%-12s %12.3f %12.3f %9.2fx\n", wl.c_str(),
+                    pre.cpi, post.cpi, ratio);
+    }
+    std::printf("%-12s %12s %12s %9.2fx\n", "average", "", "",
+                mean(ratios));
+    return 0;
+}

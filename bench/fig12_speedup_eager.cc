@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 12: speedup of Dolos (Full/Partial/Post Mi-SU) over the
+ * Pre-WPQ-Secure baseline with the eager-update Merkle tree,
+ * transaction size 1024B.
+ *
+ * Paper: average speedups 1.66x (Full), 1.66x (Partial), 1.59x (Post).
+ */
+
+#include "bench/common.hh"
+
+using namespace dolos;
+using namespace dolos::bench;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = BenchOptions::parse(argc, argv);
+    printHeader("Figure 12: Dolos speedup, eager Merkle tree, 1024B tx",
+                "avg speedup Full=1.66x Partial=1.66x Post=1.59x",
+                opts);
+
+    const SecurityMode designs[] = {SecurityMode::DolosFullWpq,
+                                    SecurityMode::DolosPartialWpq,
+                                    SecurityMode::DolosPostWpq};
+
+    std::printf("%-12s %10s %10s %10s\n", "benchmark", "Full",
+                "Partial", "Post");
+    std::vector<double> avg[3];
+    for (const auto &wl : workloads::workloadNames()) {
+        const auto base =
+            runOne(wl, SecurityMode::PreWpqSecure, opts);
+        double speedup[3];
+        for (int d = 0; d < 3; ++d) {
+            const auto res = runOne(wl, designs[d], opts);
+            speedup[d] = base.cyclesPerTx() / res.cyclesPerTx();
+            avg[d].push_back(speedup[d]);
+        }
+        std::printf("%-12s %9.2fx %9.2fx %9.2fx\n", wl.c_str(),
+                    speedup[0], speedup[1], speedup[2]);
+    }
+    std::printf("%-12s %9.2fx %9.2fx %9.2fx\n", "average",
+                mean(avg[0]), mean(avg[1]), mean(avg[2]));
+    return 0;
+}

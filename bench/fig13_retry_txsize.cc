@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Figure 13: WPQ insertion re-try events per KWR for Dolos with
+ * Partial-WPQ-MiSU across transaction sizes 128B-2048B.
+ *
+ * Paper: retries grow with transaction size — large transactions
+ * fill the WPQ quickly; 128B transactions barely ever find it full.
+ */
+
+#include "bench/common.hh"
+
+using namespace dolos;
+using namespace dolos::bench;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = BenchOptions::parse(argc, argv);
+    printHeader("Figure 13: Partial-WPQ-MiSU retries/KWR vs tx size",
+                "retries rise steeply with transaction size", opts);
+
+    const unsigned sizes[] = {128, 256, 512, 1024, 2048};
+    std::printf("%-12s", "benchmark");
+    for (const unsigned s : sizes)
+        std::printf(" %8uB", s);
+    std::printf("\n");
+
+    std::vector<std::vector<double>> cols(std::size(sizes));
+    for (const auto &wl : workloads::workloadNames()) {
+        std::printf("%-12s", wl.c_str());
+        for (std::size_t i = 0; i < std::size(sizes); ++i) {
+            const auto res = runOne(wl, SecurityMode::DolosPartialWpq,
+                                    opts, sizes[i]);
+            cols[i].push_back(res.retriesPerKwr);
+            std::printf(" %9.2f", res.retriesPerKwr);
+        }
+        std::printf("\n");
+    }
+    std::printf("%-12s", "average");
+    for (const auto &col : cols)
+        std::printf(" %9.2f", mean(col));
+    std::printf("\n");
+    return 0;
+}

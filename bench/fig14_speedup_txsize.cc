@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 14: speedup of Dolos (Partial-WPQ-MiSU) over the baseline
+ * across transaction sizes 128B-2048B.
+ *
+ * Paper: higher speedups for small transactions (the WPQ buffers
+ * them fully); still a clear win even at 2048B.
+ */
+
+#include "bench/common.hh"
+
+using namespace dolos;
+using namespace dolos::bench;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = BenchOptions::parse(argc, argv);
+    printHeader("Figure 14: Partial-WPQ-MiSU speedup vs tx size",
+                "small transactions speed up most; 2048B still wins",
+                opts);
+
+    const unsigned sizes[] = {128, 256, 512, 1024, 2048};
+    std::printf("%-12s", "benchmark");
+    for (const unsigned s : sizes)
+        std::printf(" %8uB", s);
+    std::printf("\n");
+
+    std::vector<std::vector<double>> cols(std::size(sizes));
+    for (const auto &wl : workloads::workloadNames()) {
+        std::printf("%-12s", wl.c_str());
+        for (std::size_t i = 0; i < std::size(sizes); ++i) {
+            const auto base = runOne(wl, SecurityMode::PreWpqSecure,
+                                     opts, sizes[i]);
+            const auto dolos = runOne(
+                wl, SecurityMode::DolosPartialWpq, opts, sizes[i]);
+            const double speedup =
+                base.cyclesPerTx() / dolos.cyclesPerTx();
+            cols[i].push_back(speedup);
+            std::printf(" %8.2fx", speedup);
+        }
+        std::printf("\n");
+    }
+    std::printf("%-12s", "average");
+    for (const auto &col : cols)
+        std::printf(" %8.2fx", mean(col));
+    std::printf("\n");
+    return 0;
+}

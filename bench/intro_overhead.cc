@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Introduction / Section 3 claim: persistent workloads on a
+ * state-of-the-art secure NVM controller suffer an average
+ * performance overhead of 52% (up to 61%) relative to an ideal
+ * secure system where data is considered persisted as soon as it is
+ * flushed from the caches (i.e., persistence as cheap as in a
+ * non-secure ADR platform).
+ */
+
+#include "bench/common.hh"
+
+using namespace dolos;
+using namespace dolos::bench;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = BenchOptions::parse(argc, argv);
+    printHeader("Intro claim: baseline overhead vs. "
+                "immediately-persisting ideal",
+                "average 52% overhead, up to 61%", opts);
+
+    std::printf("%-12s %14s %14s %10s\n", "benchmark",
+                "baseline cyc/tx", "ideal cyc/tx", "overhead");
+    std::vector<double> overheads;
+    for (const auto &wl : workloads::workloadNames()) {
+        const auto base = runOne(wl, SecurityMode::PreWpqSecure, opts);
+        const auto ideal =
+            runOne(wl, SecurityMode::PostWpqUnprotected, opts);
+        const double ov =
+            100.0 * (base.cyclesPerTx() / ideal.cyclesPerTx() - 1.0);
+        overheads.push_back(ov);
+        std::printf("%-12s %14.0f %14.0f %9.1f%%\n", wl.c_str(),
+                    base.cyclesPerTx(), ideal.cyclesPerTx(), ov);
+    }
+    double max_ov = 0;
+    for (const double o : overheads)
+        max_ov = std::max(max_ov, o);
+    std::printf("%-12s %14s %14s %9.1f%% (max %.1f%%)\n", "average",
+                "", "", mean(overheads), max_ov);
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Table 2: WPQ insertion re-try events per kilo write requests (KWR)
+ * for the three Mi-SU designs (eager Merkle tree, 1024B tx).
+ *
+ * Paper: Full < Partial < Post per workload (smaller usable WPQ =>
+ * more retries); hashmap heaviest (182/293/359), NStore:YCSB
+ * lightest (1.1/68.6/182.0).
+ */
+
+#include "bench/common.hh"
+
+using namespace dolos;
+using namespace dolos::bench;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = BenchOptions::parse(argc, argv);
+    printHeader("Table 2: WPQ insertion re-try events per KWR",
+                "hashmap 182/293/359, ctree 88/207/285, btree "
+                "107/214/281, rbtree 120/210/261,\n       "
+                "nstore-ycsb 1.1/68.6/182.0, redis 107/215/274",
+                opts);
+
+    const SecurityMode designs[] = {SecurityMode::DolosFullWpq,
+                                    SecurityMode::DolosPartialWpq,
+                                    SecurityMode::DolosPostWpq};
+
+    std::printf("%-12s %12s %16s %14s\n", "benchmark", "Full-WPQ",
+                "Partial-WPQ", "Post-WPQ");
+    std::vector<double> avg[3];
+    for (const auto &wl : workloads::workloadNames()) {
+        double kwr[3];
+        for (int d = 0; d < 3; ++d) {
+            const auto res = runOne(wl, designs[d], opts);
+            kwr[d] = res.retriesPerKwr;
+            avg[d].push_back(kwr[d]);
+        }
+        std::printf("%-12s %12.2f %16.2f %14.2f\n", wl.c_str(), kwr[0],
+                    kwr[1], kwr[2]);
+    }
+    std::printf("%-12s %12.2f %16.2f %14.2f\n", "average",
+                mean(avg[0]), mean(avg[1]), mean(avg[2]));
+    return 0;
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Threat-model demonstration: the four attack classes of §4.1
+ * mounted against the NVM image of a running Dolos machine, each
+ * genuinely detected by the real cryptographic machinery (no modeled
+ * "detection flags" — the MACs and tree hashes are actually
+ * computed and actually fail).
+ *
+ *   1. spoofing   — overwrite a ciphertext block with garbage
+ *   2. splicing   — relocate one block's (ciphertext, MAC) to
+ *                   another address
+ *   3. replay     — roll a block (and its MAC) back to an old value
+ *   4. dump tamper— corrupt the ADR-flushed WPQ image before reboot
+ *
+ *   $ ./build/examples/attack_detection
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "dolos/system.hh"
+
+using namespace dolos;
+
+namespace
+{
+
+/** Write + flush + fence one marker block through the core. */
+void
+persistMarker(System &sys, Addr addr, std::uint8_t seed)
+{
+    Block b;
+    for (unsigned i = 0; i < blockSize; ++i)
+        b[i] = std::uint8_t(seed + i);
+    sys.core().store(addr, b.data(), blockSize);
+    sys.core().clwb(addr);
+    sys.core().sfence();
+}
+
+bool
+expectDetection(const char *name, System &sys,
+                std::uint64_t attacks_before)
+{
+    const bool detected = sys.engine().attacksDetected() > attacks_before;
+    std::printf("  %-34s : %s\n", name,
+                detected ? "DETECTED" : "** MISSED **");
+    return detected;
+}
+
+} // namespace
+
+int
+main()
+{
+    auto cfg = SystemConfig::paperDefault();
+    cfg.mode = SecurityMode::DolosPartialWpq;
+    System sys(cfg);
+    auto &nvm = sys.nvmDevice();
+    bool all_detected = true;
+
+    std::printf("mounting §4.1 attacks against the NVM image:\n");
+
+    // Prepare two victim blocks and force them out to NVM.
+    persistMarker(sys, 0x1000, 0x10);
+    persistMarker(sys, 0x2000, 0x20);
+    sys.controller().drainTo(sys.core().now() + 1'000'000);
+    sys.core().compute(1'000'000);
+
+    // --- 1. Spoofing: flip bits in the ciphertext. ---
+    {
+        const auto before = sys.engine().attacksDetected();
+        Block ct = nvm.readFunctional(0x1000);
+        ct[5] ^= 0xFF;
+        nvm.writeFunctional(0x1000, ct);
+        Block out;
+        sys.core().compute(10'000'000); // evict from caches? no -- force:
+        sys.hierarchy().invalidateAll();
+        sys.core().load(0x1000, out.data(), blockSize);
+        all_detected &= expectDetection("spoofing (ciphertext bit-flip)",
+                                        sys, before);
+        // Repair so later stages start clean.
+        ct[5] ^= 0xFF;
+        nvm.writeFunctional(0x1000, ct);
+    }
+
+    // --- 2. Splicing: relocate block A's data+MAC over block B. ---
+    {
+        const auto before = sys.engine().attacksDetected();
+        nvm.writeFunctional(0x2000, nvm.readFunctional(0x1000));
+        const Addr mac_a = AddressMap::macBlockAddr(0x1000);
+        const Addr mac_b = AddressMap::macBlockAddr(0x2000);
+        Block mb = nvm.readFunctional(mac_b);
+        const Block ma = nvm.readFunctional(mac_a);
+        std::memcpy(mb.data() + AddressMap::macOffsetInBlock(0x2000),
+                    ma.data() + AddressMap::macOffsetInBlock(0x1000),
+                    8);
+        nvm.writeFunctional(mac_b, mb);
+        sys.hierarchy().invalidateAll();
+        Block out;
+        sys.core().load(0x2000, out.data(), blockSize);
+        all_detected &= expectDetection("splicing (block relocation)",
+                                        sys, before);
+    }
+
+    // --- 3. Replay: roll a block back to a stale (data, MAC). ---
+    {
+        const Block old_ct = nvm.readFunctional(0x1000);
+        const Block old_mac =
+            nvm.readFunctional(AddressMap::macBlockAddr(0x1000));
+        persistMarker(sys, 0x1000, 0x30); // newer version
+        sys.controller().drainTo(sys.core().now() + 1'000'000);
+        sys.core().compute(1'000'000);
+
+        const auto before = sys.engine().attacksDetected();
+        nvm.writeFunctional(0x1000, old_ct);
+        nvm.writeFunctional(AddressMap::macBlockAddr(0x1000), old_mac);
+        sys.hierarchy().invalidateAll();
+        Block out;
+        sys.core().load(0x1000, out.data(), blockSize);
+        all_detected &= expectDetection("replay (stale data+MAC)", sys,
+                                        before);
+    }
+
+    // --- 4. Tampering with the ADR-flushed WPQ dump. ---
+    {
+        persistMarker(sys, 0x3000, 0x40); // sits in the WPQ
+        sys.crash();
+        const Addr entry0 = AddressMap::wpqDumpAddr(1);
+        Block dumped = nvm.readFunctional(entry0);
+        dumped[0] ^= 0x01;
+        nvm.writeFunctional(entry0, dumped);
+        const auto rec = sys.recover();
+        std::printf("  %-34s : %s\n", "WPQ dump tamper across crash",
+                    !rec.misuVerified ? "DETECTED" : "** MISSED **");
+        all_detected &= !rec.misuVerified;
+    }
+
+    std::printf("%s\n", all_detected ? "all attacks detected"
+                                     : "SOME ATTACKS MISSED");
+    return all_detected ? 0 : 1;
+}

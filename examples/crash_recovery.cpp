@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Crash-recovery walkthrough: a power failure strikes a B-tree
+ * mid-transaction. The ADR circuitry flushes the Mi-SU-protected WPQ
+ * within the standard energy budget; on reboot the dump is
+ * authenticated against the persistent counter register, decrypted,
+ * drained through the Ma-SU, the security metadata is rebuilt and
+ * checked against the on-chip root, and the interrupted transaction
+ * is rolled back by the undo log — leaving the tree exactly at the
+ * last committed state.
+ *
+ *   $ ./build/examples/crash_recovery
+ */
+
+#include <cstdio>
+
+#include "workloads/runner.hh"
+
+using namespace dolos;
+using namespace dolos::workloads;
+
+int
+main()
+{
+    auto cfg = SystemConfig::paperDefault();
+    cfg.mode = SecurityMode::DolosPartialWpq;
+    System sys(cfg);
+
+    WorkloadParams params;
+    params.txSize = 512;
+    params.numKeys = 128;
+    params.thinkTime = 20000;
+    auto workload = makeWorkload("btree", params);
+
+    // Power fails ~2600 environment operations into the run — in the
+    // middle of a transaction's writes.
+    const auto res = runWorkload(sys, *workload, 100, CrashPlan{2600});
+
+    std::printf("committed transactions before the crash : %llu\n",
+                (unsigned long long)res.transactions);
+    std::printf("crash injected                           : %s\n",
+                res.crashed ? "yes" : "no");
+    std::printf("recovered structure verified             : %s\n",
+                res.verified ? "CONSISTENT" : "CORRUPT");
+    if (!res.verified) {
+        std::fprintf(stderr, "  diagnostic: %s\n",
+                     res.verifyDiagnostic.c_str());
+        return 1;
+    }
+
+    // Continue using the recovered machine: run more transactions
+    // against the same persistent structure (no fresh setup).
+    const auto res2 =
+        runWorkload(sys, *workload, 50, std::nullopt, false);
+    std::printf("post-recovery transactions               : %llu "
+                "(verified: %s)\n",
+                (unsigned long long)res2.transactions,
+                res2.verified ? "yes" : "no");
+    std::printf("integrity violations detected            : %llu\n",
+                (unsigned long long)sys.engine().attacksDetected());
+    return res2.verified ? 0 : 1;
+}

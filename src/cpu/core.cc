@@ -1,0 +1,73 @@
+/**
+ * @file
+ * In-order core implementation.
+ */
+
+#include "cpu/core.hh"
+
+namespace dolos
+{
+
+SimpleCore::SimpleCore(CacheHierarchy &h) : hierarchy(h), stats_("core")
+{
+    stats_.addScalar(&statInstructions, "instructions",
+                     "instructions executed");
+    stats_.addScalar(&statLoads, "loads", "load operations");
+    stats_.addScalar(&statStores, "stores", "store operations");
+    stats_.addScalar(&statClwbs, "clwbs", "CLWB operations");
+    stats_.addScalar(&statFences, "fences", "SFENCE operations");
+    stats_.addScalar(&statFenceStall, "fenceStallCycles",
+                     "cycles stalled waiting for persists");
+    stats_.addAverage(&statFenceWait, "fenceWait",
+                      "stall cycles per fence");
+}
+
+void
+SimpleCore::compute(Cycles n)
+{
+    clock += n;
+    statInstructions += n;
+}
+
+void
+SimpleCore::load(Addr addr, void *out, unsigned size)
+{
+    ++statInstructions;
+    ++statLoads;
+    clock = hierarchy.load(addr, out, size, clock);
+}
+
+void
+SimpleCore::store(Addr addr, const void *src, unsigned size)
+{
+    ++statInstructions;
+    ++statStores;
+    clock = hierarchy.store(addr, src, size, clock);
+}
+
+void
+SimpleCore::clwb(Addr addr)
+{
+    ++statInstructions;
+    ++statClwbs;
+    const PersistTicket t = hierarchy.clwb(addr, clock);
+    clock = t.acceptTick;
+    outstanding.push_back(t);
+}
+
+void
+SimpleCore::sfence()
+{
+    ++statInstructions;
+    ++statFences;
+    Tick latest = clock;
+    for (const auto &t : outstanding)
+        latest = std::max(latest, t.persistTick);
+    outstanding.clear();
+    const Tick stall = latest - clock;
+    statFenceStall += stall;
+    statFenceWait.sample(double(stall));
+    clock = latest;
+}
+
+} // namespace dolos

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * In-order timing core with persistent-memory primitives.
+ *
+ * The core executes workload operations synchronously, tracking its
+ * own clock. Loads block; stores complete into L1 (write-allocate,
+ * writeback); CLWB issues an asynchronous persist whose ticket is
+ * tracked until the next SFENCE; SFENCE stalls until every
+ * outstanding CLWB has reached the persistence domain — where the
+ * persistence domain begins is decided by the memory controller mode,
+ * which is precisely what the paper varies.
+ */
+
+#ifndef DOLOS_CPU_CORE_HH
+#define DOLOS_CPU_CORE_HH
+
+#include <vector>
+
+#include "mem/hierarchy.hh"
+#include "sim/stats.hh"
+
+namespace dolos
+{
+
+/** In-order core bound to a hierarchy. */
+class SimpleCore
+{
+  public:
+    explicit SimpleCore(CacheHierarchy &hierarchy);
+
+    /** Model @p n cycles of non-memory work (n instructions). */
+    void compute(Cycles n);
+
+    /** Blocking load of @p size bytes. */
+    void load(Addr addr, void *out, unsigned size);
+
+    /** Store of @p size bytes (completes into L1). */
+    void store(Addr addr, const void *src, unsigned size);
+
+    /** Issue CLWB for the block containing @p addr (asynchronous). */
+    void clwb(Addr addr);
+
+    /** Stall until all outstanding CLWBs are persisted. */
+    void sfence();
+
+    /** Current core clock. */
+    Tick now() const { return clock; }
+
+    /** Instructions executed (compute cycles + memory ops). */
+    std::uint64_t instructions() const { return statInstructions.value(); }
+
+    /** Cycles this core spent stalled on fences. */
+    std::uint64_t
+    fenceStallCycles() const
+    {
+        return statFenceStall.value();
+    }
+
+    std::uint64_t fences() const { return statFences.value(); }
+    std::uint64_t clwbs() const { return statClwbs.value(); }
+
+    /** Cycles per instruction so far. */
+    double
+    cpi() const
+    {
+        const auto insts = instructions();
+        return insts ? double(clock) / double(insts) : 0.0;
+    }
+
+    stats::StatGroup &statGroup() { return stats_; }
+
+  private:
+    CacheHierarchy &hierarchy;
+    Tick clock = 0;
+    std::vector<PersistTicket> outstanding;
+
+    stats::StatGroup stats_;
+    stats::Scalar statInstructions;
+    stats::Scalar statLoads;
+    stats::Scalar statStores;
+    stats::Scalar statClwbs;
+    stats::Scalar statFences;
+    stats::Scalar statFenceStall;
+    stats::Average statFenceWait;
+};
+
+} // namespace dolos
+
+#endif // DOLOS_CPU_CORE_HH

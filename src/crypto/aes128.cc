@@ -1,0 +1,217 @@
+/**
+ * @file
+ * AES-128 implementation.
+ */
+
+#include "crypto/aes128.hh"
+
+namespace dolos::crypto
+{
+
+namespace
+{
+
+/** Multiply in GF(2^8) with the AES reduction polynomial x^8+x^4+x^3+x+1. */
+std::uint8_t
+gmul(std::uint8_t a, std::uint8_t b)
+{
+    std::uint8_t p = 0;
+    while (b) {
+        if (b & 1)
+            p ^= a;
+        const bool hi = a & 0x80;
+        a <<= 1;
+        if (hi)
+            a ^= 0x1B;
+        b >>= 1;
+    }
+    return p;
+}
+
+/** xtime: multiply by x (i.e., 2) in GF(2^8). */
+std::uint8_t
+xtime(std::uint8_t a)
+{
+    return static_cast<std::uint8_t>((a << 1) ^ ((a & 0x80) ? 0x1B : 0));
+}
+
+struct SboxTables
+{
+    std::array<std::uint8_t, 256> sbox{};
+    std::array<std::uint8_t, 256> inv{};
+
+    SboxTables()
+    {
+        // Multiplicative inverse via brute force (256x256 is trivial),
+        // then the FIPS-197 affine transform.
+        for (int x = 0; x < 256; ++x) {
+            std::uint8_t xinv = 0;
+            if (x != 0) {
+                for (int y = 1; y < 256; ++y) {
+                    if (gmul(std::uint8_t(x), std::uint8_t(y)) == 1) {
+                        xinv = std::uint8_t(y);
+                        break;
+                    }
+                }
+            }
+            std::uint8_t s = 0;
+            for (int bit = 0; bit < 8; ++bit) {
+                const int b = ((xinv >> bit) & 1) ^
+                              ((xinv >> ((bit + 4) % 8)) & 1) ^
+                              ((xinv >> ((bit + 5) % 8)) & 1) ^
+                              ((xinv >> ((bit + 6) % 8)) & 1) ^
+                              ((xinv >> ((bit + 7) % 8)) & 1) ^
+                              ((0x63 >> bit) & 1);
+                s |= std::uint8_t(b << bit);
+            }
+            sbox[x] = s;
+        }
+        for (int x = 0; x < 256; ++x)
+            inv[sbox[x]] = std::uint8_t(x);
+    }
+};
+
+const SboxTables &
+tables()
+{
+    static const SboxTables t;
+    return t;
+}
+
+void
+subBytes(std::uint8_t *st)
+{
+    const auto &t = tables().sbox;
+    for (int i = 0; i < 16; ++i)
+        st[i] = t[st[i]];
+}
+
+void
+invSubBytes(std::uint8_t *st)
+{
+    const auto &t = tables().inv;
+    for (int i = 0; i < 16; ++i)
+        st[i] = t[st[i]];
+}
+
+// State layout: st[4*c + r] is row r, column c (column-major, as in
+// the FIPS-197 byte ordering of the input block).
+
+void
+shiftRows(std::uint8_t *st)
+{
+    std::uint8_t tmp[16];
+    std::memcpy(tmp, st, 16);
+    for (int r = 1; r < 4; ++r)
+        for (int c = 0; c < 4; ++c)
+            st[4 * c + r] = tmp[4 * ((c + r) % 4) + r];
+}
+
+void
+invShiftRows(std::uint8_t *st)
+{
+    std::uint8_t tmp[16];
+    std::memcpy(tmp, st, 16);
+    for (int r = 1; r < 4; ++r)
+        for (int c = 0; c < 4; ++c)
+            st[4 * ((c + r) % 4) + r] = tmp[4 * c + r];
+}
+
+void
+mixColumns(std::uint8_t *st)
+{
+    for (int c = 0; c < 4; ++c) {
+        std::uint8_t *col = st + 4 * c;
+        const std::uint8_t a0 = col[0], a1 = col[1];
+        const std::uint8_t a2 = col[2], a3 = col[3];
+        col[0] = std::uint8_t(xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3);
+        col[1] = std::uint8_t(a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3);
+        col[2] = std::uint8_t(a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3));
+        col[3] = std::uint8_t((xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3));
+    }
+}
+
+void
+invMixColumns(std::uint8_t *st)
+{
+    for (int c = 0; c < 4; ++c) {
+        std::uint8_t *col = st + 4 * c;
+        const std::uint8_t a0 = col[0], a1 = col[1];
+        const std::uint8_t a2 = col[2], a3 = col[3];
+        col[0] = std::uint8_t(gmul(a0, 14) ^ gmul(a1, 11) ^
+                              gmul(a2, 13) ^ gmul(a3, 9));
+        col[1] = std::uint8_t(gmul(a0, 9) ^ gmul(a1, 14) ^
+                              gmul(a2, 11) ^ gmul(a3, 13));
+        col[2] = std::uint8_t(gmul(a0, 13) ^ gmul(a1, 9) ^
+                              gmul(a2, 14) ^ gmul(a3, 11));
+        col[3] = std::uint8_t(gmul(a0, 11) ^ gmul(a1, 13) ^
+                              gmul(a2, 9) ^ gmul(a3, 14));
+    }
+}
+
+void
+addRoundKey(std::uint8_t *st, const std::uint8_t *rk)
+{
+    for (int i = 0; i < 16; ++i)
+        st[i] ^= rk[i];
+}
+
+} // namespace
+
+Aes128::Aes128(const AesKey &key)
+{
+    const auto &sbox = tables().sbox;
+    std::memcpy(roundKeys.data(), key.data(), 16);
+    std::uint8_t rcon = 1;
+    for (int i = 16; i < 16 * (numRounds + 1); i += 4) {
+        std::uint8_t t[4];
+        std::memcpy(t, roundKeys.data() + i - 4, 4);
+        if (i % 16 == 0) {
+            // RotWord + SubWord + Rcon.
+            const std::uint8_t t0 = t[0];
+            t[0] = std::uint8_t(sbox[t[1]] ^ rcon);
+            t[1] = sbox[t[2]];
+            t[2] = sbox[t[3]];
+            t[3] = sbox[t0];
+            rcon = xtime(rcon);
+        }
+        for (int j = 0; j < 4; ++j)
+            roundKeys[i + j] = roundKeys[i - 16 + j] ^ t[j];
+    }
+}
+
+AesBlock
+Aes128::encryptBlock(const AesBlock &plaintext) const
+{
+    AesBlock st = plaintext;
+    addRoundKey(st.data(), roundKeys.data());
+    for (int round = 1; round < numRounds; ++round) {
+        subBytes(st.data());
+        shiftRows(st.data());
+        mixColumns(st.data());
+        addRoundKey(st.data(), roundKeys.data() + 16 * round);
+    }
+    subBytes(st.data());
+    shiftRows(st.data());
+    addRoundKey(st.data(), roundKeys.data() + 16 * numRounds);
+    return st;
+}
+
+AesBlock
+Aes128::decryptBlock(const AesBlock &ciphertext) const
+{
+    AesBlock st = ciphertext;
+    addRoundKey(st.data(), roundKeys.data() + 16 * numRounds);
+    for (int round = numRounds - 1; round >= 1; --round) {
+        invShiftRows(st.data());
+        invSubBytes(st.data());
+        addRoundKey(st.data(), roundKeys.data() + 16 * round);
+        invMixColumns(st.data());
+    }
+    invShiftRows(st.data());
+    invSubBytes(st.data());
+    addRoundKey(st.data(), roundKeys.data());
+    return st;
+}
+
+} // namespace dolos::crypto

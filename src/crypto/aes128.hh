@@ -1,0 +1,54 @@
+/**
+ * @file
+ * AES-128 block cipher (FIPS-197), implemented from scratch.
+ *
+ * The S-box is derived at first use from the GF(2^8) multiplicative
+ * inverse plus the affine transform rather than transcribed, so a
+ * transcription typo cannot silently weaken it; correctness is pinned
+ * by the FIPS-197 known-answer vectors in the test suite.
+ *
+ * This is a functional model: simulated latency (Table 1: 40 cycles)
+ * is accounted separately by the timing model.
+ */
+
+#ifndef DOLOS_CRYPTO_AES128_HH
+#define DOLOS_CRYPTO_AES128_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+namespace dolos::crypto
+{
+
+/** 128-bit AES key. */
+using AesKey = std::array<std::uint8_t, 16>;
+
+/** 128-bit AES block. */
+using AesBlock = std::array<std::uint8_t, 16>;
+
+/**
+ * AES-128 with a pre-expanded key schedule.
+ */
+class Aes128
+{
+  public:
+    /** Expand @p key into the round-key schedule. */
+    explicit Aes128(const AesKey &key);
+
+    /** Encrypt one 16-byte block (ECB primitive). */
+    AesBlock encryptBlock(const AesBlock &plaintext) const;
+
+    /** Decrypt one 16-byte block. */
+    AesBlock decryptBlock(const AesBlock &ciphertext) const;
+
+  private:
+    static constexpr int numRounds = 10;
+
+    /** Round keys: (numRounds + 1) x 16 bytes. */
+    std::array<std::uint8_t, 16 * (numRounds + 1)> roundKeys{};
+};
+
+} // namespace dolos::crypto
+
+#endif // DOLOS_CRYPTO_AES128_HH

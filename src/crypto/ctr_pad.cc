@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Counter-mode pad generation implementation.
+ */
+
+#include "crypto/ctr_pad.hh"
+
+#include <cstring>
+
+namespace dolos::crypto
+{
+
+std::vector<std::uint8_t>
+CtrPadGenerator::generate(const IvFields &iv, std::size_t len) const
+{
+    std::vector<std::uint8_t> pad;
+    pad.reserve((len + 15) & ~std::size_t(15));
+
+    const std::size_t nblocks = (len + 15) / 16;
+    for (std::size_t blk = 0; blk < nblocks; ++blk) {
+        AesBlock in{};
+        // Figure 2 layout, packed collision-free into 16 bytes:
+        // 6B page id | 2B page offset | 6B counter | 2B sub-block.
+        // 2^48 pages covers 2^60 bytes of physical space; 2^48
+        // counter values exceed any simulated write count.
+        for (int i = 0; i < 6; ++i)
+            in[i] = std::uint8_t(iv.pageId >> (8 * i));
+        in[6] = std::uint8_t(iv.pageOffset);
+        in[7] = std::uint8_t(iv.pageOffset >> 8);
+        for (int i = 0; i < 6; ++i)
+            in[8 + i] = std::uint8_t(iv.counter >> (8 * i));
+        in[14] = std::uint8_t(blk);
+        in[15] = std::uint8_t(blk >> 8);
+
+        const AesBlock out = aes.encryptBlock(in);
+        pad.insert(pad.end(), out.begin(), out.end());
+    }
+    pad.resize(len);
+    return pad;
+}
+
+void
+xorInto(std::uint8_t *data, const std::uint8_t *pad, std::size_t len)
+{
+    for (std::size_t i = 0; i < len; ++i)
+        data[i] ^= pad[i];
+}
+
+} // namespace dolos::crypto

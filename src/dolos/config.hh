@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Top-level system configuration (paper Table 1 defaults).
+ */
+
+#ifndef DOLOS_DOLOS_CONFIG_HH
+#define DOLOS_DOLOS_CONFIG_HH
+
+#include <string>
+
+#include "mem/hierarchy.hh"
+#include "mem/nvm_device.hh"
+#include "secure/security_engine.hh"
+
+namespace dolos
+{
+
+/**
+ * Memory-controller security organization (paper Figure 5).
+ */
+enum class SecurityMode
+{
+    /**
+     * Non-secure ADR system: a write persists the moment it enters
+     * the WPQ. The ideal the paper measures overhead against.
+     */
+    NonSecureIdeal,
+
+    /**
+     * Figure 5-b: the conventional secure-NVM controller
+     * (Anubis/AGIT). All security work precedes WPQ insertion; the
+     * paper's baseline ("Pre-WPQ-Secure").
+     */
+    PreWpqSecure,
+
+    /**
+     * Figure 5-c: the infeasible strawman — writes persist at WPQ
+     * insertion and security runs at eviction, assuming ADR could
+     * power full security processing of the drained WPQ. Used only
+     * for the Figure 6 motivation study.
+     */
+    PostWpqUnprotected,
+
+    /** Dolos with the Full-WPQ-MiSU design (2 MACs, 16 entries). */
+    DolosFullWpq,
+
+    /** Dolos with the Partial-WPQ-MiSU design (1 MAC, 13 entries). */
+    DolosPartialWpq,
+
+    /** Dolos with the Post-WPQ-MiSU design (0 MACs in path, 10). */
+    DolosPostWpq,
+};
+
+/** Human-readable mode name (bench output). */
+const char *securityModeName(SecurityMode mode);
+
+/** True for the three Dolos Mi-SU modes. */
+bool isDolosMode(SecurityMode mode);
+
+/** WPQ and ADR parameters. */
+struct WpqParams
+{
+    /**
+     * ADR energy budget expressed as the entry count of the
+     * non-secure / Full-WPQ configuration (paper: 16).
+     */
+    unsigned adrBudgetEntries = 16;
+
+    /** Usable entries for Partial-WPQ-MiSU (paper: 13 of 16). */
+    unsigned partialEntries = 13;
+
+    /** Usable entries for Post-WPQ-MiSU (paper: 10 of 16). */
+    unsigned postEntries = 10;
+
+    /** Cycles between insertion re-try attempts when the WPQ is full. */
+    Cycles retryInterval = 500;
+
+    /** Transit latency from LLC to the memory controller. */
+    Cycles mcTransitLatency = 4;
+
+    /** Mi-SU MAC latency (Table 1: 160). */
+    Cycles misuMacLatency = 160;
+
+    /** Enable write coalescing via the volatile tag array. */
+    bool coalescing = true;
+
+    /** Usable entries for the given mode. */
+    unsigned
+    entriesFor(SecurityMode mode) const
+    {
+        switch (mode) {
+          case SecurityMode::DolosPartialWpq:
+            return partialEntries;
+          case SecurityMode::DolosPostWpq:
+            return postEntries;
+          default:
+            return adrBudgetEntries;
+        }
+    }
+};
+
+/** Everything needed to build a System. */
+struct SystemConfig
+{
+    std::string name = "dolos";
+    SecurityMode mode = SecurityMode::DolosPartialWpq;
+    HierarchyParams hierarchy;
+    NvmParams nvm;
+    SecureParams secure;
+    WpqParams wpq;
+    std::uint64_t seed = 42;
+
+    /** The paper's Table 1 configuration. */
+    static SystemConfig
+    paperDefault()
+    {
+        SystemConfig cfg;
+        // Keep the functional tree over the workload heap (256 MB);
+        // timing MAC-op counts correspond to the full 16 GB (Table 1).
+        cfg.secure.functionalLeaves = 1 << 16;
+        for (int i = 0; i < 16; ++i) {
+            cfg.secure.dataKey[i] = std::uint8_t(0x3C ^ (i * 29));
+            cfg.secure.macKey[i] = std::uint8_t(0xA5 ^ (i * 17));
+        }
+        return cfg;
+    }
+};
+
+} // namespace dolos
+
+#endif // DOLOS_DOLOS_CONFIG_HH

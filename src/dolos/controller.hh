@@ -1,0 +1,165 @@
+/**
+ * @file
+ * The secure memory controller: WPQ + Mi-SU + Ma-SU (paper §4).
+ *
+ * One class implements every organization in Figure 5 via
+ * SecurityMode, so baselines and Dolos share all machinery except
+ * the placement of the security work:
+ *
+ *   NonSecureIdeal      persist at WPQ insert; plaintext to NVM
+ *   PreWpqSecure        security engine -> WPQ -> NVM (baseline)
+ *   PostWpqUnprotected  WPQ -> security engine -> NVM (infeasible)
+ *   DolosFull/Partial   Mi-SU (2/1 MACs) -> WPQ -> Ma-SU -> NVM
+ *   DolosPost           WPQ (Mi-SU deferred) -> Ma-SU -> NVM
+ *
+ * Timing uses exact timestamp simulation: the drain pipeline is
+ * deterministic FIFO, so entries record their insert/persist ticks at
+ * insertion and drains are processed lazily, in order, whenever
+ * simulated time passes their start. A write that finds the WPQ full
+ * retries every retryInterval cycles; each failed attempt is one
+ * "re-try event" (paper Table 2).
+ */
+
+#ifndef DOLOS_DOLOS_CONTROLLER_HH
+#define DOLOS_DOLOS_CONTROLLER_HH
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "dolos/config.hh"
+#include "dolos/misu.hh"
+#include "dolos/redo_log.hh"
+#include "mem/hierarchy.hh"
+#include "secure/security_engine.hh"
+
+namespace dolos
+{
+
+/** What the ADR crash path did (energy/bounds accounting). */
+struct CrashDumpReport
+{
+    unsigned entriesDumped = 0;   ///< undrained entries flushed
+    unsigned entriesInFlight = 0; ///< drains replayable via redo log
+    unsigned blocksFlushed = 0;   ///< 64B units written on ADR power
+    unsigned energyBytes = 0;     ///< bytes + reserved-op equivalents
+    bool withinAdrBudget = true;
+};
+
+/** What recovery did. */
+struct ControllerRecoveryReport
+{
+    bool misuVerified = true;      ///< dump authentication
+    std::size_t entriesRecovered = 0;
+    SecureRecoveryResult engine;   ///< Ma-SU metadata recovery
+    Cycles modeledRecoveryCycles = 0; ///< paper §5.5 latency model
+};
+
+/**
+ * The memory controller (implements the hierarchy-facing interface).
+ */
+class SecureMemController : public PersistController
+{
+  public:
+    SecureMemController(const SystemConfig &cfg, NvmDevice &nvm,
+                        SecurityEngine &engine);
+
+    ReadResult readBlock(Addr addr, Tick now) override;
+    Tick writebackBlock(Addr addr, const Block &data, Tick now) override;
+    PersistTicket persistBlock(Addr addr, const Block &data,
+                               Tick now) override;
+    Tick pendingPersistTick(Addr addr, Tick now) override;
+
+    /**
+     * Power failure at @p at: finish redo-log-covered drains, flush
+     * the WPQ under ADR, drop all volatile state.
+     */
+    CrashDumpReport crash(Tick at);
+
+    /** Boot-time recovery (dump verification, drain, Ma-SU recover). */
+    ControllerRecoveryReport recover();
+
+    /** Advance background drains to @p t (idle time, test hooks). */
+    void drainTo(Tick t);
+
+    SecurityMode mode() const { return cfg.mode; }
+    unsigned wpqCapacity() const { return capacity; }
+    const MiSu *misu() const { return misu_.get(); }
+
+    std::uint64_t writeRequests() const { return statWrites.value(); }
+    std::uint64_t retryEvents() const { return statRetries.value(); }
+    std::uint64_t coalesces() const { return statCoalesces.value(); }
+    std::uint64_t wpqReadHits() const { return statWpqReadHits.value(); }
+
+    /** Re-try events per kilo write requests (Table 2 metric). */
+    double
+    retriesPerKiloWrites() const
+    {
+        const auto w = writeRequests();
+        return w ? 1000.0 * double(retryEvents()) / double(w) : 0.0;
+    }
+
+    stats::StatGroup &statGroup() { return stats_; }
+
+  private:
+    struct WpqEntry
+    {
+        std::uint64_t id = 0;
+        Addr addr = 0;
+        Block plaintext{};
+        MisuEntryImage image{};   ///< Dolos modes
+        Block ciphertext{};       ///< PreWpqSecure (secured up front)
+        Tick persistTick = 0;     ///< entered the persistence domain
+        bool drained = false;
+        Tick releaseTick = 0;     ///< slot free (Ma-SU cleared)
+    };
+
+    /** Lazily process FIFO drains whose start time has passed. */
+    void processDrainsUntil(Tick t);
+
+    /** Drain one entry (mode-specific); sets drained/releaseTick. */
+    void drainEntry(WpqEntry &e);
+
+    /** Pop released entries and retire their tag-array mappings. */
+    void retireReleased(Tick t);
+
+    /** Common write path (persists and evictions). */
+    PersistTicket enqueueWrite(Addr addr, const Block &data, Tick now);
+
+    /** Find the live WPQ entry currently mapping @p addr, if any. */
+    WpqEntry *liveEntry(Addr addr);
+
+    unsigned slotOf(const WpqEntry &e) const
+    {
+        return unsigned(e.id % capacity);
+    }
+
+    SystemConfig cfg;
+    NvmDevice &nvm;
+    SecurityEngine &engine;
+    std::unique_ptr<MiSu> misu_;
+    RedoLogBuffer redoLog;
+
+    unsigned capacity;
+    std::deque<WpqEntry> wpq;
+    std::uint64_t nextId = 0;
+    std::uint64_t drainCursor = 0; ///< id of next entry to drain
+    std::unordered_map<Addr, std::uint64_t> tagArray; ///< addr -> id
+    Tick lastDrainIssue = 0; ///< FIFO issue point for non-engine drains
+
+    stats::StatGroup stats_;
+    stats::Scalar statWrites;
+    stats::Scalar statPersists;
+    stats::Scalar statEvictions;
+    stats::Scalar statRetries;
+    stats::Scalar statCoalesces;
+    stats::Scalar statWpqReadHits;
+    stats::Scalar statReads;
+    stats::Average statPersistLatency;
+    stats::Average statOccupancy;
+    stats::Average statDrainLatency;
+};
+
+} // namespace dolos
+
+#endif // DOLOS_DOLOS_CONTROLLER_HH

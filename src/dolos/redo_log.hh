@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Ma-SU persistent redo-log buffer (paper Figure 11).
+ *
+ * Before Ma-SU overwrites the metadata caches and NVM for a drained
+ * WPQ entry, it stages every tentative result — ciphertext, data MAC,
+ * counter, tentative tree root — in on-chip persistent registers and
+ * only then sets the ready bit. A crash between "ready" and the
+ * completion of step 3/4 is recovered by replaying the log; a crash
+ * before "ready" discards it and re-processes the WPQ entry.
+ */
+
+#ifndef DOLOS_DOLOS_REDO_LOG_HH
+#define DOLOS_DOLOS_REDO_LOG_HH
+
+#include "crypto/mac_engine.hh"
+#include "mem/block.hh"
+
+namespace dolos
+{
+
+/** The staged results of one Ma-SU drain step. */
+struct RedoLogRecord
+{
+    Addr addr = 0;
+    Block ciphertext{};
+    crypto::MacTag dataMac{};
+    std::uint64_t counter = 0;
+    crypto::MacTag tempRoot{};
+};
+
+/** On-chip persistent redo-log buffer with a ready bit. */
+class RedoLogBuffer
+{
+  public:
+    /** Stage a record; the ready bit is set atomically last. */
+    void
+    fill(const RedoLogRecord &record)
+    {
+        rec = record;
+        ready_ = true;
+    }
+
+    /** Clear the ready bit after step 3/4 complete. */
+    void clear() { ready_ = false; }
+
+    /** True if a staged record awaits replay. */
+    bool ready() const { return ready_; }
+
+    /** The staged record (valid only when ready()). */
+    const RedoLogRecord &record() const { return rec; }
+
+  private:
+    RedoLogRecord rec;
+    bool ready_ = false;
+};
+
+} // namespace dolos
+
+#endif // DOLOS_DOLOS_REDO_LOG_HH

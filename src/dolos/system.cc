@@ -1,0 +1,44 @@
+/**
+ * @file
+ * System facade implementation.
+ */
+
+#include "dolos/system.hh"
+
+namespace dolos
+{
+
+System::System(const SystemConfig &config) : cfg(config)
+{
+    nvm = std::make_unique<NvmDevice>(cfg.nvm);
+    eng = std::make_unique<SecurityEngine>(cfg.secure, *nvm);
+    mc = std::make_unique<SecureMemController>(cfg, *nvm, *eng);
+    hier = std::make_unique<CacheHierarchy>(cfg.hierarchy, *mc);
+    core_ = std::make_unique<SimpleCore>(*hier);
+}
+
+CrashDumpReport
+System::crash()
+{
+    const auto report = mc->crash(core_->now());
+    hier->invalidateAll();
+    return report;
+}
+
+ControllerRecoveryReport
+System::recover()
+{
+    return mc->recover();
+}
+
+void
+System::dumpStats(std::ostream &os) const
+{
+    core_->statGroup().dump(os, cfg.name);
+    hier->statGroup().dump(os, cfg.name);
+    mc->statGroup().dump(os, cfg.name);
+    eng->statGroup().dump(os, cfg.name);
+    nvm->statGroup().dump(os, cfg.name);
+}
+
+} // namespace dolos

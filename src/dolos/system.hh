@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Public facade: one simulated machine.
+ *
+ * Wires NVM, security engine, memory controller, cache hierarchy and
+ * core according to a SystemConfig, and orchestrates power failures
+ * and recovery. This is the primary entry point of the library:
+ *
+ *   auto cfg = dolos::SystemConfig::paperDefault();
+ *   cfg.mode = dolos::SecurityMode::DolosPartialWpq;
+ *   dolos::System sys(cfg);
+ *   ... drive sys.core() with loads/stores/clwb/sfence ...
+ *   auto dump = sys.crash();     // power failure (ADR drains WPQ)
+ *   auto rec = sys.recover();    // reboot: verify, drain, rebuild
+ */
+
+#ifndef DOLOS_DOLOS_SYSTEM_HH
+#define DOLOS_DOLOS_SYSTEM_HH
+
+#include <memory>
+#include <ostream>
+
+#include "cpu/core.hh"
+#include "dolos/controller.hh"
+
+namespace dolos
+{
+
+/** A complete simulated machine. */
+class System
+{
+  public:
+    explicit System(const SystemConfig &cfg);
+
+    SimpleCore &core() { return *core_; }
+    CacheHierarchy &hierarchy() { return *hier; }
+    SecureMemController &controller() { return *mc; }
+    SecurityEngine &engine() { return *eng; }
+    NvmDevice &nvmDevice() { return *nvm; }
+    const SystemConfig &config() const { return cfg; }
+
+    /**
+     * Power failure at the core's current tick: caches and all other
+     * volatile state are lost; ADR flushes the WPQ.
+     */
+    CrashDumpReport crash();
+
+    /** Boot after a crash: authenticate, drain, rebuild metadata. */
+    ControllerRecoveryReport recover();
+
+    /** True if any integrity check has ever failed. */
+    bool attackDetected() const { return eng->attackDetected(); }
+
+    /** Dump all statistics. */
+    void dumpStats(std::ostream &os) const;
+
+  private:
+    SystemConfig cfg;
+    std::unique_ptr<NvmDevice> nvm;
+    std::unique_ptr<SecurityEngine> eng;
+    std::unique_ptr<SecureMemController> mc;
+    std::unique_ptr<CacheHierarchy> hier;
+    std::unique_ptr<SimpleCore> core_;
+};
+
+} // namespace dolos
+
+#endif // DOLOS_DOLOS_SYSTEM_HH

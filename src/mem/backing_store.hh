@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Sparse functional backing store for a simulated address space.
+ *
+ * Holds real bytes at 64B-block granularity; untouched blocks read as
+ * zero. Used both for the NVM data array (ciphertext at rest) and for
+ * metadata regions.
+ */
+
+#ifndef DOLOS_MEM_BACKING_STORE_HH
+#define DOLOS_MEM_BACKING_STORE_HH
+
+#include <unordered_map>
+
+#include "mem/block.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace dolos
+{
+
+/** Sparse block-granular byte store. */
+class BackingStore
+{
+  public:
+    /** Read the block containing nothing yet as all-zeros. */
+    Block
+    read(Addr addr) const
+    {
+        DOLOS_ASSERT(isBlockAligned(addr), "unaligned read 0x%llx",
+                     (unsigned long long)addr);
+        const auto it = blocks.find(addr);
+        return it == blocks.end() ? zeroBlock() : it->second;
+    }
+
+    /** Overwrite a whole block. */
+    void
+    write(Addr addr, const Block &data)
+    {
+        DOLOS_ASSERT(isBlockAligned(addr), "unaligned write 0x%llx",
+                     (unsigned long long)addr);
+        blocks[addr] = data;
+    }
+
+    /** True if the block was ever written. */
+    bool
+    contains(Addr addr) const
+    {
+        return blocks.count(blockAlign(addr)) != 0;
+    }
+
+    /** Number of blocks ever written. */
+    std::size_t numBlocks() const { return blocks.size(); }
+
+    /** Direct access for whole-image snapshot/restore. */
+    const std::unordered_map<Addr, Block> &raw() const { return blocks; }
+
+    void clear() { blocks.clear(); }
+
+  private:
+    std::unordered_map<Addr, Block> blocks;
+};
+
+} // namespace dolos
+
+#endif // DOLOS_MEM_BACKING_STORE_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * 64-byte memory block type and helpers.
+ */
+
+#ifndef DOLOS_MEM_BLOCK_HH
+#define DOLOS_MEM_BLOCK_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+#include "sim/types.hh"
+
+namespace dolos
+{
+
+/** One cacheline / NVM access unit. */
+using Block = std::array<std::uint8_t, blockSize>;
+
+/** Zero-filled block. */
+inline Block
+zeroBlock()
+{
+    return Block{};
+}
+
+/** Load a little-endian 64-bit word at byte offset @p off. */
+inline std::uint64_t
+loadWord(const Block &b, unsigned off)
+{
+    std::uint64_t v;
+    std::memcpy(&v, b.data() + off, sizeof(v));
+    return v;
+}
+
+/** Store a little-endian 64-bit word at byte offset @p off. */
+inline void
+storeWord(Block &b, unsigned off, std::uint64_t v)
+{
+    std::memcpy(b.data() + off, &v, sizeof(v));
+}
+
+} // namespace dolos
+
+#endif // DOLOS_MEM_BLOCK_HH

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Cache hierarchy implementation.
+ */
+
+#include "mem/hierarchy.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace dolos
+{
+
+CacheHierarchy::CacheHierarchy(const HierarchyParams &p,
+                               PersistController &controller)
+    : mc(controller), stats_("hierarchy")
+{
+    llc_ = std::make_unique<Cache>(p.llc, mc);
+    l2_ = std::make_unique<Cache>(p.l2, *llc_);
+    l1_ = std::make_unique<Cache>(p.l1, *l2_);
+
+    stats_.addScalar(&statLoads, "loads", "core loads");
+    stats_.addScalar(&statStores, "stores", "core stores");
+    stats_.addScalar(&statClwbs, "clwbs", "CLWB operations");
+    stats_.addScalar(&statClwbMisses, "clwbMisses",
+                     "CLWBs that found no cached copy");
+    stats_.addChild(&l1_->statGroup());
+    stats_.addChild(&l2_->statGroup());
+    stats_.addChild(&llc_->statGroup());
+}
+
+ReadResult
+CacheHierarchy::readBlockTimed(Addr addr, Tick now)
+{
+    return l1_->readBlock(blockAlign(addr), now);
+}
+
+Tick
+CacheHierarchy::load(Addr addr, void *out, unsigned size, Tick now)
+{
+    ++statLoads;
+    auto *dst = static_cast<std::uint8_t *>(out);
+    Tick done = now;
+    Addr cur = addr;
+    unsigned remaining = size;
+    while (remaining > 0) {
+        const Addr base = blockAlign(cur);
+        const unsigned off = unsigned(cur - base);
+        const unsigned chunk = std::min(remaining, blockSize - off);
+        // Block accesses are sequential: a multi-block load pays for
+        // each block in turn (rare; workload fields are aligned).
+        const ReadResult r = readBlockTimed(base, done);
+        if (dst)
+            std::memcpy(dst, r.data.data() + off, chunk);
+        done = r.completeTick;
+        if (dst)
+            dst += chunk;
+        cur += chunk;
+        remaining -= chunk;
+    }
+    return done;
+}
+
+Tick
+CacheHierarchy::store(Addr addr, const void *src, unsigned size, Tick now)
+{
+    ++statStores;
+    const auto *p = static_cast<const std::uint8_t *>(src);
+    Tick done = now;
+    Addr cur = addr;
+    unsigned remaining = size;
+    while (remaining > 0) {
+        const Addr base = blockAlign(cur);
+        const unsigned off = unsigned(cur - base);
+        const unsigned chunk = std::min(remaining, blockSize - off);
+        // Write-allocate: bring the block into L1, then modify.
+        ReadResult r = readBlockTimed(base, done);
+        std::memcpy(r.data.data() + off, p, chunk);
+        const bool present = l1_->updateIfPresent(base, r.data);
+        DOLOS_ASSERT(present, "block 0x%llx vanished from L1 after fill",
+                     (unsigned long long)base);
+        done = r.completeTick;
+        p += chunk;
+        cur += chunk;
+        remaining -= chunk;
+    }
+    return done;
+}
+
+PersistTicket
+CacheHierarchy::clwb(Addr addr, Tick now)
+{
+    ++statClwbs;
+    const Addr base = blockAlign(addr);
+
+    // Locate the newest copy: L1 > L2 > LLC.
+    Block newest{};
+    bool found = false;
+    bool any_dirty = false;
+    for (Cache *c : {l1_.get(), l2_.get(), llc_.get()}) {
+        Block data;
+        bool dirty = false;
+        if (c->peek(base, data, dirty)) {
+            if (!found)
+                newest = data;
+            found = true;
+            any_dirty |= dirty;
+        }
+    }
+
+    const Tick issue = now + l1_->latency();
+    if (!found || !any_dirty) {
+        // Nothing (dirty) cached: the line may still be in flight in
+        // the controller from an earlier eviction; order against it.
+        ++statClwbMisses;
+        const Tick pending = mc.pendingPersistTick(base, issue);
+        return {issue, pending};
+    }
+
+    // Propagate the newest copy to every level holding the line and
+    // clean all copies, so no stale data can surface later.
+    for (Cache *c : {l1_.get(), l2_.get(), llc_.get()}) {
+        if (c->probe(base)) {
+            c->updateIfPresent(base, newest);
+            c->markClean(base);
+        }
+    }
+
+    return mc.persistBlock(base, newest, issue);
+}
+
+void
+CacheHierarchy::invalidateAll()
+{
+    l1_->invalidateAll();
+    l2_->invalidateAll();
+    llc_->invalidateAll();
+}
+
+} // namespace dolos

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Three-level cache hierarchy with CLWB support (core-facing).
+ *
+ * L1 holds the newest copy of a line; stores allocate into L1. CLWB
+ * locates the newest copy, propagates it to every level holding the
+ * line (so no stale copy can ever become visible), marks all copies
+ * clean, and issues a persist-path write to the memory controller.
+ */
+
+#ifndef DOLOS_MEM_HIERARCHY_HH
+#define DOLOS_MEM_HIERARCHY_HH
+
+#include <memory>
+
+#include "mem/cache.hh"
+#include "mem/mem_iface.hh"
+#include "sim/stats.hh"
+
+namespace dolos
+{
+
+/**
+ * Memory-controller-facing interface required by the hierarchy: the
+ * plain MemDevice operations plus a query for the persist tick of an
+ * in-flight write (needed when CLWB targets a line that was already
+ * evicted and is still travelling through the controller).
+ */
+class PersistController : public MemDevice
+{
+  public:
+    /**
+     * If a write to @p addr is in flight but not yet in the
+     * persistence domain, return the tick at which it will be
+     * persisted; otherwise return @p now.
+     */
+    virtual Tick pendingPersistTick(Addr addr, Tick now) = 0;
+};
+
+/** Cache geometry for all three levels (Table 1 defaults). */
+struct HierarchyParams
+{
+    CacheParams l1{"l1", 32 * 1024, 2, 2};
+    CacheParams l2{"l2", 512 * 1024, 8, 20};
+    CacheParams llc{"llc", 8 * 1024 * 1024, 16, 32};
+};
+
+/**
+ * Core-facing cache hierarchy.
+ */
+class CacheHierarchy
+{
+  public:
+    CacheHierarchy(const HierarchyParams &params, PersistController &mc);
+
+    /**
+     * Timed load of @p size bytes at @p addr (may span blocks).
+     *
+     * @return completion tick.
+     */
+    Tick load(Addr addr, void *out, unsigned size, Tick now);
+
+    /** Timed store of @p size bytes (write-allocate into L1). */
+    Tick store(Addr addr, const void *src, unsigned size, Tick now);
+
+    /**
+     * CLWB of the block containing @p addr: push the newest copy to
+     * the memory controller's persist path, keeping (clean) copies
+     * cached.
+     */
+    PersistTicket clwb(Addr addr, Tick now);
+
+    /** Drop all cached state (crash). */
+    void invalidateAll();
+
+    Cache &l1() { return *l1_; }
+    Cache &l2() { return *l2_; }
+    Cache &llc() { return *llc_; }
+    stats::StatGroup &statGroup() { return stats_; }
+
+  private:
+    ReadResult readBlockTimed(Addr addr, Tick now);
+
+    PersistController &mc;
+    std::unique_ptr<Cache> llc_;
+    std::unique_ptr<Cache> l2_;
+    std::unique_ptr<Cache> l1_;
+
+    stats::StatGroup stats_;
+    stats::Scalar statLoads;
+    stats::Scalar statStores;
+    stats::Scalar statClwbs;
+    stats::Scalar statClwbMisses;
+};
+
+} // namespace dolos
+
+#endif // DOLOS_MEM_HIERARCHY_HH

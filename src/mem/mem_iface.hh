@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Interfaces between cache levels and the memory controller.
+ *
+ * Timing flows as explicit ticks: every operation takes the tick at
+ * which it is initiated ("now") and returns the tick(s) at which it
+ * completes. All downstream pipelines (security units, WPQ, NVM
+ * banks) are deterministic FIFO servers, so this timestamp-based
+ * simulation is exact while keeping the CPU model synchronous.
+ */
+
+#ifndef DOLOS_MEM_MEM_IFACE_HH
+#define DOLOS_MEM_MEM_IFACE_HH
+
+#include "mem/block.hh"
+#include "sim/types.hh"
+
+namespace dolos
+{
+
+/** Result of a timed read. */
+struct ReadResult
+{
+    Block data;        ///< functional data
+    Tick completeTick; ///< when the data is available
+};
+
+/**
+ * Outcome of a persist-path write (CLWB or flush).
+ *
+ * acceptTick is when the request left the issuing structure (the
+ * core/cache may proceed); persistTick is when the write entered the
+ * persistence domain (what SFENCE must wait for).
+ */
+struct PersistTicket
+{
+    Tick acceptTick = 0;
+    Tick persistTick = 0;
+};
+
+/**
+ * Downstream-facing memory interface implemented by caches and by the
+ * secure memory controller.
+ */
+class MemDevice
+{
+  public:
+    virtual ~MemDevice() = default;
+
+    /** Timed, functional read of one block. */
+    virtual ReadResult readBlock(Addr addr, Tick now) = 0;
+
+    /**
+     * Dirty writeback (capacity eviction). Returns the tick at which
+     * the request was accepted; the issuer does not wait for
+     * persistence.
+     */
+    virtual Tick writebackBlock(Addr addr, const Block &data,
+                                Tick now) = 0;
+
+    /**
+     * Persist-path write (CLWB-initiated). The issuer typically
+     * tracks the ticket until the next fence.
+     */
+    virtual PersistTicket persistBlock(Addr addr, const Block &data,
+                                       Tick now) = 0;
+};
+
+} // namespace dolos
+
+#endif // DOLOS_MEM_MEM_IFACE_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * NVM device implementation.
+ */
+
+#include "mem/nvm_device.hh"
+
+namespace dolos
+{
+
+NvmDevice::NvmDevice(const NvmParams &p)
+    : params(p), bankBusyUntil(p.numBanks, 0),
+      bankReadBusyUntil(p.numBanks, 0), stats_("nvm")
+{
+    stats_.addScalar(&statReads, "reads", "block reads");
+    stats_.addScalar(&statWrites, "writes", "block writes");
+    stats_.addAverage(&statReadQueueing, "readQueueing",
+                      "cycles reads waited for a busy bank");
+    stats_.addAverage(&statWriteQueueing, "writeQueueing",
+                      "cycles writes waited for a busy bank");
+}
+
+std::size_t
+NvmDevice::bankIndex(Addr addr) const
+{
+    return (addr / blockSize) % params.numBanks;
+}
+
+ReadResult
+NvmDevice::read(Addr addr, Tick now)
+{
+    ++statReads;
+    Tick &bank = params.readPriority
+                     ? bankReadBusyUntil[bankIndex(addr)]
+                     : bankBusyUntil[bankIndex(addr)];
+    const Tick start = std::max(now, bank);
+    statReadQueueing.sample(double(start - now));
+    bank = start + params.readLatency;
+    return {data_.read(blockAlign(addr)), bank};
+}
+
+Tick
+NvmDevice::write(Addr addr, const Block &block, Tick now)
+{
+    ++statWrites;
+    Tick &bank = bankBusyUntil[bankIndex(addr)];
+    const Tick start = std::max(now, bank);
+    statWriteQueueing.sample(double(start - now));
+    bank = start + params.writeLatency;
+    data_.write(blockAlign(addr), block);
+    return bank;
+}
+
+void
+NvmDevice::writeFunctional(Addr addr, const Block &block)
+{
+    data_.write(blockAlign(addr), block);
+}
+
+Block
+NvmDevice::readFunctional(Addr addr) const
+{
+    return data_.read(blockAlign(addr));
+}
+
+Tick
+NvmDevice::bankFreeAt(Addr addr) const
+{
+    return bankBusyUntil[bankIndex(addr)];
+}
+
+} // namespace dolos

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Layout of the simulated NVM physical address space.
+ *
+ * Protected data occupies [0, protectedBytes). Security metadata
+ * lives in disjoint high regions so that metadata traffic shares NVM
+ * bank timing with data without colliding functionally:
+ *
+ *   counters : one 64B split-counter block per 4KB data page
+ *   data MACs: 8-byte MAC per data block, packed 8 per 64B MAC block
+ *   tree     : integrity-tree nodes (64B each)
+ *   shadow   : Anubis shadow-table slots (64B each)
+ *   WPQ dump : ADR crash-drain target area
+ */
+
+#ifndef DOLOS_SECURE_ADDRESS_MAP_HH
+#define DOLOS_SECURE_ADDRESS_MAP_HH
+
+#include <utility>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace dolos
+{
+
+/** Bytes per page covered by one split-counter block. */
+constexpr Addr pageBytes = 4096;
+
+/** Data blocks whose MACs pack into one 64B MAC block. */
+constexpr unsigned macsPerBlock = 8;
+
+/** Address-space map for one protected memory instance. */
+struct AddressMap
+{
+    /** Size of the protected data region (paper: 16 GB). */
+    Addr protectedBytes = Addr(16) * 1024 * 1024 * 1024;
+
+    static constexpr Addr counterBase = Addr(1) << 40;
+    static constexpr Addr macBase = Addr(1) << 41;
+    static constexpr Addr treeBase = Addr(1) << 42;
+    static constexpr Addr shadowBase = Addr(1) << 43;
+    static constexpr Addr wpqDumpBase = Addr(1) << 44;
+    static constexpr Addr eccBase = Addr(1) << 45;
+
+    /** Number of 4KB pages (== integrity-tree leaves). */
+    Addr
+    numPages() const
+    {
+        return (protectedBytes + pageBytes - 1) / pageBytes;
+    }
+
+    bool
+    isProtectedData(Addr a) const
+    {
+        return a < protectedBytes;
+    }
+
+    /** Page index of a data address. */
+    static Addr
+    pageOf(Addr a)
+    {
+        return a / pageBytes;
+    }
+
+    /** Block index of a data address within its page [0, 64). */
+    static unsigned
+    blockInPage(Addr a)
+    {
+        return unsigned((a % pageBytes) / blockSize);
+    }
+
+    /** NVM address of the counter block covering @p a. */
+    static Addr
+    counterBlockAddr(Addr a)
+    {
+        return counterBase + pageOf(a) * blockSize;
+    }
+
+    /** NVM address of the MAC block covering @p a. */
+    static Addr
+    macBlockAddr(Addr a)
+    {
+        return macBase + (a / (blockSize * macsPerBlock)) * blockSize;
+    }
+
+    /** Byte offset of @p a's MAC inside its MAC block. */
+    static unsigned
+    macOffsetInBlock(Addr a)
+    {
+        return unsigned((a / blockSize) % macsPerBlock) * 8;
+    }
+
+    /** NVM address of tree node (@p level, @p index). */
+    static Addr
+    treeNodeAddr(unsigned level, Addr index)
+    {
+        // Levels are < 16 and functional trees have < 2^30 nodes per
+        // level, so (level << 30 | index) * 64 stays well inside the
+        // [treeBase, shadowBase) region.
+        DOLOS_ASSERT(index < (Addr(1) << 30), "tree index too large");
+        return treeBase + ((Addr(level) << 30) | index) * blockSize;
+    }
+
+    /** Inverse of treeNodeAddr. */
+    static std::pair<unsigned, Addr>
+    treeNodeOf(Addr addr)
+    {
+        const Addr offset = (addr - treeBase) / blockSize;
+        return {unsigned(offset >> 30), offset & ((Addr(1) << 30) - 1)};
+    }
+
+    /** NVM address of Anubis shadow slot @p slot. */
+    static Addr
+    shadowSlotAddr(Addr slot)
+    {
+        return shadowBase + slot * blockSize;
+    }
+
+    /** NVM address of WPQ dump entry @p idx (two blocks per entry). */
+    static Addr
+    wpqDumpAddr(Addr idx)
+    {
+        return wpqDumpBase + idx * 2 * blockSize;
+    }
+
+    /** 16-bit ECC codes pack 32 per block (Osiris). */
+    static Addr
+    eccBlockAddr(Addr a)
+    {
+        return eccBase + (a / (blockSize * 32)) * blockSize;
+    }
+
+    /** Byte offset of @p a's ECC code inside its ECC block. */
+    static unsigned
+    eccOffsetInBlock(Addr a)
+    {
+        return unsigned((a / blockSize) % 32) * 2;
+    }
+};
+
+} // namespace dolos
+
+#endif // DOLOS_SECURE_ADDRESS_MAP_HH

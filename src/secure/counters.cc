@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Split-counter packing and increment.
+ */
+
+#include "secure/counters.hh"
+
+namespace dolos
+{
+
+Block
+CounterPage::pack() const
+{
+    // Layout: bytes [0,8) little-endian major; bytes [8,64) hold 64
+    // 7-bit minors as a dense bit stream.
+    Block b{};
+    storeWord(b, 0, major);
+    for (unsigned i = 0; i < 64; ++i) {
+        const unsigned bitpos = i * 7;
+        const unsigned byte = 8 + bitpos / 8;
+        const unsigned shift = bitpos % 8;
+        const std::uint16_t v = std::uint16_t(minors[i] & 0x7F) << shift;
+        b[byte] |= std::uint8_t(v);
+        if (shift > 1)
+            b[byte + 1] |= std::uint8_t(v >> 8);
+    }
+    return b;
+}
+
+CounterPage
+CounterPage::unpack(const Block &b)
+{
+    CounterPage p;
+    p.major = loadWord(b, 0);
+    for (unsigned i = 0; i < 64; ++i) {
+        const unsigned bitpos = i * 7;
+        const unsigned byte = 8 + bitpos / 8;
+        const unsigned shift = bitpos % 8;
+        std::uint16_t v = b[byte] >> shift;
+        if (shift > 1)
+            v |= std::uint16_t(b[byte + 1]) << (8 - shift);
+        p.minors[i] = std::uint8_t(v & 0x7F);
+    }
+    return p;
+}
+
+CounterBump
+CounterStore::increment(Addr a)
+{
+    CounterPage &p = pages[AddressMap::pageOf(a)];
+    const unsigned idx = AddressMap::blockInPage(a);
+    CounterBump r;
+    if (p.minors[idx] + 1u >= minorCounterLimit) {
+        // Minor overflow: bump major, reset every minor. The caller
+        // must re-encrypt the whole page under the new counters.
+        ++p.major;
+        p.minors.fill(0);
+        r.pageOverflow = true;
+    } else {
+        ++p.minors[idx];
+    }
+    r.newCounter = p.counterOf(idx);
+    return r;
+}
+
+} // namespace dolos

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Sparse 8-ary Merkle tree implementation.
+ */
+
+#include "secure/merkle_tree.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace dolos
+{
+
+MerkleTree::MerkleTree(Addr num_leaves, const crypto::MacEngine &mac)
+    : numLeaves(num_leaves), mac(mac)
+{
+    DOLOS_ASSERT(num_leaves > 0, "tree needs at least one leaf");
+    Addr n = num_leaves;
+    levelSizes.push_back(n);
+    while (n > 1) {
+        n = (n + arity - 1) / arity;
+        levelSizes.push_back(n);
+    }
+
+    // Default (all-zero-counters) tags per level.
+    defaults.resize(levelSizes.size());
+    defaults[0] = leafTagOf(CounterPage{});
+    for (unsigned lvl = 1; lvl < levelSizes.size(); ++lvl) {
+        crypto::MacTag children[arity];
+        for (auto &c : children)
+            c = defaults[lvl - 1];
+        defaults[lvl] = hashChildren(lvl, children);
+    }
+}
+
+std::uint64_t
+MerkleTree::key(unsigned level, Addr idx)
+{
+    return (std::uint64_t(level) << 56) | idx;
+}
+
+crypto::MacTag
+MerkleTree::leafTagOf(const CounterPage &page) const
+{
+    const Block packed = page.pack();
+    return mac.compute(packed.data(), packed.size());
+}
+
+crypto::MacTag
+MerkleTree::hashChildren(unsigned parent_level,
+                         const crypto::MacTag *children) const
+{
+    // Tag the level so a node cannot masquerade at another height.
+    const std::uint8_t lvl = std::uint8_t(parent_level);
+    return mac.computeParts({{&lvl, 1},
+                             {children, arity * sizeof(crypto::MacTag)}});
+}
+
+crypto::MacTag
+MerkleTree::nodeTag(unsigned level, Addr idx) const
+{
+    DOLOS_ASSERT(level < levelSizes.size() && idx < levelSizes[level],
+                 "node (%u, %llu) out of range", level,
+                 (unsigned long long)idx);
+    const auto it = nodes.find(key(level, idx));
+    return it == nodes.end() ? defaults[level] : it->second;
+}
+
+void
+MerkleTree::recomputeNode(unsigned level, Addr idx)
+{
+    crypto::MacTag children[arity];
+    const Addr child_base = idx * arity;
+    for (unsigned c = 0; c < arity; ++c) {
+        const Addr child = child_base + c;
+        children[c] = child < levelSizes[level - 1]
+                          ? nodeTag(level - 1, child)
+                          : defaults[level - 1];
+    }
+    nodes[key(level, idx)] = hashChildren(level, children);
+}
+
+void
+MerkleTree::updateLeaf(Addr leaf_idx, const CounterPage &page)
+{
+    DOLOS_ASSERT(leaf_idx < numLeaves, "leaf %llu out of range",
+                 (unsigned long long)leaf_idx);
+    nodes[key(0, leaf_idx)] = leafTagOf(page);
+    Addr idx = leaf_idx;
+    for (unsigned lvl = 1; lvl < levelSizes.size(); ++lvl) {
+        idx /= arity;
+        recomputeNode(lvl, idx);
+    }
+}
+
+crypto::MacTag
+MerkleTree::root() const
+{
+    return nodeTag(numLevels() - 1, 0);
+}
+
+void
+MerkleTree::rebuild(const std::unordered_map<Addr, CounterPage> &pages)
+{
+    nodes.clear();
+    // Install leaves, then recompute touched parents level by level.
+    std::vector<Addr> touched;
+    touched.reserve(pages.size());
+    for (const auto &[leaf_idx, page] : pages) {
+        DOLOS_ASSERT(leaf_idx < numLeaves, "leaf %llu out of range",
+                     (unsigned long long)leaf_idx);
+        nodes[key(0, leaf_idx)] = leafTagOf(page);
+        touched.push_back(leaf_idx);
+    }
+    for (unsigned lvl = 1; lvl < levelSizes.size(); ++lvl) {
+        std::vector<Addr> parents;
+        parents.reserve(touched.size());
+        Addr last = ~Addr(0);
+        std::sort(touched.begin(), touched.end());
+        for (const Addr idx : touched) {
+            const Addr parent = idx / arity;
+            if (parent != last) {
+                recomputeNode(lvl, parent);
+                parents.push_back(parent);
+                last = parent;
+            }
+        }
+        touched = std::move(parents);
+    }
+}
+
+} // namespace dolos

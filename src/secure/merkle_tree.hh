@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Functional 8-ary Bonsai Merkle Tree over counter blocks.
+ *
+ * Leaves are MAC tags of packed split-counter pages; inner nodes are
+ * MAC tags over the concatenation of their eight children. The tree
+ * is sparse: untouched subtrees collapse to memoized per-level
+ * default tags, so a 16 GB protected region costs memory only for
+ * pages actually written.
+ *
+ * This class is the secure processor's volatile *current* view (the
+ * trusted state built from verified fetches and local updates). NVM
+ * persistence of individual nodes and the on-chip persistent root
+ * register are managed by the security engine.
+ */
+
+#ifndef DOLOS_SECURE_MERKLE_TREE_HH
+#define DOLOS_SECURE_MERKLE_TREE_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/mac_engine.hh"
+#include "secure/counters.hh"
+#include "sim/types.hh"
+
+namespace dolos
+{
+
+/** 8-ary functional hash tree. */
+class MerkleTree
+{
+  public:
+    static constexpr unsigned arity = 8;
+
+    /**
+     * @param num_leaves Number of counter blocks covered.
+     * @param mac Keyed MAC engine (not owned; must outlive the tree).
+     */
+    MerkleTree(Addr num_leaves, const crypto::MacEngine &mac);
+
+    /** Levels including the leaf level and the root level. */
+    unsigned numLevels() const { return unsigned(levelSizes.size()); }
+
+    /** Number of nodes at @p level (level 0 = leaves). */
+    Addr levelSize(unsigned level) const { return levelSizes[level]; }
+
+    /** MAC tag of a packed counter page (leaf content hash). */
+    crypto::MacTag leafTagOf(const CounterPage &page) const;
+
+    /**
+     * Install a new leaf tag and recompute the path to the root
+     * (functional equivalent of an eager update).
+     */
+    void updateLeaf(Addr leaf_idx, const CounterPage &page);
+
+    /** Current root tag. */
+    crypto::MacTag root() const;
+
+    /** Current tag of (@p level, @p idx); default if untouched. */
+    crypto::MacTag nodeTag(unsigned level, Addr idx) const;
+
+    /** The memoized default tag of an untouched node at @p level. */
+    crypto::MacTag defaultTag(unsigned level) const
+    {
+        return defaults[level];
+    }
+
+    /**
+     * Discard all state and rebuild from a full set of counter
+     * pages (crash recovery). Pages absent from @p pages are
+     * treated as untouched (all-zero counters).
+     */
+    void rebuild(const std::unordered_map<Addr, CounterPage> &pages);
+
+    /** Drop all volatile state (crash, before rebuild). */
+    void clear() { nodes.clear(); }
+
+    /** Number of explicitly stored (non-default) nodes. */
+    std::size_t numStoredNodes() const { return nodes.size(); }
+
+  private:
+    static std::uint64_t key(unsigned level, Addr idx);
+
+    /** Parent tag from eight child tags. */
+    crypto::MacTag hashChildren(unsigned parent_level,
+                                const crypto::MacTag *children) const;
+
+    /** Recompute one node from its children's current tags. */
+    void recomputeNode(unsigned level, Addr idx);
+
+    Addr numLeaves;
+    const crypto::MacEngine &mac;
+    std::vector<Addr> levelSizes;           ///< per-level node counts
+    std::vector<crypto::MacTag> defaults;   ///< per-level default tags
+    std::unordered_map<std::uint64_t, crypto::MacTag> nodes;
+};
+
+} // namespace dolos
+
+#endif // DOLOS_SECURE_MERKLE_TREE_HH

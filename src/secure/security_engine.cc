@@ -1,0 +1,519 @@
+/**
+ * @file
+ * Security engine implementation.
+ */
+
+#include "secure/security_engine.hh"
+
+#include <algorithm>
+
+#include "secure/osiris.hh"
+#include "sim/logging.hh"
+
+namespace dolos
+{
+
+SecurityEngine::SecurityEngine(const SecureParams &p, NvmDevice &nvm)
+    : params(p),
+      nvm_(nvm),
+      mac(crypto::makeMacEngine(p.macKind, p.macKey)),
+      padGen(p.dataKey),
+      tree(p.functionalLeaves, *mac),
+      ctrCache(p.counterCache),
+      mtCache(p.mtCache),
+      shadow(ctrCache.numSlots(), nvm, *mac),
+      stats_("secEngine")
+{
+    rootRegister = tree.root();
+
+    stats_.addScalar(&statWrites, "writes", "secure write operations");
+    stats_.addScalar(&statReads, "reads", "secure read operations");
+    stats_.addScalar(&statAttacks, "attacksDetected",
+                     "integrity verification failures");
+    stats_.addScalar(&statOverflows, "pageReencryptions",
+                     "minor-counter overflow page re-encryptions");
+    stats_.addScalar(&statColdReads, "coldReads",
+                     "reads of never-written blocks");
+    stats_.addAverage(&statWriteLatency, "writeLatency",
+                      "security-op cycles per write");
+    stats_.addAverage(&statReadLatency, "readLatency",
+                      "cycles per secure read");
+    stats_.addAverage(&statTreeWalkLevels, "treeWalkLevels",
+                      "tree levels fetched per counter miss");
+    stats_.addChild(&ctrCache.statGroup());
+    stats_.addChild(&mtCache.statGroup());
+    stats_.addChild(&shadow.statGroup());
+}
+
+unsigned
+SecurityEngine::writeMacOps() const
+{
+    return params.treePolicy == TreeUpdatePolicy::EagerMerkle
+               ? params.macOpsEagerWrite
+               : params.macOpsLazyWrite;
+}
+
+crypto::IvFields
+SecurityEngine::ivFor(Addr addr, std::uint64_t counter) const
+{
+    return {AddressMap::pageOf(addr), AddressMap::blockInPage(addr),
+            counter};
+}
+
+crypto::MacTag
+SecurityEngine::dataMac(Addr addr, const Block &ciphertext,
+                        std::uint64_t counter) const
+{
+    return mac->computeParts({{&addr, sizeof(addr)},
+                              {&counter, sizeof(counter)},
+                              {ciphertext.data(), ciphertext.size()}});
+}
+
+void
+SecurityEngine::storeDataMac(Addr addr, const crypto::MacTag &tag)
+{
+    const Addr mac_block = AddressMap::macBlockAddr(addr);
+    Block b = nvm_.readFunctional(mac_block);
+    std::memcpy(b.data() + AddressMap::macOffsetInBlock(addr),
+                tag.data(), tag.size());
+    nvm_.writeFunctional(mac_block, b);
+}
+
+crypto::MacTag
+SecurityEngine::loadDataMac(Addr addr) const
+{
+    const Block b = nvm_.readFunctional(AddressMap::macBlockAddr(addr));
+    crypto::MacTag tag;
+    std::memcpy(tag.data(), b.data() + AddressMap::macOffsetInBlock(addr),
+                tag.size());
+    return tag;
+}
+
+void
+SecurityEngine::storeEcc(Addr addr, std::uint16_t code)
+{
+    const Addr ecc_block = AddressMap::eccBlockAddr(addr);
+    Block b = nvm_.readFunctional(ecc_block);
+    std::memcpy(b.data() + AddressMap::eccOffsetInBlock(addr), &code,
+                sizeof(code));
+    nvm_.writeFunctional(ecc_block, b);
+}
+
+std::uint16_t
+SecurityEngine::loadEcc(Addr addr) const
+{
+    const Block b = nvm_.readFunctional(AddressMap::eccBlockAddr(addr));
+    std::uint16_t code;
+    std::memcpy(&code, b.data() + AddressMap::eccOffsetInBlock(addr),
+                sizeof(code));
+    return code;
+}
+
+void
+SecurityEngine::verifyFetchedPage(Addr page_idx, const CounterPage &page)
+{
+    if (tree.leafTagOf(page) != tree.nodeTag(0, page_idx)) {
+        ++statAttacks;
+        warn("counter block for page %llu failed tree verification",
+             (unsigned long long)page_idx);
+    }
+}
+
+void
+SecurityEngine::evictCounterBlock(Addr counter_block_addr, Tick now)
+{
+    const Addr page_idx =
+        (counter_block_addr - AddressMap::counterBase) / blockSize;
+    // The page must exist in the volatile store: it was cached.
+    nvm_.write(counter_block_addr, counters.page(page_idx).pack(), now);
+}
+
+void
+SecurityEngine::evictTreeNode(Addr node_addr, Tick now)
+{
+    const auto [level, idx] = AddressMap::treeNodeOf(node_addr);
+    Block b{};
+    const crypto::MacTag tag = tree.nodeTag(level, idx);
+    std::memcpy(b.data(), tag.data(), tag.size());
+    nvm_.write(node_addr, b, now);
+}
+
+Tick
+SecurityEngine::fetchCounter(Addr addr, Tick start, bool for_write)
+{
+    const Addr cb_addr = AddressMap::counterBlockAddr(addr);
+    if (ctrCache.lookup(cb_addr)) {
+        if (for_write)
+            ctrCache.markDirty(cb_addr);
+        return start;
+    }
+
+    // Miss: fetch the counter block from NVM.
+    const Addr page_idx = AddressMap::pageOf(addr);
+    const ReadResult r = nvm_.read(cb_addr, start);
+    Tick t = r.completeTick;
+    const CounterPage fetched = CounterPage::unpack(r.data);
+
+    if (counters.hasPage(page_idx)) {
+        // Volatile truth exists (block was evicted earlier): the NVM
+        // copy must match it exactly, or someone tampered with NVM.
+        if (!(fetched == counters.page(page_idx))) {
+            ++statAttacks;
+            warn("counter block 0x%llx modified in NVM",
+                 (unsigned long long)cb_addr);
+        }
+    } else {
+        // First touch since boot: verify against the trusted tree,
+        // then adopt.
+        verifyFetchedPage(page_idx, fetched);
+        counters.restorePage(page_idx, fetched);
+    }
+
+    // Walk the tree upward until a cached (trusted) level; each
+    // missing level costs an NVM fetch plus a MAC verification. The
+    // root itself lives in an on-chip register and is never fetched.
+    unsigned walked = 0;
+    Addr idx = page_idx;
+    for (unsigned lvl = 1; lvl + 1 < tree.numLevels(); ++lvl) {
+        idx /= MerkleTree::arity;
+        const Addr node_addr = AddressMap::treeNodeAddr(lvl, idx);
+        if (mtCache.lookup(node_addr))
+            break;
+        ++walked;
+        const ReadResult nr = nvm_.read(node_addr, t);
+        t = nr.completeTick + params.macLatency;
+        if (nvm_.store().contains(node_addr)) {
+            crypto::MacTag stored;
+            std::memcpy(stored.data(), nr.data.data(), stored.size());
+            if (stored != tree.nodeTag(lvl, idx)) {
+                ++statAttacks;
+                warn("tree node (%u, %llu) modified in NVM", lvl,
+                     (unsigned long long)idx);
+            }
+        }
+        if (const auto ev = mtCache.insert(node_addr, false))
+            evictTreeNode(ev->addr, t);
+    }
+    statTreeWalkLevels.sample(double(walked));
+
+    if (const auto ev = ctrCache.insert(cb_addr, for_write))
+        evictCounterBlock(ev->addr, t);
+    return t;
+}
+
+Tick
+SecurityEngine::reencryptPage(Addr page_idx, const CounterPage &old_page,
+                              Tick start)
+{
+    ++statOverflows;
+    const CounterPage &new_page = counters.page(page_idx);
+    Tick done = start;
+    for (unsigned idx = 0; idx < 64; ++idx) {
+        const Addr addr = page_idx * pageBytes + Addr(idx) * blockSize;
+        if (!nvm_.store().contains(addr))
+            continue; // never written: nothing to re-encrypt
+        const ReadResult r = nvm_.read(addr, start);
+        Block data = r.data;
+        const auto old_pad =
+            padGen.generate(ivFor(addr, old_page.counterOf(idx)),
+                            blockSize);
+        crypto::xorInto(data.data(), old_pad.data(), blockSize);
+        const auto new_pad =
+            padGen.generate(ivFor(addr, new_page.counterOf(idx)),
+                            blockSize);
+        crypto::xorInto(data.data(), new_pad.data(), blockSize);
+        const Tick w =
+            nvm_.write(addr, data, r.completeTick + params.aesLatency);
+        storeDataMac(addr, dataMac(addr, data, new_page.counterOf(idx)));
+        done = std::max(done, w);
+    }
+    return done;
+}
+
+SecureWriteResult
+SecurityEngine::secureWrite(Addr addr, const Block &plaintext,
+                            Tick arrival)
+{
+    DOLOS_ASSERT(params.map.isProtectedData(addr),
+                 "write outside protected region: 0x%llx",
+                 (unsigned long long)addr);
+    const Addr page_idx = AddressMap::pageOf(addr);
+    DOLOS_ASSERT(page_idx < params.functionalLeaves,
+                 "page %llu beyond functional tree coverage",
+                 (unsigned long long)page_idx);
+    ++statWrites;
+
+    const Tick start = std::max(arrival, busyUntil_);
+    Tick t = fetchCounter(addr, start, true);
+
+    const CounterPage old_page = counters.page(page_idx);
+    const CounterBump bump = counters.increment(addr);
+    SecureWriteResult res;
+    res.pageReencrypted = bump.pageOverflow;
+    if (bump.pageOverflow)
+        t = reencryptPage(page_idx, old_page, t);
+
+    // Counter-mode encryption: pad generation (AES) then XOR.
+    const Tick crypto_start = t;
+    t += params.aesLatency;
+    const auto pad = padGen.generate(ivFor(addr, bump.newCounter),
+                                     blockSize);
+    res.ciphertext = plaintext;
+    crypto::xorInto(res.ciphertext.data(), pad.data(), blockSize);
+    res.counter = bump.newCounter;
+
+    // Data MAC + integrity-tree update: the configured number of
+    // serial MAC operations (Table 1: 10 eager / 4 lazy).
+    t += Cycles(writeMacOps()) * params.macLatency;
+    res.macTag = dataMac(addr, res.ciphertext, bump.newCounter);
+    storeDataMac(addr, res.macTag);
+
+    const CounterPage &page = counters.page(page_idx);
+    tree.updateLeaf(page_idx, page);
+    rootRegister = tree.root();
+
+    // Keep the tree cache coherent with the updated path (the root
+    // lives in the on-chip register, not the cache).
+    Addr idx = page_idx;
+    for (unsigned lvl = 1; lvl + 1 < tree.numLevels(); ++lvl) {
+        idx /= MerkleTree::arity;
+        const Addr node_addr = AddressMap::treeNodeAddr(lvl, idx);
+        if (mtCache.contains(node_addr)) {
+            mtCache.markDirty(node_addr);
+        } else if (const auto ev = mtCache.insert(node_addr, true)) {
+            evictTreeNode(ev->addr, t);
+        }
+    }
+
+    // The DIMM's ECC bits, computed over the plaintext, travel with
+    // every write (Osiris leans on them at recovery).
+    storeEcc(addr, OsirisEcc::compute(plaintext));
+
+    const Addr cb_addr = AddressMap::counterBlockAddr(addr);
+    if (params.crashScheme == CrashScheme::Anubis) {
+        // Anubis: persist the shadow entry for this counter block.
+        shadow.recordUpdate(ctrCache.slotOf(cb_addr), page_idx, page,
+                            ++shadowSeq, t);
+    } else {
+        // Osiris stop-loss: write the counter block through to NVM
+        // every K-th update of a block (and always after a page
+        // re-encryption, whose counter jump exceeds the stop-loss).
+        if (bump.newCounter % params.osirisStopLoss == 0 ||
+            bump.pageOverflow) {
+            nvm_.write(cb_addr, page.pack(), t);
+        }
+    }
+
+    // Pipelined engines accept the next write one MAC-slot after
+    // this write's metadata was ready; a non-pipelined engine is
+    // occupied for the full latency. The lazy ToC scheme is
+    // pipelined by construction: the paper assumes parallel AES-GCM
+    // engines updating the tree levels concurrently (Phoenix / [22]).
+    const bool piped = params.pipelinedWrites ||
+                       params.treePolicy == TreeUpdatePolicy::LazyToc;
+    busyUntil_ = piped ? crypto_start + params.macLatency : t;
+    res.doneTick = t;
+    statWriteLatency.sample(double(t - arrival));
+    return res;
+}
+
+ReadResult
+SecurityEngine::secureRead(Addr addr, Tick arrival)
+{
+    DOLOS_ASSERT(params.map.isProtectedData(addr),
+                 "read outside protected region: 0x%llx",
+                 (unsigned long long)addr);
+    ++statReads;
+
+    if (!nvm_.store().contains(addr)) {
+        // Never written: cold memory reads as zeros, no MAC yet.
+        ++statColdReads;
+        const ReadResult r = nvm_.read(addr, arrival);
+        statReadLatency.sample(double(r.completeTick - arrival));
+        return {zeroBlock(), r.completeTick};
+    }
+
+    // Data fetch and counter fetch overlap; the pad is generated
+    // while the data is in flight (counter-mode advantage), so only
+    // the MAC verification and the XOR trail the data.
+    const ReadResult data = nvm_.read(addr, arrival);
+    const Tick ctr_ready = fetchCounter(addr, arrival, false);
+    Tick t = std::max(data.completeTick, ctr_ready);
+    t += params.macLatency + 1;
+
+    const std::uint64_t counter = counters.counterOf(addr);
+    if (dataMac(addr, data.data, counter) != loadDataMac(addr)) {
+        ++statAttacks;
+        warn("data block 0x%llx failed MAC verification",
+             (unsigned long long)addr);
+    }
+
+    Block plaintext = data.data;
+    const auto pad = padGen.generate(ivFor(addr, counter), blockSize);
+    crypto::xorInto(plaintext.data(), pad.data(), blockSize);
+
+    statReadLatency.sample(double(t - arrival));
+    return {plaintext, t};
+}
+
+Tick
+SecurityEngine::writeCiphertext(Addr addr, const Block &ciphertext,
+                                Tick now)
+{
+    return nvm_.write(addr, ciphertext, now);
+}
+
+void
+SecurityEngine::reissueCiphertext(Addr addr, const Block &plaintext)
+{
+    const std::uint64_t counter = counters.counterOf(addr);
+    Block ct = plaintext;
+    const auto pad = padGen.generate(ivFor(addr, counter), blockSize);
+    crypto::xorInto(ct.data(), pad.data(), blockSize);
+    nvm_.writeFunctional(addr, ct);
+    storeDataMac(addr, dataMac(addr, ct, counter));
+    storeEcc(addr, OsirisEcc::compute(plaintext));
+}
+
+void
+SecurityEngine::recoverCountersOsiris(SecureRecoveryResult &res)
+{
+    // The persisted counter lags the true one by less than the
+    // stop-loss K, so decrypting with candidates c0..c0+K-1 and
+    // checking the plaintext's ECC pins the true counter.
+    std::vector<Addr> data_blocks;
+    for (const auto &[addr, block] : nvm_.store().raw())
+        if (params.map.isProtectedData(addr))
+            data_blocks.push_back(addr);
+
+    for (const Addr addr : data_blocks) {
+        ++res.osirisProbed;
+        const Block ct = nvm_.readFunctional(addr);
+        const EccCode stored = loadEcc(addr);
+        const std::uint64_t c0 = counters.counterOf(addr);
+        bool recovered = false;
+        for (unsigned k = 0; k < params.osirisStopLoss; ++k) {
+            const std::uint64_t candidate = c0 + k;
+            Block pt = ct;
+            const auto pad =
+                padGen.generate(ivFor(addr, candidate), blockSize);
+            crypto::xorInto(pt.data(), pad.data(), blockSize);
+            if (OsirisEcc::check(pt, stored)) {
+                if (k != 0) {
+                    // Advance the page image to the probed counter.
+                    CounterPage &page =
+                        counters.page(AddressMap::pageOf(addr));
+                    const unsigned idx = AddressMap::blockInPage(addr);
+                    page.major = candidate / minorCounterLimit;
+                    page.minors[idx] =
+                        std::uint8_t(candidate % minorCounterLimit);
+                    ++res.osirisAdvanced;
+                }
+                recovered = true;
+                break;
+            }
+        }
+        if (!recovered) {
+            ++res.osirisUnrecovered;
+            ++statAttacks;
+            warn("Osiris could not recover counter for 0x%llx",
+                 (unsigned long long)addr);
+        }
+    }
+}
+
+void
+SecurityEngine::crash()
+{
+    ctrCache.invalidateAll();
+    mtCache.invalidateAll();
+    counters.clear();
+    tree.clear();
+    busyUntil_ = 0;
+    // rootRegister and shadowSeq are on-chip persistent registers.
+}
+
+SecureRecoveryResult
+SecurityEngine::recover()
+{
+    SecureRecoveryResult res;
+
+    // 1. Restore counters from the NVM counter region.
+    const Addr ctr_lo = AddressMap::counterBase;
+    const Addr ctr_hi =
+        ctr_lo + params.map.numPages() * blockSize;
+    for (const auto &[addr, block] : nvm_.store().raw()) {
+        if (addr < ctr_lo || addr >= ctr_hi)
+            continue;
+        const Addr page_idx = (addr - ctr_lo) / blockSize;
+        counters.restorePage(page_idx, CounterPage::unpack(block));
+        ++res.pagesRestored;
+    }
+
+    // 2. Recover the counters that were dirty in the (lost) counter
+    // cache, via the configured scheme.
+    if (params.crashScheme == CrashScheme::Anubis) {
+        // Merge Anubis shadow entries. Counters are monotonic, so
+        // the componentwise-newest image wins; stale slots are
+        // harmless.
+        const ShadowScan scan = shadow.scan();
+        res.shadowTamper = scan.tamperDetected;
+        if (scan.tamperDetected)
+            ++statAttacks;
+        for (const auto &e : scan.entries) {
+            if (!counters.hasPage(e.pageIdx)) {
+                counters.restorePage(e.pageIdx, e.page);
+                ++res.shadowApplied;
+                continue;
+            }
+            CounterPage &cur = counters.page(e.pageIdx);
+            const bool newer =
+                e.page.major > cur.major ||
+                (e.page.major == cur.major &&
+                 [&] {
+                     for (unsigned i = 0; i < 64; ++i)
+                         if (e.page.minors[i] > cur.minors[i])
+                             return true;
+                     return false;
+                 }());
+            if (newer) {
+                cur = e.page;
+                ++res.shadowApplied;
+            }
+        }
+    } else {
+        recoverCountersOsiris(res);
+    }
+
+    // 3. Rebuild the integrity tree and authenticate against the
+    // eagerly-persisted on-chip root.
+    tree.rebuild(counters.all());
+    res.rootVerified = (tree.root() == rootRegister);
+    if (!res.rootVerified)
+        ++statAttacks;
+
+    // 4. Write the recovered metadata back to NVM (as Anubis does),
+    // so the persistent image is consistent again: stale counter
+    // blocks and tree nodes would otherwise read as tampered later.
+    for (const auto &[page_idx, page] : counters.all()) {
+        nvm_.writeFunctional(
+            AddressMap::counterBase + page_idx * blockSize,
+            page.pack());
+    }
+    const Addr tree_lo = AddressMap::treeBase;
+    const Addr tree_hi = AddressMap::shadowBase;
+    std::vector<Addr> stale_nodes;
+    for (const auto &[addr, block] : nvm_.store().raw())
+        if (addr >= tree_lo && addr < tree_hi)
+            stale_nodes.push_back(addr);
+    for (const Addr addr : stale_nodes) {
+        const auto [level, idx] = AddressMap::treeNodeOf(addr);
+        Block b{};
+        const crypto::MacTag tag = tree.nodeTag(level, idx);
+        std::memcpy(b.data(), tag.data(), tag.size());
+        nvm_.writeFunctional(addr, b);
+    }
+    return res;
+}
+
+} // namespace dolos

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * The EventQueue orders callbacks by tick (FIFO among equal ticks) and
+ * drives simulated time forward. Components schedule plain callables;
+ * a scheduled event can be cancelled through its EventHandle.
+ */
+
+#ifndef DOLOS_SIM_EVENT_QUEUE_HH
+#define DOLOS_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace dolos
+{
+
+/**
+ * Cancellation handle for a scheduled event. Default-constructed
+ * handles refer to no event; cancel() on them is a no-op.
+ */
+class EventHandle
+{
+  public:
+    EventHandle() = default;
+
+    /** Prevent the event from firing; idempotent. */
+    void
+    cancel()
+    {
+        if (live)
+            *live = false;
+    }
+
+    /** True if the event is still pending (not fired, not cancelled). */
+    bool
+    pending() const
+    {
+        return live && *live;
+    }
+
+  private:
+    friend class EventQueue;
+
+    explicit EventHandle(std::shared_ptr<bool> l) : live(std::move(l)) {}
+
+    std::shared_ptr<bool> live;
+};
+
+/**
+ * Priority queue of timed callbacks; the heart of the simulator.
+ *
+ * Events scheduled for the same tick fire in scheduling order. Time
+ * never moves backwards: scheduling in the past is a simulator bug.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick curTick() const { return _curTick; }
+
+    /**
+     * Number of events still in the queue. Cancelled events are
+     * counted until they are lazily popped by run().
+     */
+    std::size_t
+    numPending() const
+    {
+        return pendingCount;
+    }
+
+    /**
+     * Schedule a callback at an absolute tick.
+     *
+     * @param when Absolute tick, must be >= curTick().
+     * @param cb Callback to invoke.
+     * @return Handle usable to cancel the event.
+     */
+    EventHandle
+    schedule(Tick when, std::function<void()> cb)
+    {
+        DOLOS_ASSERT(when >= _curTick,
+                     "schedule at %llu before curTick %llu",
+                     (unsigned long long)when,
+                     (unsigned long long)_curTick);
+        auto live = std::make_shared<bool>(true);
+        events.push(Entry{when, nextSeq++, std::move(cb), live});
+        ++pendingCount;
+        return EventHandle(std::move(live));
+    }
+
+    /** Schedule a callback @p delay ticks from now. */
+    EventHandle
+    scheduleIn(Cycles delay, std::function<void()> cb)
+    {
+        return schedule(_curTick + delay, std::move(cb));
+    }
+
+    /**
+     * Run events until the queue is empty or @p limit is reached.
+     *
+     * @param limit Stop once curTick would exceed this value.
+     * @return Number of events executed.
+     */
+    std::uint64_t
+    run(Tick limit = maxTick)
+    {
+        std::uint64_t executed = 0;
+        while (!events.empty()) {
+            const Entry &top = events.top();
+            if (top.when > limit)
+                break;
+            Entry e = top;
+            events.pop();
+            --pendingCount;
+            if (!*e.live)
+                continue;
+            *e.live = false;
+            _curTick = e.when;
+            e.cb();
+            ++executed;
+        }
+        // Drain cancelled leftovers so numPending stays meaningful.
+        while (!events.empty() && !*events.top().live) {
+            events.pop();
+            --pendingCount;
+        }
+        return executed;
+    }
+
+    /**
+     * Advance time with no event semantics (used by sequential
+     * latency-composition code between event firings).
+     */
+    void
+    advanceTo(Tick t)
+    {
+        DOLOS_ASSERT(t >= _curTick, "time moved backwards");
+        _curTick = t;
+    }
+
+    /** Reset to an empty queue at tick 0 (tests only). */
+    void
+    reset()
+    {
+        while (!events.empty())
+            events.pop();
+        pendingCount = 0;
+        _curTick = 0;
+        nextSeq = 0;
+    }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::function<void()> cb;
+        std::shared_ptr<bool> live;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> events;
+    Tick _curTick = 0;
+    std::uint64_t nextSeq = 0;
+    std::size_t pendingCount = 0;
+};
+
+} // namespace dolos
+
+#endif // DOLOS_SIM_EVENT_QUEUE_HH

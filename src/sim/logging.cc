@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Implementation of error/status reporting and debug flags.
+ */
+
+#include "sim/logging.hh"
+
+#include <mutex>
+#include <set>
+
+namespace dolos
+{
+
+namespace
+{
+
+std::set<std::string> &
+flagSet()
+{
+    static std::set<std::string> flags;
+    return flags;
+}
+
+void
+vreport(std::FILE *out, const char *prefix, const char *fmt, va_list ap)
+{
+    std::fprintf(out, "%s", prefix);
+    std::vfprintf(out, fmt, ap);
+    std::fprintf(out, "\n");
+}
+
+} // namespace
+
+void
+DebugFlags::enable(const std::string &flag)
+{
+    flagSet().insert(flag);
+}
+
+void
+DebugFlags::disable(const std::string &flag)
+{
+    flagSet().erase(flag);
+}
+
+bool
+DebugFlags::enabled(const std::string &flag)
+{
+    return flagSet().count(flag) != 0;
+}
+
+void
+DebugFlags::clear()
+{
+    flagSet().clear();
+}
+
+void
+debugPrintf(const char *flag, const char *fmt, ...)
+{
+    if (!DebugFlags::enabled(flag))
+        return;
+    std::fprintf(stdout, "[%s] ", flag);
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stdout, fmt, ap);
+    va_end(ap);
+    std::fprintf(stdout, "\n");
+}
+
+void
+inform(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport(stdout, "info: ", fmt, ap);
+    va_end(ap);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport(stderr, "warn: ", fmt, ap);
+    va_end(ap);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport(stderr, "fatal: ", fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport(stderr, "panic: ", fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+} // namespace dolos

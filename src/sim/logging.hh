@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Error and status reporting, gem5-style.
+ *
+ * panic() is for internal simulator bugs (aborts); fatal() is for user
+ * errors such as bad configuration (exits); warn()/inform() report
+ * conditions without stopping the simulation. DPRINTF-style debug
+ * output is gated by named debug flags enabled at run time.
+ */
+
+#ifndef DOLOS_SIM_LOGGING_HH
+#define DOLOS_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace dolos
+{
+
+/** Named debug flags; enable with DebugFlags::enable("Wpq"). */
+class DebugFlags
+{
+  public:
+    /** Enable a named flag (e.g.\ "Wpq", "MaSU", "Cache"). */
+    static void enable(const std::string &flag);
+
+    /** Disable a previously enabled flag. */
+    static void disable(const std::string &flag);
+
+    /** Query whether a flag is enabled. */
+    static bool enabled(const std::string &flag);
+
+    /** Disable all flags. */
+    static void clear();
+};
+
+/** Print a message gated on a debug flag; printf-style formatting. */
+void debugPrintf(const char *flag, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/** Unconditional informational message to stdout. */
+void inform(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Unconditional warning to stderr. */
+void warn(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** User error: print and exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Simulator bug: print and abort(). */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** panic() unless the condition holds; msg is a printf format. */
+#define DOLOS_ASSERT(cond, msg, ...)                                  \
+    do {                                                              \
+        if (!(cond))                                                  \
+            ::dolos::panic("assertion '%s' failed at %s:%d: " msg,    \
+                           #cond, __FILE__, __LINE__                  \
+                           __VA_OPT__(,) __VA_ARGS__);                \
+    } while (0)
+
+} // namespace dolos
+
+#endif // DOLOS_SIM_LOGGING_HH

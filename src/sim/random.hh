@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workloads.
+ *
+ * Uses the xoshiro256** generator (public-domain algorithm by
+ * Blackman & Vigna) so results are reproducible across platforms and
+ * standard-library versions, unlike std::mt19937 + distributions.
+ */
+
+#ifndef DOLOS_SIM_RANDOM_HH
+#define DOLOS_SIM_RANDOM_HH
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace dolos
+{
+
+/** xoshiro256** PRNG; fast, high-quality, reproducible. */
+class Random
+{
+  public:
+    explicit Random(std::uint64_t seed = 0x9E3779B97F4A7C15ULL)
+    {
+        // SplitMix64 seeding, as recommended by the xoshiro authors.
+        std::uint64_t x = seed;
+        for (auto &word : s) {
+            x += 0x9E3779B97F4A7C15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+            z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+        const std::uint64_t t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = rotl(s[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Multiply-shift rejection-free mapping (slight bias is
+        // irrelevant for workload generation).
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    inRange(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return (next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw. */
+    bool chance(double p) { return real() < p; }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t s[4];
+};
+
+/**
+ * Zipfian key-popularity generator (YCSB-style), over [0, n).
+ *
+ * Implements the Gray et al.\ rejection-inversion-free method used by
+ * YCSB: draws follow P(k) proportional to 1/(k+1)^theta.
+ */
+class ZipfianGenerator
+{
+  public:
+    /**
+     * @param n Number of items.
+     * @param theta Skew (YCSB default 0.99).
+     */
+    ZipfianGenerator(std::uint64_t n, double theta = 0.99)
+        : items(n), theta(theta)
+    {
+        zetan = zeta(n, theta);
+        zeta2 = zeta(2, theta);
+        alpha = 1.0 / (1.0 - theta);
+        eta = (1.0 - std::pow(2.0 / double(n), 1.0 - theta)) /
+              (1.0 - zeta2 / zetan);
+    }
+
+    /** Draw a key in [0, n); key 0 is the most popular. */
+    std::uint64_t
+    next(Random &rng)
+    {
+        const double u = rng.real();
+        const double uz = u * zetan;
+        if (uz < 1.0)
+            return 0;
+        if (uz < 1.0 + std::pow(0.5, theta))
+            return 1;
+        return static_cast<std::uint64_t>(
+            double(items) * std::pow(eta * u - eta + 1.0, alpha));
+    }
+
+  private:
+    static double
+    zeta(std::uint64_t n, double theta)
+    {
+        double sum = 0;
+        for (std::uint64_t i = 0; i < n; ++i)
+            sum += 1.0 / std::pow(double(i + 1), theta);
+        return sum;
+    }
+
+    std::uint64_t items;
+    double theta;
+    double zetan, zeta2, alpha, eta;
+};
+
+} // namespace dolos
+
+#endif // DOLOS_SIM_RANDOM_HH

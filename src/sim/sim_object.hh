@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Base class for named simulated components.
+ */
+
+#ifndef DOLOS_SIM_SIM_OBJECT_HH
+#define DOLOS_SIM_SIM_OBJECT_HH
+
+#include <string>
+
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace dolos
+{
+
+/**
+ * A named component bound to an event queue, owning a stat group.
+ *
+ * SimObjects are wired together at construction time by the system
+ * builder; they are neither copyable nor movable, as other components
+ * hold raw pointers to them.
+ */
+class SimObject
+{
+  public:
+    SimObject(std::string name, EventQueue &eq)
+        : eventq(eq), _name(std::move(name)), _statGroup(_name)
+    {}
+
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    const std::string &name() const { return _name; }
+    Tick curTick() const { return eventq.curTick(); }
+    stats::StatGroup &statGroup() { return _statGroup; }
+    const stats::StatGroup &statGroup() const { return _statGroup; }
+
+  protected:
+    EventQueue &eventq;
+
+  private:
+    std::string _name;
+    stats::StatGroup _statGroup;
+};
+
+} // namespace dolos
+
+#endif // DOLOS_SIM_SIM_OBJECT_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Statistics package implementation.
+ */
+
+#include "sim/stats.hh"
+
+#include <cmath>
+#include <iomanip>
+
+namespace dolos::stats
+{
+
+void
+Histogram::sample(double v)
+{
+    sum += v;
+    ++n;
+    if (v > maxSeen)
+        maxSeen = v;
+    auto idx = static_cast<std::size_t>(v / width);
+    if (idx >= buckets.size())
+        ++overflow;
+    else
+        ++buckets[idx];
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets.begin(), buckets.end(), 0);
+    overflow = 0;
+    n = 0;
+    sum = 0;
+    maxSeen = 0;
+}
+
+void
+StatGroup::addScalar(Scalar *s, const std::string &name,
+                     const std::string &desc)
+{
+    scalars.push_back({s, name, desc});
+}
+
+void
+StatGroup::addAverage(Average *a, const std::string &name,
+                      const std::string &desc)
+{
+    averages.push_back({a, name, desc});
+}
+
+void
+StatGroup::addHistogram(Histogram *h, const std::string &name,
+                        const std::string &desc)
+{
+    hists.push_back({h, name, desc});
+}
+
+void
+StatGroup::addChild(StatGroup *child)
+{
+    children.push_back(child);
+}
+
+void
+StatGroup::dump(std::ostream &os, const std::string &prefix) const
+{
+    const std::string base = prefix.empty() ? _name : prefix + "." + _name;
+    for (const auto &e : scalars) {
+        os << std::left << std::setw(48) << (base + "." + e.name)
+           << std::setw(16) << e.s->value()
+           << "# " << e.desc << "\n";
+    }
+    for (const auto &e : averages) {
+        os << std::left << std::setw(48) << (base + "." + e.name)
+           << std::setw(16) << e.a->mean()
+           << "# " << e.desc << " (" << e.a->samples() << " samples)\n";
+    }
+    for (const auto &e : hists) {
+        os << std::left << std::setw(48) << (base + "." + e.name)
+           << std::setw(16) << e.h->mean()
+           << "# mean of " << e.desc
+           << " (" << e.h->samples() << " samples, max "
+           << e.h->max() << ")\n";
+    }
+    for (const auto *c : children)
+        c->dump(os, base);
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &e : scalars)
+        e.s->reset();
+    for (auto &e : averages)
+        e.a->reset();
+    for (auto &e : hists)
+        e.h->reset();
+    for (auto *c : children)
+        c->resetAll();
+}
+
+} // namespace dolos::stats

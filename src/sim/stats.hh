@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Lightweight statistics package.
+ *
+ * Components own a StatGroup and register named scalar counters,
+ * averages and histograms in it. Groups can be nested; dump() prints
+ * a gem5-stats-like "name value # description" listing.
+ */
+
+#ifndef DOLOS_SIM_STATS_HH
+#define DOLOS_SIM_STATS_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dolos::stats
+{
+
+/** Monotonic counter. */
+class Scalar
+{
+  public:
+    Scalar &operator++() { ++val; return *this; }
+    Scalar &operator+=(std::uint64_t v) { val += v; return *this; }
+    void reset() { val = 0; }
+    std::uint64_t value() const { return val; }
+
+  private:
+    std::uint64_t val = 0;
+};
+
+/** Running mean of sampled values. */
+class Average
+{
+  public:
+    void
+    sample(double v)
+    {
+        sum += v;
+        ++n;
+    }
+
+    void reset() { sum = 0; n = 0; }
+    std::uint64_t samples() const { return n; }
+    double mean() const { return n ? sum / double(n) : 0.0; }
+    double total() const { return sum; }
+
+  private:
+    double sum = 0;
+    std::uint64_t n = 0;
+};
+
+/** Fixed-width-bucket histogram with underflow/overflow bins. */
+class Histogram
+{
+  public:
+    /**
+     * @param bucket_width Width of each bucket.
+     * @param num_buckets Number of in-range buckets.
+     */
+    Histogram(double bucket_width = 1.0, unsigned num_buckets = 16)
+        : width(bucket_width), buckets(num_buckets, 0)
+    {}
+
+    void sample(double v);
+    void reset();
+
+    std::uint64_t samples() const { return n; }
+    double mean() const { return n ? sum / double(n) : 0.0; }
+    double max() const { return maxSeen; }
+    double bucketWidth() const { return width; }
+    const std::vector<std::uint64_t> &data() const { return buckets; }
+    std::uint64_t overflows() const { return overflow; }
+
+  private:
+    double width;
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t overflow = 0;
+    std::uint64_t n = 0;
+    double sum = 0;
+    double maxSeen = 0;
+};
+
+/**
+ * Named collection of statistics belonging to one component.
+ *
+ * The group stores registration order and prints stats as
+ * "<group>.<stat>  <value>  # <description>".
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : _name(std::move(name)) {}
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    /** Register a scalar; the group does not own the stat. */
+    void addScalar(Scalar *s, const std::string &name,
+                   const std::string &desc);
+    void addAverage(Average *a, const std::string &name,
+                    const std::string &desc);
+    void addHistogram(Histogram *h, const std::string &name,
+                      const std::string &desc);
+
+    /** Attach a child group whose stats dump under this group. */
+    void addChild(StatGroup *child);
+
+    /** Print all registered stats (and children) to @p os. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /** Reset all registered stats (and children) to zero. */
+    void resetAll();
+
+    const std::string &name() const { return _name; }
+
+  private:
+    struct ScalarEntry { Scalar *s; std::string name, desc; };
+    struct AverageEntry { Average *a; std::string name, desc; };
+    struct HistEntry { Histogram *h; std::string name, desc; };
+
+    std::string _name;
+    std::vector<ScalarEntry> scalars;
+    std::vector<AverageEntry> averages;
+    std::vector<HistEntry> hists;
+    std::vector<StatGroup *> children;
+};
+
+} // namespace dolos::stats
+
+#endif // DOLOS_SIM_STATS_HH

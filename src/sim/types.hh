@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fundamental scalar types used throughout the simulator.
+ *
+ * The simulator is tick-based where one tick equals one core clock
+ * cycle of the 4 GHz core in the paper's Table 1 (0.25 ns). All
+ * latencies from the paper are therefore expressed directly in ticks.
+ */
+
+#ifndef DOLOS_SIM_TYPES_HH
+#define DOLOS_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace dolos
+{
+
+/** Simulated time, in core clock cycles (4 GHz => 0.25 ns / tick). */
+using Tick = std::uint64_t;
+
+/** A duration measured in core clock cycles. */
+using Cycles = std::uint64_t;
+
+/** Physical address in the simulated memory space. */
+using Addr = std::uint64_t;
+
+/** Sentinel for "no tick scheduled". */
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** Cacheline (and NVM access) granularity, bytes. */
+constexpr unsigned blockSize = 64;
+
+/** Core frequency assumed by all latency parameters (Table 1). */
+constexpr std::uint64_t coreFreqHz = 4'000'000'000ULL;
+
+/** Convert nanoseconds to ticks at the 4 GHz core clock. */
+constexpr Cycles
+nsToCycles(std::uint64_t ns)
+{
+    return ns * (coreFreqHz / 1'000'000'000ULL);
+}
+
+/** Round an address down to its containing 64B block. */
+constexpr Addr
+blockAlign(Addr a)
+{
+    return a & ~static_cast<Addr>(blockSize - 1);
+}
+
+/** True if the address is 64B-block aligned. */
+constexpr bool
+isBlockAligned(Addr a)
+{
+    return (a & (blockSize - 1)) == 0;
+}
+
+} // namespace dolos
+
+#endif // DOLOS_SIM_TYPES_HH

@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Persistent B+tree (WHISPER "btree" analogue).
+ *
+ * Order-8 B+tree over 64-bit keys. Node layout (fixed 192B):
+ *   { isLeaf(8) numKeys(8) keys[7](56) slots[8](64) next(8) pad }
+ * Leaf slots hold value-record addresses; inner slots hold children.
+ * Value records are { version(8) payload(txSize) }.
+ *
+ * Inserts split full nodes top-down (proactive splitting keeps the
+ * transaction footprint bounded); updates rewrite the value record.
+ */
+
+#include <map>
+
+#include "workloads/detail.hh"
+
+namespace dolos::workloads
+{
+
+namespace
+{
+
+constexpr unsigned order = 8;     // max children
+constexpr unsigned maxKeys = 7;   // order - 1
+constexpr unsigned nodeBytes = 192;
+
+struct NodeView
+{
+    // Field offsets within a node.
+    static Addr isLeafAt(Addr n) { return n; }
+    static Addr numKeysAt(Addr n) { return n + 8; }
+    static Addr keyAt(Addr n, unsigned i) { return n + 16 + i * 8; }
+    static Addr slotAt(Addr n, unsigned i) { return n + 72 + i * 8; }
+};
+
+class BtreeWorkload : public Workload
+{
+  public:
+    explicit BtreeWorkload(const WorkloadParams &p) : Workload(p)
+    {
+        rng = Random(p.seed * 5 + 2);
+    }
+
+    const char *name() const override { return "btree"; }
+
+    void
+    setup(PmemEnv &env) override
+    {
+        rootPtrAddr = env.alloc(8, 8);
+        const Addr root = allocNodeRaw(env, true);
+        env.write<Addr>(rootPtrAddr, root);
+        env.flush(rootPtrAddr, 8);
+        env.fence();
+        env.setRootPtr(0, rootPtrAddr);
+    }
+
+    void
+    transaction(PmemEnv &env, std::uint64_t idx) override
+    {
+        const std::uint64_t key = rng.below(params.numKeys) + 1;
+        for (unsigned r = 0; r < params.readsPerTx; ++r)
+            lookup(env, rng.below(params.numKeys) + 1);
+
+        const std::uint64_t next_version = versionFor(key) + 1;
+        pending = {true, key, next_version};
+        std::vector<std::uint8_t> payload(params.txSize);
+        fillPayload(payload, key, next_version);
+
+        TxContext tx(env);
+        const Addr value = lookup(env, key);
+        if (value != 0) {
+            tx.write<std::uint64_t>(value, next_version);
+            writePayloadChunked(env, tx, value + 8, payload, 2,
+                                params.thinkTime / 4);
+        } else {
+            insert(env, tx, key, next_version, payload);
+        }
+        tx.commit();
+        expected[key] = next_version;
+        pending.active = false;
+
+        env.core().compute(params.thinkTime / 2);
+        (void)idx;
+    }
+
+    bool
+    verify(PmemEnv &env, std::string *why) override
+    {
+        rootPtrAddr = env.rootPtr(0);
+        for (const auto &[key, version] : expected) {
+            const Addr value = lookup(env, key);
+            if (value == 0) {
+                if (why)
+                    *why = "committed key missing: " +
+                           std::to_string(key);
+                return false;
+            }
+            const bool ok =
+                checkValue(env, value, key, version) ||
+                (pending.active && pending.key == key &&
+                 checkValue(env, value, key, pending.version));
+            if (!ok) {
+                if (why)
+                    *why = "bad value for key " + std::to_string(key);
+                return false;
+            }
+        }
+        std::uint64_t last = 0;
+        return checkSorted(env, env.read<Addr>(rootPtrAddr), last, why);
+    }
+
+  private:
+    std::uint64_t
+    versionFor(std::uint64_t key) const
+    {
+        const auto it = expected.find(key);
+        return it == expected.end() ? 0 : it->second;
+    }
+
+    Addr
+    allocNodeRaw(PmemEnv &env, bool leaf)
+    {
+        const Addr n = env.alloc(nodeBytes, 8);
+        env.write<std::uint64_t>(NodeView::isLeafAt(n), leaf ? 1 : 0);
+        env.write<std::uint64_t>(NodeView::numKeysAt(n), 0);
+        env.flush(n, nodeBytes);
+        return n;
+    }
+
+    Addr
+    allocNodeTx(PmemEnv &env, TxContext &tx, bool leaf)
+    {
+        const Addr n = tx.alloc(nodeBytes, 8);
+        tx.write<std::uint64_t>(NodeView::isLeafAt(n), leaf ? 1 : 0);
+        tx.write<std::uint64_t>(NodeView::numKeysAt(n), 0);
+        (void)env;
+        return n;
+    }
+
+    /** Find the value-record address for @p key (0 if absent). */
+    Addr
+    lookup(PmemEnv &env, std::uint64_t key)
+    {
+        Addr n = env.read<Addr>(rootPtrAddr);
+        while (true) {
+            const bool leaf = env.read<std::uint64_t>(n) != 0;
+            const auto nk = env.read<std::uint64_t>(
+                NodeView::numKeysAt(n));
+            unsigned i = 0;
+            while (i < nk &&
+                   key > env.read<std::uint64_t>(NodeView::keyAt(n, i)))
+                ++i;
+            if (leaf) {
+                if (i < nk &&
+                    env.read<std::uint64_t>(NodeView::keyAt(n, i)) ==
+                        key)
+                    return env.read<Addr>(NodeView::slotAt(n, i));
+                return 0;
+            }
+            if (i < nk &&
+                env.read<std::uint64_t>(NodeView::keyAt(n, i)) == key)
+                ++i; // equal keys descend right in this B+tree
+            n = env.read<Addr>(NodeView::slotAt(n, i));
+        }
+    }
+
+    /**
+     * Split full child @p child (index @p ci) of @p parent.
+     * All writes transactional.
+     */
+    void
+    splitChild(PmemEnv &env, TxContext &tx, Addr parent, unsigned ci,
+               Addr child)
+    {
+        const bool leaf = env.read<std::uint64_t>(child) != 0;
+        const Addr right = allocNodeTx(env, tx, leaf);
+        const unsigned mid = maxKeys / 2; // 3
+
+        const std::uint64_t mid_key =
+            env.read<std::uint64_t>(NodeView::keyAt(child, mid));
+
+        // Move the upper keys/slots into the new right node.
+        const unsigned move_from = leaf ? mid : mid + 1;
+        unsigned moved = 0;
+        for (unsigned i = move_from; i < maxKeys; ++i, ++moved) {
+            tx.write<std::uint64_t>(
+                NodeView::keyAt(right, moved),
+                env.read<std::uint64_t>(NodeView::keyAt(child, i)));
+            tx.write<Addr>(
+                NodeView::slotAt(right, moved),
+                env.read<Addr>(NodeView::slotAt(child, i)));
+        }
+        if (!leaf) {
+            tx.write<Addr>(
+                NodeView::slotAt(right, moved),
+                env.read<Addr>(NodeView::slotAt(child, maxKeys)));
+        }
+        tx.write<std::uint64_t>(NodeView::numKeysAt(right), moved);
+        tx.write<std::uint64_t>(NodeView::numKeysAt(child),
+                                leaf ? mid : mid);
+
+        // Shift the parent's keys/slots right of ci.
+        const auto pk = env.read<std::uint64_t>(
+            NodeView::numKeysAt(parent));
+        for (unsigned i = unsigned(pk); i > ci; --i) {
+            tx.write<std::uint64_t>(
+                NodeView::keyAt(parent, i),
+                env.read<std::uint64_t>(NodeView::keyAt(parent, i - 1)));
+            tx.write<Addr>(
+                NodeView::slotAt(parent, i + 1),
+                env.read<Addr>(NodeView::slotAt(parent, i)));
+        }
+        tx.write<std::uint64_t>(NodeView::keyAt(parent, ci), mid_key);
+        tx.write<Addr>(NodeView::slotAt(parent, ci + 1), right);
+        tx.write<std::uint64_t>(NodeView::numKeysAt(parent), pk + 1);
+    }
+
+    void
+    insert(PmemEnv &env, TxContext &tx, std::uint64_t key,
+           std::uint64_t version,
+           const std::vector<std::uint8_t> &payload)
+    {
+        // Value record first.
+        const Addr value = tx.alloc(8 + params.txSize, 8);
+        tx.write<std::uint64_t>(value, version);
+        writePayloadChunked(env, tx, value + 8, payload, 2,
+                                params.thinkTime / 4);
+
+        // Proactive top-down splitting.
+        Addr root = env.read<Addr>(rootPtrAddr);
+        if (env.read<std::uint64_t>(NodeView::numKeysAt(root)) ==
+            maxKeys) {
+            const Addr new_root = allocNodeTx(env, tx, false);
+            tx.write<Addr>(NodeView::slotAt(new_root, 0), root);
+            splitChild(env, tx, new_root, 0, root);
+            tx.write<Addr>(rootPtrAddr, new_root);
+            root = new_root;
+        }
+
+        Addr n = root;
+        while (true) {
+            const bool leaf = env.read<std::uint64_t>(n) != 0;
+            auto nk =
+                env.read<std::uint64_t>(NodeView::numKeysAt(n));
+            unsigned i = 0;
+            while (i < nk &&
+                   key > env.read<std::uint64_t>(NodeView::keyAt(n, i)))
+                ++i;
+            if (leaf) {
+                // Shift and place.
+                for (unsigned j = unsigned(nk); j > i; --j) {
+                    tx.write<std::uint64_t>(
+                        NodeView::keyAt(n, j),
+                        env.read<std::uint64_t>(
+                            NodeView::keyAt(n, j - 1)));
+                    tx.write<Addr>(
+                        NodeView::slotAt(n, j),
+                        env.read<Addr>(NodeView::slotAt(n, j - 1)));
+                }
+                tx.write<std::uint64_t>(NodeView::keyAt(n, i), key);
+                tx.write<Addr>(NodeView::slotAt(n, i), value);
+                tx.write<std::uint64_t>(NodeView::numKeysAt(n), nk + 1);
+                return;
+            }
+            if (i < nk &&
+                env.read<std::uint64_t>(NodeView::keyAt(n, i)) == key)
+                ++i;
+            Addr child = env.read<Addr>(NodeView::slotAt(n, i));
+            if (env.read<std::uint64_t>(NodeView::numKeysAt(child)) ==
+                maxKeys) {
+                splitChild(env, tx, n, i, child);
+                const auto sep = env.read<std::uint64_t>(
+                    NodeView::keyAt(n, i));
+                if (key > sep)
+                    child = env.read<Addr>(NodeView::slotAt(n, i + 1));
+                else
+                    child = env.read<Addr>(NodeView::slotAt(n, i));
+            }
+            n = child;
+        }
+    }
+
+    bool
+    checkValue(PmemEnv &env, Addr value, std::uint64_t key,
+               std::uint64_t version)
+    {
+        if (env.read<std::uint64_t>(value) != version)
+            return false;
+        std::vector<std::uint8_t> payload(params.txSize);
+        env.readBytes(value + 8, payload.data(), params.txSize);
+        return checkPayload(payload, key, version);
+    }
+
+    /** In-order walk: leaf keys strictly increasing. */
+    bool
+    checkSorted(PmemEnv &env, Addr n, std::uint64_t &last,
+                std::string *why)
+    {
+        const bool leaf = env.read<std::uint64_t>(n) != 0;
+        const auto nk = env.read<std::uint64_t>(NodeView::numKeysAt(n));
+        if (leaf) {
+            for (unsigned i = 0; i < nk; ++i) {
+                const auto k =
+                    env.read<std::uint64_t>(NodeView::keyAt(n, i));
+                if (k <= last) {
+                    if (why)
+                        *why = "unsorted leaf keys";
+                    return false;
+                }
+                last = k;
+            }
+            return true;
+        }
+        for (unsigned i = 0; i <= nk; ++i) {
+            if (!checkSorted(env,
+                             env.read<Addr>(NodeView::slotAt(n, i)),
+                             last, why))
+                return false;
+        }
+        return true;
+    }
+
+    Addr rootPtrAddr = 0;
+    std::map<std::uint64_t, std::uint64_t> expected;
+    detail::PendingOp pending;
+};
+
+} // namespace
+
+namespace detail
+{
+
+std::unique_ptr<Workload>
+makeBtree(const WorkloadParams &params)
+{
+    return std::make_unique<BtreeWorkload>(params);
+}
+
+} // namespace detail
+
+} // namespace dolos::workloads

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Persistent crit-bit tree (WHISPER "ctree" analogue).
+ *
+ * A crit-bit (PATRICIA) tree over 64-bit keys. Internal nodes store
+ * the critical bit position and two tagged child pointers; leaves
+ * hold { key(8) version(8) payload(txSize) }. Pointers with the low
+ * bit set reference internal nodes.
+ *
+ * Inserting a fresh key allocates one leaf and one internal node and
+ * rewires a single pointer; updates rewrite the leaf payload. Both
+ * run under one undo-log transaction.
+ */
+
+#include <unordered_map>
+
+#include "workloads/detail.hh"
+
+namespace dolos::workloads
+{
+
+namespace
+{
+
+constexpr Addr internalTag = 1;
+
+bool
+isInternal(Addr p)
+{
+    return (p & internalTag) != 0;
+}
+
+Addr
+untag(Addr p)
+{
+    return p & ~internalTag;
+}
+
+class CtreeWorkload : public Workload
+{
+  public:
+    explicit CtreeWorkload(const WorkloadParams &p) : Workload(p)
+    {
+        rng = Random(p.seed * 3 + 1);
+    }
+
+    const char *name() const override { return "ctree"; }
+
+    void
+    setup(PmemEnv &env) override
+    {
+        // Root slot 0 holds the (tagged) tree root pointer address.
+        rootAddr = env.alloc(8, 8);
+        env.write<Addr>(rootAddr, 0);
+        env.flush(rootAddr, 8);
+        env.fence();
+        env.setRootPtr(0, rootAddr);
+    }
+
+    void
+    transaction(PmemEnv &env, std::uint64_t idx) override
+    {
+        const std::uint64_t key = rng.below(params.numKeys) + 1;
+        for (unsigned r = 0; r < params.readsPerTx; ++r)
+            findLeaf(env, rng.below(params.numKeys) + 1);
+
+        const std::uint64_t next_version = versionFor(key) + 1;
+        pending = {true, key, next_version};
+        std::vector<std::uint8_t> payload(params.txSize);
+        fillPayload(payload, key, next_version);
+
+        TxContext tx(env);
+        const Addr leaf = findLeaf(env, key);
+        if (leaf != 0) {
+            tx.write<std::uint64_t>(leaf + 8, next_version);
+            writePayloadChunked(env, tx, leaf + 16, payload, 2,
+                                params.thinkTime / 4);
+        } else {
+            insertNew(env, tx, key, next_version, payload);
+        }
+        tx.commit();
+        expected[key] = next_version;
+        pending.active = false;
+
+        env.core().compute(params.thinkTime / 2);
+        (void)idx;
+    }
+
+    bool
+    verify(PmemEnv &env, std::string *why) override
+    {
+        rootAddr = env.rootPtr(0);
+        for (const auto &[key, version] : expected) {
+            const Addr leaf = findLeaf(env, key);
+            if (leaf == 0) {
+                if (why)
+                    *why = "committed key missing: " +
+                           std::to_string(key);
+                return false;
+            }
+            const bool ok =
+                checkLeaf(env, leaf, key, version) ||
+                (pending.active && pending.key == key &&
+                 checkLeaf(env, leaf, key, pending.version));
+            if (!ok) {
+                if (why)
+                    *why = "bad leaf for key " + std::to_string(key);
+                return false;
+            }
+        }
+        // Structural soundness: every reachable leaf key must be
+        // locatable by a fresh descent (tree is a function of keys).
+        std::size_t leaves = 0;
+        if (!walk(env, env.read<Addr>(rootAddr), leaves, why))
+            return false;
+        return true;
+    }
+
+  private:
+    std::uint64_t
+    versionFor(std::uint64_t key) const
+    {
+        const auto it = expected.find(key);
+        return it == expected.end() ? 0 : it->second;
+    }
+
+    bool
+    checkLeaf(PmemEnv &env, Addr leaf, std::uint64_t key,
+              std::uint64_t version)
+    {
+        if (env.read<std::uint64_t>(leaf + 8) != version)
+            return false;
+        std::vector<std::uint8_t> payload(params.txSize);
+        env.readBytes(leaf + 16, payload.data(), params.txSize);
+        return checkPayload(payload, key, version);
+    }
+
+    /** Descend to the leaf that would hold @p key (0 if empty). */
+    Addr
+    descend(PmemEnv &env, std::uint64_t key)
+    {
+        Addr p = env.read<Addr>(rootAddr);
+        if (p == 0)
+            return 0;
+        while (isInternal(p)) {
+            const Addr n = untag(p);
+            const auto bit = env.read<std::uint64_t>(n);
+            const bool right = (key >> bit) & 1;
+            p = env.read<Addr>(n + (right ? 16 : 8));
+        }
+        return p;
+    }
+
+    Addr
+    findLeaf(PmemEnv &env, std::uint64_t key)
+    {
+        const Addr leaf = descend(env, key);
+        if (leaf != 0 && env.read<std::uint64_t>(leaf) == key)
+            return leaf;
+        return 0;
+    }
+
+    void
+    insertNew(PmemEnv &env, TxContext &tx, std::uint64_t key,
+              std::uint64_t version,
+              const std::vector<std::uint8_t> &payload)
+    {
+        const Addr leaf = tx.alloc(16 + params.txSize, 8);
+        tx.write<std::uint64_t>(leaf, key);
+        tx.write<std::uint64_t>(leaf + 8, version);
+        writePayloadChunked(env, tx, leaf + 16, payload, 2,
+                                params.thinkTime / 4);
+
+        const Addr cur = env.read<Addr>(rootAddr);
+        if (cur == 0) {
+            tx.write<Addr>(rootAddr, leaf);
+            return;
+        }
+
+        // Find the critical bit against the colliding leaf.
+        const Addr other = descend(env, key);
+        const auto other_key = env.read<std::uint64_t>(other);
+        const std::uint64_t diff = key ^ other_key;
+        DOLOS_ASSERT(diff != 0, "duplicate insert reached insertNew");
+        const unsigned crit = 63 - unsigned(__builtin_clzll(diff));
+
+        // Allocate the internal node.
+        const Addr node = tx.alloc(24, 8);
+        tx.write<std::uint64_t>(node, crit);
+
+        // Walk again to find the edge to rewire: stop at the first
+        // node whose bit is below crit (or a leaf).
+        Addr parent_edge = rootAddr;
+        Addr p = env.read<Addr>(parent_edge);
+        while (isInternal(p)) {
+            const Addr n = untag(p);
+            const auto bit = env.read<std::uint64_t>(n);
+            if (bit < crit)
+                break;
+            parent_edge = n + (((key >> bit) & 1) ? 16 : 8);
+            p = env.read<Addr>(parent_edge);
+        }
+
+        const bool right = (key >> crit) & 1;
+        tx.write<Addr>(node + (right ? 16 : 8), leaf);
+        tx.write<Addr>(node + (right ? 8 : 16), p);
+        tx.write<Addr>(parent_edge, node | internalTag);
+    }
+
+    bool
+    walk(PmemEnv &env, Addr p, std::size_t &leaves, std::string *why)
+    {
+        if (p == 0)
+            return true;
+        if (!isInternal(p)) {
+            ++leaves;
+            const auto key = env.read<std::uint64_t>(p);
+            if (findLeaf(env, key) != p) {
+                if (why)
+                    *why = "leaf unreachable by its own key";
+                return false;
+            }
+            return true;
+        }
+        const Addr n = untag(p);
+        return walk(env, env.read<Addr>(n + 8), leaves, why) &&
+               walk(env, env.read<Addr>(n + 16), leaves, why);
+    }
+
+    Addr rootAddr = 0;
+    std::unordered_map<std::uint64_t, std::uint64_t> expected;
+    detail::PendingOp pending;
+};
+
+} // namespace
+
+namespace detail
+{
+
+std::unique_ptr<Workload>
+makeCtree(const WorkloadParams &params)
+{
+    return std::make_unique<CtreeWorkload>(params);
+}
+
+} // namespace detail
+
+} // namespace dolos::workloads

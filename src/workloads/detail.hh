@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Internal factory hooks for the individual workload translation
+ * units.
+ */
+
+#ifndef DOLOS_WORKLOADS_DETAIL_HH
+#define DOLOS_WORKLOADS_DETAIL_HH
+
+#include "workloads/workload.hh"
+
+namespace dolos::workloads::detail
+{
+
+std::unique_ptr<Workload> makeHashmap(const WorkloadParams &params);
+std::unique_ptr<Workload> makeCtree(const WorkloadParams &params);
+std::unique_ptr<Workload> makeBtree(const WorkloadParams &params);
+std::unique_ptr<Workload> makeRbtree(const WorkloadParams &params);
+std::unique_ptr<Workload> makeNstoreYcsb(const WorkloadParams &params);
+std::unique_ptr<Workload> makeRedis(const WorkloadParams &params);
+std::unique_ptr<Workload> makeEcho(const WorkloadParams &params);
+std::unique_ptr<Workload> makeVacation(const WorkloadParams &params);
+
+/**
+ * Tracks the one possibly-in-flight operation, so verification can
+ * accept either outcome when a crash lands exactly at the commit
+ * point (committed-but-not-recorded).
+ */
+struct PendingOp
+{
+    bool active = false;
+    std::uint64_t key = 0;
+    std::uint64_t version = 0;
+};
+
+} // namespace dolos::workloads::detail
+
+#endif // DOLOS_WORKLOADS_DETAIL_HH

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Echo-style versioned key-value store (WHISPER extension workload).
+ *
+ * Echo (Bailey et al.) is a persistent KV store built on versioned
+ * snapshots: workers batch updates and commit them to the master
+ * store, advancing a global snapshot counter. We model the commit
+ * path: each transaction appends a batch of key/value updates to a
+ * version log, installs them in the index, and bumps the snapshot
+ * counter — a multi-key transactional profile distinct from the six
+ * paper workloads.
+ *
+ * Not part of the paper's evaluation set; provided as a suite
+ * extension (use via makeWorkload("echo", ...) or dolos-sim).
+ */
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "workloads/detail.hh"
+
+namespace dolos::workloads
+{
+
+namespace
+{
+
+class EchoWorkload : public Workload
+{
+  public:
+    explicit EchoWorkload(const WorkloadParams &p) : Workload(p)
+    {
+        rng = Random(p.seed * 17 + 11);
+        // Batch of updates per snapshot commit; value sized so one
+        // transaction still moves ~txSize payload bytes.
+        batch = 4;
+        valueBytes = std::max(8u, params.txSize / batch);
+    }
+
+    const char *name() const override { return "echo"; }
+
+    void
+    setup(PmemEnv &env) override
+    {
+        snapshotAddr = env.alloc(8, 8);
+        indexAddr = env.alloc(params.numKeys * 16, 64);
+        const unsigned entry = 24 + valueBytes;
+        logAddr = env.alloc(unsigned((params.numKeys + 300000) * entry /
+                                     4),
+                            64);
+        logTailAddr = env.alloc(8, 8);
+        env.write<std::uint64_t>(snapshotAddr, 0);
+        env.write<Addr>(logTailAddr, logAddr);
+        env.flush(snapshotAddr, 8);
+        env.flush(logTailAddr, 8);
+        env.fence();
+        env.setRootPtr(0, snapshotAddr);
+        env.setRootPtr(1, indexAddr);
+        env.setRootPtr(2, logTailAddr);
+    }
+
+    void
+    transaction(PmemEnv &env, std::uint64_t idx) override
+    {
+        for (unsigned r = 0; r < params.readsPerTx; ++r)
+            readKey(env, rng.below(params.numKeys));
+
+        const std::uint64_t snapshot =
+            env.read<std::uint64_t>(snapshotAddr) + 1;
+
+        // Choose the batch and remember it as the pending commit.
+        pendingKeys.clear();
+        for (unsigned b = 0; b < batch; ++b)
+            pendingKeys.push_back(rng.below(params.numKeys));
+        pendingSnapshot = snapshot;
+        pendingActive = true;
+
+        TxContext tx(env);
+        Addr tail = env.read<Addr>(logTailAddr);
+        const unsigned entry = 24 + valueBytes;
+        for (const std::uint64_t key : pendingKeys) {
+            // Log entry: { key, snapshot, len, value }.
+            std::vector<std::uint8_t> value(valueBytes);
+            fillValue(value, key, snapshot);
+            tx.write<std::uint64_t>(tail, key);
+            tx.write<std::uint64_t>(tail + 8, snapshot);
+            tx.write<std::uint64_t>(tail + 16, valueBytes);
+            tx.write(tail + 24, value.data(), valueBytes);
+            // Index slot points at the entry.
+            tx.write<Addr>(indexAddr + key * 16, key + 1);
+            tx.write<Addr>(indexAddr + key * 16 + 8, tail);
+            tail += entry;
+            env.core().compute(params.thinkTime / (2 * batch));
+        }
+        tx.write<Addr>(logTailAddr, tail);
+        tx.write<std::uint64_t>(snapshotAddr, snapshot);
+        tx.commit();
+
+        for (const std::uint64_t key : pendingKeys)
+            committed[key] = snapshot;
+        committedSnapshot = snapshot;
+        pendingActive = false;
+
+        env.core().compute(params.thinkTime / 2);
+        (void)idx;
+    }
+
+    bool
+    verify(PmemEnv &env, std::string *why) override
+    {
+        snapshotAddr = env.rootPtr(0);
+        indexAddr = env.rootPtr(1);
+        logTailAddr = env.rootPtr(2);
+
+        const auto snap = env.read<std::uint64_t>(snapshotAddr);
+        // Either the pending commit landed in full or not at all.
+        const bool pending_applied =
+            pendingActive && snap == pendingSnapshot;
+        if (snap != committedSnapshot && !pending_applied) {
+            if (why)
+                *why = "snapshot counter mismatch";
+            return false;
+        }
+        for (const auto &[key, version] : committed) {
+            std::uint64_t expect = version;
+            if (pending_applied &&
+                std::find(pendingKeys.begin(), pendingKeys.end(),
+                          key) != pendingKeys.end())
+                expect = pendingSnapshot;
+            if (!checkKey(env, key, expect)) {
+                if (why)
+                    *why = "bad entry for key " + std::to_string(key);
+                return false;
+            }
+        }
+        return true;
+    }
+
+  private:
+    void
+    fillValue(std::vector<std::uint8_t> &buf, std::uint64_t key,
+              std::uint64_t snapshot) const
+    {
+        for (unsigned i = 0; i < buf.size(); ++i)
+            buf[i] = payloadByte(key, snapshot, i);
+    }
+
+    void
+    readKey(PmemEnv &env, std::uint64_t key)
+    {
+        const Addr rec = env.read<Addr>(indexAddr + key * 16 + 8);
+        if (rec != 0)
+            env.read<std::uint64_t>(rec + 8);
+    }
+
+    bool
+    checkKey(PmemEnv &env, std::uint64_t key, std::uint64_t snapshot)
+    {
+        const Addr rec = env.read<Addr>(indexAddr + key * 16 + 8);
+        if (rec == 0)
+            return false;
+        if (env.read<std::uint64_t>(rec) != key ||
+            env.read<std::uint64_t>(rec + 8) != snapshot)
+            return false;
+        std::vector<std::uint8_t> value(valueBytes);
+        env.readBytes(rec + 24, value.data(), valueBytes);
+        for (unsigned i = 0; i < valueBytes; ++i)
+            if (value[i] != payloadByte(key, snapshot, i))
+                return false;
+        return true;
+    }
+
+    unsigned batch = 4;
+    unsigned valueBytes = 256;
+    Addr snapshotAddr = 0;
+    Addr indexAddr = 0;
+    Addr logAddr = 0;
+    Addr logTailAddr = 0;
+
+    std::unordered_map<std::uint64_t, std::uint64_t> committed;
+    std::uint64_t committedSnapshot = 0;
+    std::vector<std::uint64_t> pendingKeys;
+    std::uint64_t pendingSnapshot = 0;
+    bool pendingActive = false;
+};
+
+} // namespace
+
+namespace detail
+{
+
+std::unique_ptr<Workload>
+makeEcho(const WorkloadParams &params)
+{
+    return std::make_unique<EchoWorkload>(params);
+}
+
+} // namespace detail
+
+} // namespace dolos::workloads

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * NStore-style YCSB key-value store.
+ *
+ * A fixed table of records, one per key, updated in place under
+ * Zipfian key popularity (YCSB's access distribution) with a
+ * read-mostly operation mix — matching the paper's observation that
+ * NStore:YCSB generates far gentler WPQ pressure than the tree
+ * workloads (Table 2).
+ *
+ * Record: { version(8) payload(txSize) }, laid out contiguously.
+ */
+
+#include <unordered_map>
+
+#include "workloads/detail.hh"
+
+namespace dolos::workloads
+{
+
+namespace
+{
+
+class NstoreYcsbWorkload : public Workload
+{
+  public:
+    explicit NstoreYcsbWorkload(const WorkloadParams &p)
+        : Workload(p), zipf(p.numKeys, 0.99)
+    {
+        rng = Random(p.seed * 11 + 4);
+    }
+
+    const char *name() const override { return "nstore-ycsb"; }
+
+    void
+    setup(PmemEnv &env) override
+    {
+        recordBytes = 8 + params.txSize;
+        tableAddr = env.alloc(unsigned(params.numKeys * recordBytes), 64);
+        // Records start zeroed (version 0 == never written).
+        env.fence();
+        env.setRootPtr(0, tableAddr);
+    }
+
+    void
+    transaction(PmemEnv &env, std::uint64_t idx) override
+    {
+        // YCSB-B-like mix: several zipfian point reads, one update.
+        for (unsigned r = 0; r < params.readsPerTx * 4; ++r) {
+            const std::uint64_t k = zipf.next(rng);
+            std::uint64_t v;
+            env.readBytes(recordAddr(k), &v, sizeof(v));
+            env.core().compute(100);
+        }
+
+        const std::uint64_t key = zipf.next(rng);
+        const std::uint64_t next_version = versionFor(key) + 1;
+        pending = {true, key, next_version};
+        std::vector<std::uint8_t> payload(params.txSize);
+        fillPayload(payload, key, next_version);
+
+        // NStore persists its log-structured updates in fine-grained
+        // pieces: chunked writes keep each flush burst small, which
+        // is why this workload exerts the least WPQ pressure of the
+        // suite (Table 2).
+        TxContext tx(env);
+        tx.write<std::uint64_t>(recordAddr(key), next_version);
+        const unsigned chunk = 64;
+        const unsigned nchunks = (params.txSize + chunk - 1) / chunk;
+        for (unsigned off = 0; off < params.txSize; off += chunk) {
+            const unsigned len = std::min(chunk, params.txSize - off);
+            tx.writePersist(recordAddr(key) + 8 + off,
+                            payload.data() + off, len);
+            // Per-operation processing between persists: the WPQ
+            // drains while the core works.
+            env.core().compute(params.thinkTime / (nchunks + 1));
+        }
+        tx.commit();
+        expected[key] = next_version;
+        pending.active = false;
+
+        env.core().compute(params.thinkTime / (nchunks + 1));
+        (void)idx;
+    }
+
+    bool
+    verify(PmemEnv &env, std::string *why) override
+    {
+        tableAddr = env.rootPtr(0);
+        for (const auto &[key, version] : expected) {
+            const bool ok =
+                checkRecord(env, key, version) ||
+                (pending.active && pending.key == key &&
+                 checkRecord(env, key, pending.version));
+            if (!ok) {
+                if (why)
+                    *why = "bad record for key " + std::to_string(key);
+                return false;
+            }
+        }
+        return true;
+    }
+
+  private:
+    Addr
+    recordAddr(std::uint64_t key) const
+    {
+        return tableAddr + key * recordBytes;
+    }
+
+    std::uint64_t
+    versionFor(std::uint64_t key) const
+    {
+        const auto it = expected.find(key);
+        return it == expected.end() ? 0 : it->second;
+    }
+
+    bool
+    checkRecord(PmemEnv &env, std::uint64_t key, std::uint64_t version)
+    {
+        if (env.read<std::uint64_t>(recordAddr(key)) != version)
+            return false;
+        std::vector<std::uint8_t> payload(params.txSize);
+        env.readBytes(recordAddr(key) + 8, payload.data(),
+                      params.txSize);
+        return checkPayload(payload, key, version);
+    }
+
+    Addr tableAddr = 0;
+    std::uint64_t recordBytes = 0;
+    ZipfianGenerator zipf;
+    std::unordered_map<std::uint64_t, std::uint64_t> expected;
+    detail::PendingOp pending;
+};
+
+} // namespace
+
+namespace detail
+{
+
+std::unique_ptr<Workload>
+makeNstoreYcsb(const WorkloadParams &params)
+{
+    return std::make_unique<NstoreYcsbWorkload>(params);
+}
+
+} // namespace detail
+
+} // namespace dolos::workloads

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Persistent-memory programming environment for workloads.
+ *
+ * PmemEnv is the workload-facing runtime over a simulated System: a
+ * typed load/store interface driven through the timing core, a bump
+ * allocator whose cursor lives in persistent memory, root-object
+ * slots for re-attachment after a crash (the pmem programming model),
+ * and an operation hook used to inject power failures at arbitrary
+ * points inside a transaction.
+ */
+
+#ifndef DOLOS_WORKLOADS_PMEM_HH
+#define DOLOS_WORKLOADS_PMEM_HH
+
+#include <functional>
+
+#include "dolos/system.hh"
+
+namespace dolos::workloads
+{
+
+/** Thrown by the op hook to simulate a power failure mid-execution. */
+struct CrashRequested
+{
+};
+
+/** Fixed layout of the persistent heap's control area. */
+struct PmemLayout
+{
+    static constexpr Addr rootSlotBase = 0x000; ///< 8 root pointers
+    static constexpr unsigned numRootSlots = 8;
+    static constexpr Addr allocCursorAddr = 0x040;
+    static constexpr Addr txLogBase = 0x080;    ///< undo log region
+    static constexpr Addr txLogBytes = 0x10000; ///< 64 KB log
+    static constexpr Addr heapBase = 0x20000;   ///< allocations start
+};
+
+/**
+ * The workload runtime.
+ */
+class PmemEnv
+{
+  public:
+    explicit PmemEnv(System &sys);
+
+    SimpleCore &core() { return sys.core(); }
+    System &system() { return sys; }
+
+    /** @{ Typed persistent accessors (timed, through the core). */
+    template <typename T>
+    T
+    read(Addr addr)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        T v{};
+        tick();
+        sys.core().load(addr, &v, sizeof(T));
+        return v;
+    }
+
+    template <typename T>
+    void
+    write(Addr addr, const T &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        tick();
+        sys.core().store(addr, &v, sizeof(T));
+    }
+
+    void readBytes(Addr addr, void *out, unsigned len);
+    void writeBytes(Addr addr, const void *src, unsigned len);
+    /** @} */
+
+    /** CLWB every block of [addr, addr + len). */
+    void flush(Addr addr, unsigned len);
+
+    /** SFENCE. */
+    void fence();
+
+    /**
+     * Allocate @p size bytes (non-transactional; used during setup —
+     * transactional code must use TxContext::alloc). The cursor is
+     * flushed but unfenced; setup ends with a fence.
+     */
+    Addr alloc(unsigned size, unsigned align = 8);
+
+    /** Re-read the allocation cursor after a crash/recovery. */
+    void reattach();
+
+    /** Root-object pointers for post-crash re-attachment. */
+    Addr rootPtr(unsigned slot);
+    void setRootPtr(unsigned slot, Addr value);
+
+    /**
+     * Install a hook called once per environment operation; a hook
+     * may throw CrashRequested. Used by the runner for crash-point
+     * sweeps.
+     */
+    void setOpHook(std::function<void()> hook) { opHook = std::move(hook); }
+
+    /** Ops performed (hook call count). */
+    std::uint64_t opCount() const { return ops; }
+
+  private:
+    void tick();
+
+    System &sys;
+    Addr allocCursor = 0;
+    std::function<void()> opHook;
+    std::uint64_t ops = 0;
+};
+
+} // namespace dolos::workloads
+
+#endif // DOLOS_WORKLOADS_PMEM_HH

@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Persistent red-black tree (WHISPER "rbtree" analogue).
+ *
+ * Classic CLRS insert with recoloring and rotations; every node
+ * mutation runs through the undo log, so a transaction touching a
+ * chain of ancestors during fixup produces the multi-line persist
+ * bursts that make rbtree a demanding persistent workload.
+ *
+ * Node: { key(8) version(8) color(8) left(8) right(8) parent(8)
+ *         payloadAddr(8) }
+ */
+
+#include <unordered_map>
+
+#include "workloads/detail.hh"
+
+namespace dolos::workloads
+{
+
+namespace
+{
+
+constexpr std::uint64_t red = 0;
+constexpr std::uint64_t black = 1;
+constexpr unsigned nodeBytes = 56;
+
+struct F
+{
+    static Addr key(Addr n) { return n; }
+    static Addr version(Addr n) { return n + 8; }
+    static Addr color(Addr n) { return n + 16; }
+    static Addr left(Addr n) { return n + 24; }
+    static Addr right(Addr n) { return n + 32; }
+    static Addr parent(Addr n) { return n + 40; }
+    static Addr payload(Addr n) { return n + 48; }
+};
+
+class RbtreeWorkload : public Workload
+{
+  public:
+    explicit RbtreeWorkload(const WorkloadParams &p) : Workload(p)
+    {
+        rng = Random(p.seed * 7 + 3);
+    }
+
+    const char *name() const override { return "rbtree"; }
+
+    void
+    setup(PmemEnv &env) override
+    {
+        rootPtrAddr = env.alloc(8, 8);
+        env.write<Addr>(rootPtrAddr, 0);
+        env.flush(rootPtrAddr, 8);
+        env.fence();
+        env.setRootPtr(0, rootPtrAddr);
+    }
+
+    void
+    transaction(PmemEnv &env, std::uint64_t idx) override
+    {
+        const std::uint64_t key = rng.below(params.numKeys) + 1;
+        for (unsigned r = 0; r < params.readsPerTx; ++r)
+            find(env, rng.below(params.numKeys) + 1);
+
+        const std::uint64_t next_version = versionFor(key) + 1;
+        pending = {true, key, next_version};
+        std::vector<std::uint8_t> payload(params.txSize);
+        fillPayload(payload, key, next_version);
+
+        TxContext tx(env);
+        const Addr node = find(env, key);
+        if (node != 0) {
+            const Addr pa = env.read<Addr>(F::payload(node));
+            tx.write<std::uint64_t>(F::version(node), next_version);
+            writePayloadChunked(env, tx, pa, payload, 2,
+                                params.thinkTime / 4);
+        } else {
+            insert(env, tx, key, next_version, payload);
+        }
+        tx.commit();
+        expected[key] = next_version;
+        pending.active = false;
+
+        env.core().compute(params.thinkTime / 2);
+        (void)idx;
+    }
+
+    bool
+    verify(PmemEnv &env, std::string *why) override
+    {
+        rootPtrAddr = env.rootPtr(0);
+        for (const auto &[key, version] : expected) {
+            const Addr node = find(env, key);
+            if (node == 0) {
+                if (why)
+                    *why = "committed key missing: " +
+                           std::to_string(key);
+                return false;
+            }
+            const bool ok =
+                checkNode(env, node, key, version) ||
+                (pending.active && pending.key == key &&
+                 checkNode(env, node, key, pending.version));
+            if (!ok) {
+                if (why)
+                    *why = "bad node for key " + std::to_string(key);
+                return false;
+            }
+        }
+        // Red-black invariants.
+        const Addr root = env.read<Addr>(rootPtrAddr);
+        if (root != 0 &&
+            env.read<std::uint64_t>(F::color(root)) != black) {
+            if (why)
+                *why = "root is not black";
+            return false;
+        }
+        int bh = -1;
+        std::uint64_t last = 0;
+        return checkInvariants(env, root, 0, bh, last, why);
+    }
+
+  private:
+    std::uint64_t
+    versionFor(std::uint64_t key) const
+    {
+        const auto it = expected.find(key);
+        return it == expected.end() ? 0 : it->second;
+    }
+
+    Addr
+    find(PmemEnv &env, std::uint64_t key)
+    {
+        Addr n = env.read<Addr>(rootPtrAddr);
+        while (n != 0) {
+            const auto k = env.read<std::uint64_t>(F::key(n));
+            if (k == key)
+                return n;
+            n = env.read<Addr>(key < k ? F::left(n) : F::right(n));
+        }
+        return 0;
+    }
+
+    /** @{ Transactional pointer helpers. */
+    Addr
+    get(PmemEnv &env, Addr field)
+    {
+        return field == 0 ? 0 : env.read<Addr>(field);
+    }
+
+    void
+    setChild(PmemEnv &env, TxContext &tx, Addr parent, bool left,
+             Addr child)
+    {
+        if (parent == 0)
+            tx.write<Addr>(rootPtrAddr, child);
+        else
+            tx.write<Addr>(left ? F::left(parent) : F::right(parent),
+                           child);
+        if (child != 0)
+            tx.write<Addr>(F::parent(child), parent);
+        (void)env;
+    }
+    /** @} */
+
+    void
+    rotate(PmemEnv &env, TxContext &tx, Addr x, bool left_rotate)
+    {
+        const Addr y = env.read<Addr>(left_rotate ? F::right(x)
+                                                  : F::left(x));
+        const Addr beta = env.read<Addr>(left_rotate ? F::left(y)
+                                                     : F::right(y));
+        const Addr xp = env.read<Addr>(F::parent(x));
+        const bool x_was_left =
+            xp != 0 && env.read<Addr>(F::left(xp)) == x;
+
+        // x's subtree slot gets beta.
+        tx.write<Addr>(left_rotate ? F::right(x) : F::left(x), beta);
+        if (beta != 0)
+            tx.write<Addr>(F::parent(beta), x);
+
+        // y replaces x under xp.
+        setChild(env, tx, xp, x_was_left, y);
+
+        // x becomes y's child.
+        tx.write<Addr>(left_rotate ? F::left(y) : F::right(y), x);
+        tx.write<Addr>(F::parent(x), y);
+    }
+
+    void
+    insert(PmemEnv &env, TxContext &tx, std::uint64_t key,
+           std::uint64_t version,
+           const std::vector<std::uint8_t> &payload)
+    {
+        const Addr pa = tx.alloc(params.txSize, 8);
+        writePayloadChunked(env, tx, pa, payload, 2,
+                                params.thinkTime / 4);
+        const Addr z = tx.alloc(nodeBytes, 8);
+        tx.write<std::uint64_t>(F::key(z), key);
+        tx.write<std::uint64_t>(F::version(z), version);
+        tx.write<std::uint64_t>(F::color(z), red);
+        tx.write<Addr>(F::left(z), 0);
+        tx.write<Addr>(F::right(z), 0);
+        tx.write<Addr>(F::payload(z), pa);
+
+        // BST insert.
+        Addr parent = 0;
+        bool as_left = false;
+        Addr cur = env.read<Addr>(rootPtrAddr);
+        while (cur != 0) {
+            parent = cur;
+            const auto k = env.read<std::uint64_t>(F::key(cur));
+            as_left = key < k;
+            cur = env.read<Addr>(as_left ? F::left(cur) : F::right(cur));
+        }
+        setChild(env, tx, parent, as_left, z);
+
+        // CLRS fixup.
+        Addr node = z;
+        while (true) {
+            const Addr p = get(env, F::parent(node));
+            if (p == 0 ||
+                env.read<std::uint64_t>(F::color(p)) == black)
+                break;
+            const Addr g = env.read<Addr>(F::parent(p));
+            const bool p_is_left = env.read<Addr>(F::left(g)) == p;
+            const Addr uncle =
+                env.read<Addr>(p_is_left ? F::right(g) : F::left(g));
+            if (uncle != 0 &&
+                env.read<std::uint64_t>(F::color(uncle)) == red) {
+                tx.write<std::uint64_t>(F::color(p), black);
+                tx.write<std::uint64_t>(F::color(uncle), black);
+                tx.write<std::uint64_t>(F::color(g), red);
+                node = g;
+                continue;
+            }
+            const bool node_is_left =
+                env.read<Addr>(F::left(p)) == node;
+            if (p_is_left != node_is_left) {
+                // Inner case: rotate parent toward the outside.
+                rotate(env, tx, p, p_is_left);
+                node = p;
+                continue;
+            }
+            // Outer case: recolor and rotate the grandparent.
+            tx.write<std::uint64_t>(
+                F::color(env.read<Addr>(F::parent(node))), black);
+            tx.write<std::uint64_t>(F::color(g), red);
+            rotate(env, tx, g, !p_is_left);
+            break;
+        }
+        const Addr root = env.read<Addr>(rootPtrAddr);
+        tx.write<std::uint64_t>(F::color(root), black);
+    }
+
+    bool
+    checkNode(PmemEnv &env, Addr node, std::uint64_t key,
+              std::uint64_t version)
+    {
+        if (env.read<std::uint64_t>(F::version(node)) != version)
+            return false;
+        std::vector<std::uint8_t> payload(params.txSize);
+        env.readBytes(env.read<Addr>(F::payload(node)), payload.data(),
+                      params.txSize);
+        return checkPayload(payload, key, version);
+    }
+
+    /**
+     * BST order, no red-red edges, equal black heights.
+     *
+     * @param bh In/out reference black-height (-1 until first leaf).
+     */
+    bool
+    checkInvariants(PmemEnv &env, Addr n, int black_depth, int &bh,
+                    std::uint64_t &last, std::string *why)
+    {
+        if (n == 0) {
+            if (bh == -1)
+                bh = black_depth;
+            if (bh != black_depth) {
+                if (why)
+                    *why = "unequal black heights";
+                return false;
+            }
+            return true;
+        }
+        const auto color = env.read<std::uint64_t>(F::color(n));
+        if (color == red) {
+            for (const Addr c : {env.read<Addr>(F::left(n)),
+                                 env.read<Addr>(F::right(n))}) {
+                if (c != 0 &&
+                    env.read<std::uint64_t>(F::color(c)) == red) {
+                    if (why)
+                        *why = "red-red violation";
+                    return false;
+                }
+            }
+        }
+        const int bd = black_depth + (color == black ? 1 : 0);
+        if (!checkInvariants(env, env.read<Addr>(F::left(n)), bd, bh,
+                             last, why))
+            return false;
+        const auto k = env.read<std::uint64_t>(F::key(n));
+        if (k <= last) {
+            if (why)
+                *why = "BST order violation";
+            return false;
+        }
+        last = k;
+        return checkInvariants(env, env.read<Addr>(F::right(n)), bd, bh,
+                               last, why);
+    }
+
+    Addr rootPtrAddr = 0;
+    std::unordered_map<std::uint64_t, std::uint64_t> expected;
+    detail::PendingOp pending;
+};
+
+} // namespace
+
+namespace detail
+{
+
+std::unique_ptr<Workload>
+makeRbtree(const WorkloadParams &params)
+{
+    return std::make_unique<RbtreeWorkload>(params);
+}
+
+} // namespace detail
+
+} // namespace dolos::workloads

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Redis-style append-only store (WHISPER "redis" analogue).
+ *
+ * Writes append a record to a persistent append-only file (AOF) and
+ * then transactionally advance the tail pointer and update the hash
+ * index. The append itself needs no undo log — bytes beyond the
+ * durable tail are garbage by definition — but it must be durable
+ * *before* the metadata transaction makes it reachable, giving the
+ * flush/fence/flush/fence rhythm characteristic of redis persistence.
+ *
+ * AOF record: { key(8) version(8) payload(txSize) }
+ * Index     : open-addressed table of { key(8) recordAddr(8) }
+ */
+
+#include <unordered_map>
+
+#include "workloads/detail.hh"
+
+namespace dolos::workloads
+{
+
+namespace
+{
+
+class RedisWorkload : public Workload
+{
+  public:
+    explicit RedisWorkload(const WorkloadParams &p) : Workload(p)
+    {
+        rng = Random(p.seed * 13 + 5);
+    }
+
+    const char *name() const override { return "redis"; }
+
+    void
+    setup(PmemEnv &env) override
+    {
+        indexSlots = params.numKeys * 2;
+        indexAddr = env.alloc(unsigned(indexSlots * 16), 64);
+        tailPtrAddr = env.alloc(8, 8);
+
+        // Reserve the AOF area up front (append space).
+        recordBytes = 16 + params.txSize;
+        const unsigned aof_bytes =
+            unsigned(recordBytes * (params.numKeys + 70000));
+        aofBase = env.alloc(aof_bytes, 64);
+        env.write<Addr>(tailPtrAddr, aofBase);
+        env.flush(tailPtrAddr, 8);
+        env.fence();
+        env.setRootPtr(0, indexAddr);
+        env.setRootPtr(1, tailPtrAddr);
+        env.setRootPtr(2, aofBase);
+    }
+
+    void
+    transaction(PmemEnv &env, std::uint64_t idx) override
+    {
+        const std::uint64_t key = rng.below(params.numKeys) + 1;
+        for (unsigned r = 0; r < params.readsPerTx; ++r)
+            lookup(env, rng.below(params.numKeys) + 1);
+
+        const std::uint64_t next_version = versionFor(key) + 1;
+        pending = {true, key, next_version};
+        std::vector<std::uint8_t> payload(params.txSize);
+        fillPayload(payload, key, next_version);
+
+        // 1. Durable AOF append beyond the current tail.
+        const Addr tail = env.read<Addr>(tailPtrAddr);
+        env.write<std::uint64_t>(tail, key);
+        env.write<std::uint64_t>(tail + 8, next_version);
+        env.writeBytes(tail + 16, payload.data(), params.txSize);
+        env.flush(tail, unsigned(recordBytes));
+        env.fence();
+
+        // 2. Transactionally publish: tail pointer + index slot.
+        TxContext tx(env);
+        tx.write<Addr>(tailPtrAddr, tail + recordBytes);
+        const Addr slot = findSlot(env, key);
+        tx.write<std::uint64_t>(slot, key);
+        tx.write<Addr>(slot + 8, tail);
+        tx.commit();
+        expected[key] = next_version;
+        pending.active = false;
+
+        env.core().compute(params.thinkTime);
+        (void)idx;
+    }
+
+    bool
+    verify(PmemEnv &env, std::string *why) override
+    {
+        indexAddr = env.rootPtr(0);
+        tailPtrAddr = env.rootPtr(1);
+        for (const auto &[key, version] : expected) {
+            const bool ok =
+                checkKey(env, key, version) ||
+                (pending.active && pending.key == key &&
+                 checkKey(env, key, pending.version));
+            if (!ok) {
+                if (why)
+                    *why = "bad entry for key " + std::to_string(key);
+                return false;
+            }
+        }
+        // Every indexed record must sit below the durable tail.
+        const Addr tail = env.read<Addr>(tailPtrAddr);
+        for (std::uint64_t s = 0; s < indexSlots; ++s) {
+            const Addr rec = env.read<Addr>(indexAddr + s * 16 + 8);
+            if (rec != 0 && rec >= tail) {
+                if (why)
+                    *why = "index references unpublished AOF bytes";
+                return false;
+            }
+        }
+        return true;
+    }
+
+  private:
+    std::uint64_t
+    versionFor(std::uint64_t key) const
+    {
+        const auto it = expected.find(key);
+        return it == expected.end() ? 0 : it->second;
+    }
+
+    /** Index slot holding @p key, or the empty slot to claim. */
+    Addr
+    findSlot(PmemEnv &env, std::uint64_t key)
+    {
+        std::uint64_t h = key * 0x9E3779B97F4A7C15ULL % indexSlots;
+        while (true) {
+            const Addr slot = indexAddr + h * 16;
+            const auto k = env.read<std::uint64_t>(slot);
+            if (k == key || k == 0)
+                return slot;
+            h = (h + 1) % indexSlots;
+        }
+    }
+
+    /** Record address for a present key, 0 otherwise. */
+    Addr
+    lookup(PmemEnv &env, std::uint64_t key)
+    {
+        const Addr slot = findSlot(env, key);
+        if (env.read<std::uint64_t>(slot) != key)
+            return 0;
+        return env.read<Addr>(slot + 8);
+    }
+
+    bool
+    checkKey(PmemEnv &env, std::uint64_t key, std::uint64_t version)
+    {
+        const Addr rec = lookup(env, key);
+        if (rec == 0)
+            return false;
+        if (env.read<std::uint64_t>(rec) != key ||
+            env.read<std::uint64_t>(rec + 8) != version)
+            return false;
+        std::vector<std::uint8_t> payload(params.txSize);
+        env.readBytes(rec + 16, payload.data(), params.txSize);
+        return checkPayload(payload, key, version);
+    }
+
+    Addr indexAddr = 0;
+    Addr tailPtrAddr = 0;
+    Addr aofBase = 0;
+    std::uint64_t indexSlots = 0;
+    std::uint64_t recordBytes = 0;
+    std::unordered_map<std::uint64_t, std::uint64_t> expected;
+    detail::PendingOp pending;
+};
+
+} // namespace
+
+namespace detail
+{
+
+std::unique_ptr<Workload>
+makeRedis(const WorkloadParams &params)
+{
+    return std::make_unique<RedisWorkload>(params);
+}
+
+} // namespace detail
+
+} // namespace dolos::workloads

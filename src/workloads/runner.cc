@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Workload runner implementation.
+ */
+
+#include "workloads/runner.hh"
+
+namespace dolos::workloads
+{
+
+RunResult
+runWorkload(System &sys, Workload &workload, std::uint64_t num_tx,
+            std::optional<CrashPlan> crash, bool do_setup)
+{
+    RunResult res;
+    res.workload = workload.name();
+    res.mode = sys.config().mode;
+
+    PmemEnv env(sys);
+    if (do_setup)
+        workload.setup(env);
+    res.setupCycles = sys.core().now();
+
+    const auto insts0 = sys.core().instructions();
+    const auto retries0 = sys.controller().retryEvents();
+    const auto writes0 = sys.controller().writeRequests();
+    const auto stalls0 = sys.core().fenceStallCycles();
+    const auto hits0 = sys.controller().wpqReadHits();
+    const auto coalesce0 = sys.controller().coalesces();
+
+    if (crash) {
+        const std::uint64_t ops0 = env.opCount();
+        env.setOpHook([&env, ops0, at = crash->atOp] {
+            if (env.opCount() - ops0 >= at)
+                throw CrashRequested{};
+        });
+    }
+
+    for (std::uint64_t i = 0; i < num_tx; ++i) {
+        try {
+            workload.transaction(env, i);
+            ++res.transactions;
+        } catch (const CrashRequested &) {
+            res.crashed = true;
+            env.setOpHook(nullptr);
+            sys.crash();
+            sys.recover();
+            env.reattach();
+            TxContext::recover(env);
+            break;
+        }
+    }
+
+    res.runCycles = sys.core().now() - res.setupCycles;
+    res.instructions = sys.core().instructions() - insts0;
+    res.cpi = res.instructions
+                  ? double(res.runCycles) / double(res.instructions)
+                  : 0.0;
+    res.retryEvents = sys.controller().retryEvents() - retries0;
+    res.writeRequests = sys.controller().writeRequests() - writes0;
+    res.retriesPerKwr =
+        res.writeRequests ? 1000.0 * double(res.retryEvents) /
+                                double(res.writeRequests)
+                          : 0.0;
+    res.fenceStallCycles = sys.core().fenceStallCycles() - stalls0;
+    res.wpqReadHits = sys.controller().wpqReadHits() - hits0;
+    res.coalesces = sys.controller().coalesces() - coalesce0;
+
+    res.verified = workload.verify(env, &res.verifyDiagnostic);
+    return res;
+}
+
+} // namespace dolos::workloads

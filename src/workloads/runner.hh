@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Workload runner: drives a workload on a System, measures the
+ * metrics the paper reports, and optionally injects a power failure
+ * at a chosen operation.
+ */
+
+#ifndef DOLOS_WORKLOADS_RUNNER_HH
+#define DOLOS_WORKLOADS_RUNNER_HH
+
+#include <optional>
+
+#include "workloads/workload.hh"
+
+namespace dolos::workloads
+{
+
+/** Measured outcome of a run. */
+struct RunResult
+{
+    std::string workload;
+    SecurityMode mode{};
+    std::uint64_t transactions = 0;   ///< committed before any crash
+    Tick setupCycles = 0;
+    Tick runCycles = 0;               ///< excludes setup
+    std::uint64_t instructions = 0;   ///< during the measured run
+    double cpi = 0.0;
+    double retriesPerKwr = 0.0;       ///< Table 2 metric
+    std::uint64_t retryEvents = 0;
+    std::uint64_t writeRequests = 0;
+    std::uint64_t fenceStallCycles = 0;
+    std::uint64_t wpqReadHits = 0;
+    std::uint64_t coalesces = 0;
+    bool crashed = false;             ///< crash was injected
+    bool verified = false;            ///< structure consistent after run
+    std::string verifyDiagnostic;
+
+    /** Cycles per committed transaction (speedup basis). */
+    double
+    cyclesPerTx() const
+    {
+        return transactions ? double(runCycles) / double(transactions)
+                            : 0.0;
+    }
+};
+
+/** Crash injection request. */
+struct CrashPlan
+{
+    /** Power fails at the Nth environment operation of the run. */
+    std::uint64_t atOp = 0;
+};
+
+/**
+ * Run @p workload on @p sys: setup, @p num_tx transactions, then
+ * verification. With a CrashPlan, the run crashes at the chosen
+ * point, recovers (transaction-log rollback included), and verifies
+ * the recovered state.
+ *
+ * @param do_setup Pass false to continue a workload on a machine it
+ *                 already populated (e.g., after a crash+recovery).
+ */
+RunResult runWorkload(System &sys, Workload &workload,
+                      std::uint64_t num_tx,
+                      std::optional<CrashPlan> crash = std::nullopt,
+                      bool do_setup = true);
+
+} // namespace dolos::workloads
+
+#endif // DOLOS_WORKLOADS_RUNNER_HH

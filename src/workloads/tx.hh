@@ -1,0 +1,96 @@
+/**
+ * @file
+ * PMDK-style undo-log transactions.
+ *
+ * The persist-operation pattern is the one the paper's workloads
+ * stress: every transactional write first appends an undo record
+ * (old value) to a persistent log and makes it durable with
+ * CLWB + SFENCE before the in-place update; commit flushes all dirty
+ * data, fences, then durably marks the log inactive. A crash at any
+ * point therefore leaves either (a) an inactive log — all committed
+ * writes durable — or (b) an active log whose undo records roll the
+ * partial transaction back at recovery.
+ */
+
+#ifndef DOLOS_WORKLOADS_TX_HH
+#define DOLOS_WORKLOADS_TX_HH
+
+#include <set>
+#include <vector>
+
+#include "workloads/pmem.hh"
+
+namespace dolos::workloads
+{
+
+/**
+ * One transaction. Construct to begin; commit() to end. If a crash
+ * unwinds before commit, TxContext::recover() rolls back.
+ */
+class TxContext
+{
+  public:
+    explicit TxContext(PmemEnv &env);
+    ~TxContext();
+
+    TxContext(const TxContext &) = delete;
+    TxContext &operator=(const TxContext &) = delete;
+
+    /** Transactional write: undo-log the range, then update it. */
+    void write(Addr addr, const void *src, unsigned len);
+
+    template <typename T>
+    void
+    write(Addr addr, const T &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        write(addr, &v, sizeof(T));
+    }
+
+    /**
+     * Transactional write with eager persistence: the new data is
+     * flushed and fenced immediately instead of at commit (the
+     * fine-grained persist style of log-structured stores).
+     */
+    void writePersist(Addr addr, const void *src, unsigned len);
+
+    /** Transactional allocation (the cursor is undo-logged). */
+    Addr alloc(unsigned size, unsigned align = 8);
+
+    /** Flush dirty data, fence, durably deactivate the log. */
+    void commit();
+
+    bool committed() const { return committed_; }
+
+    /**
+     * Boot-time log recovery: if the log is active, apply undo
+     * records newest-first, then deactivate it.
+     *
+     * @return true if a partial transaction was rolled back.
+     */
+    static bool recover(PmemEnv &env);
+
+  private:
+    /** Log header layout at PmemLayout::txLogBase. */
+    struct Header
+    {
+        std::uint64_t active;
+        std::uint64_t numRecords;
+    };
+
+    /** Each record: addr(8) len(8) data(len, padded to 8). */
+    static constexpr Addr recordBase =
+        PmemLayout::txLogBase + sizeof(Header);
+
+    void appendUndo(Addr addr, unsigned len);
+
+    PmemEnv &env;
+    Addr logCursor = recordBase;
+    std::uint64_t numRecords = 0;
+    std::set<Addr> dirtyBlocks;
+    bool committed_ = false;
+};
+
+} // namespace dolos::workloads
+
+#endif // DOLOS_WORKLOADS_TX_HH

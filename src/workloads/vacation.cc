@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Vacation-style travel reservation system (WHISPER extension
+ * workload, after STAMP's vacation).
+ *
+ * Three resource tables (cars, flights, rooms) plus a reservation
+ * log. A transaction books one resource for one customer: it reads
+ * several candidate resources, decrements the chosen resource's
+ * availability, and appends a reservation record — small multi-table
+ * field updates plus one payload append, a profile unlike the
+ * single-structure paper workloads.
+ *
+ * Not part of the paper's evaluation set; provided as a suite
+ * extension (use via makeWorkload("vacation", ...) or dolos-sim).
+ */
+
+#include <unordered_map>
+
+#include "workloads/detail.hh"
+
+namespace dolos::workloads
+{
+
+namespace
+{
+
+/** Resource record: { available(8) booked(8) price(8) }. */
+constexpr unsigned resourceBytes = 24;
+constexpr unsigned numTables = 3;
+
+class VacationWorkload : public Workload
+{
+  public:
+    explicit VacationWorkload(const WorkloadParams &p) : Workload(p)
+    {
+        rng = Random(p.seed * 23 + 13);
+    }
+
+    const char *name() const override { return "vacation"; }
+
+    void
+    setup(PmemEnv &env) override
+    {
+        perTable = std::max<std::uint64_t>(16, params.numKeys / 4);
+        for (unsigned t = 0; t < numTables; ++t) {
+            tableAddr[t] =
+                env.alloc(unsigned(perTable * resourceBytes), 64);
+            for (std::uint64_t r = 0; r < perTable; ++r) {
+                const Addr rec = tableAddr[t] + r * resourceBytes;
+                env.write<std::uint64_t>(rec, initialCapacity);
+                env.write<std::uint64_t>(rec + 8, 0);
+                env.write<std::uint64_t>(rec + 16, 100 + r);
+            }
+            env.flush(tableAddr[t],
+                      unsigned(perTable * resourceBytes));
+        }
+        const unsigned rec_bytes = 32 + params.txSize;
+        logAddr = env.alloc(unsigned(rec_bytes * 200000 / 4), 64);
+        logTailAddr = env.alloc(8, 8);
+        env.write<Addr>(logTailAddr, logAddr);
+        env.flush(logTailAddr, 8);
+        env.fence();
+        env.setRootPtr(0, tableAddr[0]);
+        env.setRootPtr(1, tableAddr[1]);
+        env.setRootPtr(2, tableAddr[2]);
+        env.setRootPtr(3, logTailAddr);
+    }
+
+    void
+    transaction(PmemEnv &env, std::uint64_t idx) override
+    {
+        // Browse: read a few candidate resources across the tables.
+        for (unsigned r = 0; r < 2 + params.readsPerTx; ++r) {
+            const unsigned t = unsigned(rng.below(numTables));
+            const std::uint64_t res = rng.below(perTable);
+            env.read<std::uint64_t>(tableAddr[t] +
+                                    res * resourceBytes);
+        }
+        env.core().compute(params.thinkTime / 3);
+
+        const unsigned table = unsigned(rng.below(numTables));
+        const std::uint64_t res = rng.below(perTable);
+        const std::uint64_t reservation = ++reservationSeq;
+        pending = {true, table * perTable + res, reservation};
+
+        const Addr rec = tableAddr[table] + res * resourceBytes;
+        std::vector<std::uint8_t> itinerary(params.txSize);
+        fillPayload(itinerary, reservation, table);
+
+        TxContext tx(env);
+        const auto avail = env.read<std::uint64_t>(rec);
+        const auto booked = env.read<std::uint64_t>(rec + 8);
+        if (avail > 0) {
+            tx.write<std::uint64_t>(rec, avail - 1);
+            tx.write<std::uint64_t>(rec + 8, booked + 1);
+
+            Addr tail = env.read<Addr>(logTailAddr);
+            tx.write<std::uint64_t>(tail, reservation);
+            tx.write<std::uint64_t>(tail + 8, table);
+            tx.write<std::uint64_t>(tail + 16, res);
+            writePayloadChunked(env, tx, tail + 32, itinerary, 2,
+                                params.thinkTime / 3);
+            tx.write<Addr>(logTailAddr,
+                           tail + 32 + params.txSize);
+            tx.commit();
+            ++bookings[table * perTable + res];
+            committedReservations = reservation;
+        } else {
+            tx.commit(); // sold out: empty transaction
+            committedReservations = reservation;
+        }
+        pending.active = false;
+
+        env.core().compute(params.thinkTime / 3);
+        (void)idx;
+    }
+
+    bool
+    verify(PmemEnv &env, std::string *why) override
+    {
+        for (unsigned t = 0; t < numTables; ++t)
+            tableAddr[t] = env.rootPtr(t);
+        logTailAddr = env.rootPtr(3);
+        for (std::uint64_t slot = 0; slot < numTables * perTable;
+             ++slot) {
+            const unsigned t = unsigned(slot / perTable);
+            const std::uint64_t r = slot % perTable;
+            const Addr rec = tableAddr[t] + r * resourceBytes;
+            const auto avail = env.read<std::uint64_t>(rec);
+            const auto booked = env.read<std::uint64_t>(rec + 8);
+
+            // Conservation: every slot always satisfies
+            // available + booked == initialCapacity.
+            if (avail + booked != initialCapacity) {
+                if (why)
+                    *why = "capacity conservation broken at slot " +
+                           std::to_string(slot);
+                return false;
+            }
+
+            std::uint64_t expect = 0;
+            const auto it = bookings.find(slot);
+            if (it != bookings.end())
+                expect = it->second;
+            const bool pending_here =
+                pending.active && pending.key == slot;
+            if (booked != expect &&
+                !(pending_here && booked == expect + 1)) {
+                if (why)
+                    *why = "booked-count mismatch at slot " +
+                           std::to_string(slot);
+                return false;
+            }
+        }
+        return true;
+    }
+
+  private:
+    static constexpr std::uint64_t initialCapacity = 1'000'000;
+
+    std::uint64_t perTable = 0;
+    Addr tableAddr[numTables] = {};
+    Addr logAddr = 0;
+    Addr logTailAddr = 0;
+
+    std::uint64_t reservationSeq = 0;
+    std::uint64_t committedReservations = 0;
+    std::unordered_map<std::uint64_t, std::uint64_t> bookings;
+    detail::PendingOp pending;
+};
+
+} // namespace
+
+namespace detail
+{
+
+std::unique_ptr<Workload>
+makeVacation(const WorkloadParams &params)
+{
+    return std::make_unique<VacationWorkload>(params);
+}
+
+} // namespace detail
+
+} // namespace dolos::workloads

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Workload factory.
+ */
+
+#include "workloads/detail.hh"
+
+#include "sim/logging.hh"
+
+namespace dolos::workloads
+{
+
+std::vector<std::string>
+workloadNames()
+{
+    return {"hashmap", "ctree", "btree", "rbtree", "nstore-ycsb",
+            "redis"};
+}
+
+std::vector<std::string>
+extendedWorkloadNames()
+{
+    auto names = workloadNames();
+    names.push_back("echo");
+    names.push_back("vacation");
+    return names;
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name, const WorkloadParams &params)
+{
+    if (name == "hashmap")
+        return detail::makeHashmap(params);
+    if (name == "ctree")
+        return detail::makeCtree(params);
+    if (name == "btree")
+        return detail::makeBtree(params);
+    if (name == "rbtree")
+        return detail::makeRbtree(params);
+    if (name == "nstore-ycsb")
+        return detail::makeNstoreYcsb(params);
+    if (name == "redis")
+        return detail::makeRedis(params);
+    if (name == "echo")
+        return detail::makeEcho(params);
+    if (name == "vacation")
+        return detail::makeVacation(params);
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+} // namespace dolos::workloads

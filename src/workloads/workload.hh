@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Workload interface and factory for the six WHISPER-like persistent
+ * benchmarks the paper evaluates: hashmap, ctree, btree, rbtree,
+ * nstore-ycsb and redis.
+ *
+ * Each workload performs real data-structure work against the
+ * persistent heap through PMDK-style undo-log transactions, keeps a
+ * host-side ground truth of *committed* operations, and can verify
+ * the persistent structure against it — including after a crash and
+ * recovery, where an interrupted transaction must have been rolled
+ * back.
+ */
+
+#ifndef DOLOS_WORKLOADS_WORKLOAD_HH
+#define DOLOS_WORKLOADS_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/random.hh"
+#include "workloads/tx.hh"
+
+namespace dolos::workloads
+{
+
+/** Parameters shared by all workloads. */
+struct WorkloadParams
+{
+    /** Payload bytes modified per transaction (paper: 128B–2048B). */
+    unsigned txSize = 1024;
+
+    /** Key-space size. */
+    std::uint64_t numKeys = 1024;
+
+    /** PRNG seed. */
+    std::uint64_t seed = 1;
+
+    /** Modeled non-memory work between transactions (cycles). */
+    Cycles thinkTime = 3000;
+
+    /** Point reads interleaved per transaction. */
+    unsigned readsPerTx = 2;
+};
+
+/**
+ * A persistent benchmark.
+ */
+class Workload
+{
+  public:
+    explicit Workload(const WorkloadParams &params) : params(params) {}
+    virtual ~Workload() = default;
+
+    virtual const char *name() const = 0;
+
+    /** Build the initial persistent structure (not timed as tx). */
+    virtual void setup(PmemEnv &env) = 0;
+
+    /** Execute one transaction. */
+    virtual void transaction(PmemEnv &env, std::uint64_t idx) = 0;
+
+    /**
+     * Check the persistent structure against the committed ground
+     * truth (walks the real structure through the core).
+     *
+     * @param why Filled with a diagnostic on failure.
+     * @return true if consistent.
+     */
+    virtual bool verify(PmemEnv &env, std::string *why = nullptr) = 0;
+
+    const WorkloadParams &config() const { return params; }
+
+  protected:
+    /** Deterministic payload byte for (key, version, index). */
+    static std::uint8_t
+    payloadByte(std::uint64_t key, std::uint64_t version, unsigned i)
+    {
+        std::uint64_t x =
+            key * 0x9E3779B97F4A7C15ULL + version * 0xC2B2AE3D27D4EB4FULL +
+            i * 0x165667B19E3779F9ULL;
+        x ^= x >> 29;
+        return std::uint8_t(x);
+    }
+
+    /** Fill a payload buffer deterministically. */
+    static void
+    fillPayload(std::vector<std::uint8_t> &buf, std::uint64_t key,
+                std::uint64_t version)
+    {
+        for (unsigned i = 0; i < buf.size(); ++i)
+            buf[i] = payloadByte(key, version, i);
+    }
+
+    /** Verify a payload read back from pmem. */
+    static bool
+    checkPayload(const std::vector<std::uint8_t> &buf, std::uint64_t key,
+                 std::uint64_t version)
+    {
+        for (unsigned i = 0; i < buf.size(); ++i)
+            if (buf[i] != payloadByte(key, version, i))
+                return false;
+        return true;
+    }
+
+    /**
+     * Write a payload in @p chunks transactional pieces with
+     * @p compute_between cycles of modeled work between them
+     * (computation naturally interleaves with persists, letting the
+     * WPQ drain mid-transaction).
+     */
+    static void
+    writePayloadChunked(PmemEnv &env, TxContext &tx, Addr addr,
+                        const std::vector<std::uint8_t> &payload,
+                        unsigned chunks, Cycles compute_between)
+    {
+        const unsigned n = unsigned(payload.size());
+        const unsigned chunk = std::max(1u, (n + chunks - 1) / chunks);
+        for (unsigned off = 0; off < n; off += chunk) {
+            if (off > 0 && compute_between > 0)
+                env.core().compute(compute_between);
+            tx.write(addr + off, payload.data() + off,
+                     std::min(chunk, n - off));
+        }
+    }
+
+    WorkloadParams params;
+    Random rng{1};
+};
+
+/** The six paper workloads, in the paper's order. */
+std::vector<std::string> workloadNames();
+
+/** Paper workloads plus the suite extensions (echo, vacation). */
+std::vector<std::string> extendedWorkloadNames();
+
+/**
+ * Create a workload by name ("hashmap", "ctree", "btree", "rbtree",
+ * "nstore-ycsb", "redis", plus the extensions "echo", "vacation").
+ */
+std::unique_ptr<Workload> makeWorkload(const std::string &name,
+                                       const WorkloadParams &params);
+
+} // namespace dolos::workloads
+
+#endif // DOLOS_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * In-order core tests: timing, persist-ordering semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/core.hh"
+#include "tests/mem/fake_memory.hh"
+
+namespace
+{
+
+using namespace dolos;
+using dolos::test::FakeMemory;
+
+HierarchyParams
+tinyHierarchy()
+{
+    HierarchyParams p;
+    p.l1 = {"l1", 512, 2, 2};
+    p.l2 = {"l2", 2048, 4, 20};
+    p.llc = {"llc", 8192, 8, 32};
+    return p;
+}
+
+struct CoreTest : ::testing::Test
+{
+    FakeMemory mem{600};
+    CacheHierarchy h{tinyHierarchy(), mem};
+    SimpleCore core{h};
+};
+
+TEST_F(CoreTest, ComputeAdvancesClockAndInstructions)
+{
+    core.compute(100);
+    EXPECT_EQ(core.now(), 100u);
+    EXPECT_EQ(core.instructions(), 100u);
+}
+
+TEST_F(CoreTest, StoreThenLoadRoundTrips)
+{
+    const std::uint64_t v = 0xFEED;
+    core.store(0x100, &v, sizeof(v));
+    std::uint64_t out = 0;
+    core.load(0x100, &out, sizeof(out));
+    EXPECT_EQ(out, v);
+}
+
+TEST_F(CoreTest, LoadMissCostsMemoryLatency)
+{
+    std::uint8_t buf[8];
+    core.load(0x0, buf, 8);
+    EXPECT_EQ(core.now(), 2u + 20u + 32u + 600u);
+}
+
+TEST_F(CoreTest, ClwbDoesNotBlock)
+{
+    const std::uint64_t v = 1;
+    core.store(0x0, &v, 8);
+    const Tick before = core.now();
+    core.clwb(0x0);
+    // CLWB costs only the issue latency, not the persist latency.
+    EXPECT_LE(core.now(), before + 4);
+}
+
+TEST_F(CoreTest, SfenceWaitsForPersist)
+{
+    const std::uint64_t v = 1;
+    core.store(0x0, &v, 8);
+    core.clwb(0x0);
+    const Tick before = core.now();
+    core.sfence();
+    // FakeMemory persists at issue + 600.
+    EXPECT_GE(core.now(), before);
+    EXPECT_GT(core.fenceStallCycles(), 0u);
+    EXPECT_EQ(core.fences(), 1u);
+}
+
+TEST_F(CoreTest, SfenceWithNoOutstandingPersistsIsFree)
+{
+    core.compute(10);
+    const Tick before = core.now();
+    core.sfence();
+    EXPECT_EQ(core.now(), before);
+    EXPECT_EQ(core.fenceStallCycles(), 0u);
+}
+
+TEST_F(CoreTest, SecondSfenceDoesNotRewait)
+{
+    const std::uint64_t v = 1;
+    core.store(0x0, &v, 8);
+    core.clwb(0x0);
+    core.sfence();
+    const Tick after_first = core.now();
+    core.sfence();
+    EXPECT_EQ(core.now(), after_first);
+}
+
+TEST_F(CoreTest, MultipleClwbsOverlapUnderOneFence)
+{
+    // Three flushed lines, one fence: the stall is bounded by the
+    // slowest persist, not the sum.
+    for (Addr a = 0; a < 3; ++a) {
+        const std::uint64_t v = a;
+        core.store(a * 0x40, &v, 8);
+    }
+    for (Addr a = 0; a < 3; ++a)
+        core.clwb(a * 0x40);
+    const Tick issue = core.now();
+    core.sfence();
+    EXPECT_LT(core.now(), issue + 3 * 600);
+}
+
+TEST_F(CoreTest, CpiReflectsStalls)
+{
+    core.compute(100);          // CPI 1 so far
+    std::uint8_t buf[8];
+    core.load(0x0, buf, 8);     // long miss
+    EXPECT_GT(core.cpi(), 1.0);
+}
+
+} // namespace

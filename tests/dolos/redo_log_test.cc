@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Redo-log buffer tests (Ma-SU step 2/3 staging).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dolos/redo_log.hh"
+
+namespace
+{
+
+using namespace dolos;
+
+TEST(RedoLog, StartsNotReady)
+{
+    RedoLogBuffer log;
+    EXPECT_FALSE(log.ready());
+}
+
+TEST(RedoLog, FillSetsReadyAndStoresRecord)
+{
+    RedoLogBuffer log;
+    RedoLogRecord rec;
+    rec.addr = 0x1000;
+    rec.counter = 7;
+    rec.ciphertext[0] = 0xAB;
+    log.fill(rec);
+    EXPECT_TRUE(log.ready());
+    EXPECT_EQ(log.record().addr, 0x1000u);
+    EXPECT_EQ(log.record().counter, 7u);
+    EXPECT_EQ(log.record().ciphertext[0], 0xAB);
+}
+
+TEST(RedoLog, ClearResetsReady)
+{
+    RedoLogBuffer log;
+    log.fill({});
+    log.clear();
+    EXPECT_FALSE(log.ready());
+}
+
+TEST(RedoLog, RefillOverwrites)
+{
+    RedoLogBuffer log;
+    RedoLogRecord a;
+    a.addr = 1;
+    log.fill(a);
+    log.clear();
+    RedoLogRecord b;
+    b.addr = 2;
+    log.fill(b);
+    EXPECT_EQ(log.record().addr, 2u);
+}
+
+} // namespace

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * End-to-end System tests: core -> caches -> controller -> NVM with
+ * CLWB/SFENCE semantics, crash and recovery through the facade.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dolos/system.hh"
+
+namespace
+{
+
+using namespace dolos;
+
+SystemConfig
+testConfig(SecurityMode mode)
+{
+    auto cfg = SystemConfig::paperDefault();
+    cfg.mode = mode;
+    cfg.secure.functionalLeaves = 256;
+    cfg.secure.map.protectedBytes = Addr(256) * pageBytes;
+    return cfg;
+}
+
+TEST(System, StoreFlushFenceLoadRoundTrip)
+{
+    System sys(testConfig(SecurityMode::DolosPartialWpq));
+    auto &core = sys.core();
+    const std::uint64_t v = 0x1234567890ULL;
+    core.store(0x1000, &v, sizeof(v));
+    core.clwb(0x1000);
+    core.sfence();
+    std::uint64_t out = 0;
+    core.load(0x1000, &out, sizeof(out));
+    EXPECT_EQ(out, v);
+}
+
+TEST(System, FenceStallOrderingAcrossModes)
+{
+    // The paper's central claim at the microscopic level: per-fence
+    // stall ordering NonSecure <= DolosPost <= DolosPartial <=
+    // DolosFull << PreWpqSecure.
+    std::map<SecurityMode, std::uint64_t> stall;
+    for (const auto mode : {SecurityMode::NonSecureIdeal,
+                            SecurityMode::DolosPostWpq,
+                            SecurityMode::DolosPartialWpq,
+                            SecurityMode::DolosFullWpq,
+                            SecurityMode::PreWpqSecure}) {
+        System sys(testConfig(mode));
+        auto &core = sys.core();
+        const std::uint64_t v = 42;
+        core.store(0x1000, &v, sizeof(v));
+        core.clwb(0x1000);
+        core.sfence();
+        stall[mode] = core.fenceStallCycles();
+    }
+    EXPECT_LE(stall[SecurityMode::NonSecureIdeal],
+              stall[SecurityMode::DolosPostWpq]);
+    EXPECT_LE(stall[SecurityMode::DolosPostWpq],
+              stall[SecurityMode::DolosPartialWpq]);
+    EXPECT_LE(stall[SecurityMode::DolosPartialWpq],
+              stall[SecurityMode::DolosFullWpq]);
+    EXPECT_LT(stall[SecurityMode::DolosFullWpq],
+              stall[SecurityMode::PreWpqSecure]);
+}
+
+TEST(System, UnflushedDataLostFlushedDataSurvivesCrash)
+{
+    System sys(testConfig(SecurityMode::DolosPartialWpq));
+    auto &core = sys.core();
+    const std::uint64_t flushed = 0xAAAA, unflushed = 0xBBBB;
+    core.store(0x1000, &flushed, sizeof(flushed));
+    core.clwb(0x1000);
+    core.sfence();
+    core.store(0x2000, &unflushed, sizeof(unflushed));
+    // No CLWB for 0x2000: it lives only in L1.
+
+    sys.crash();
+    const auto rec = sys.recover();
+    EXPECT_TRUE(rec.misuVerified);
+    EXPECT_TRUE(rec.engine.rootVerified);
+
+    std::uint64_t out = 0;
+    core.load(0x1000, &out, sizeof(out));
+    EXPECT_EQ(out, flushed);
+    core.load(0x2000, &out, sizeof(out));
+    EXPECT_EQ(out, 0u); // lost with the caches
+}
+
+TEST(System, CrashRecoveryLoopPreservesDataAcrossEpochs)
+{
+    System sys(testConfig(SecurityMode::DolosPartialWpq));
+    auto &core = sys.core();
+    for (int epoch = 0; epoch < 3; ++epoch) {
+        const std::uint64_t v = 0x1000 + epoch;
+        const Addr a = 0x1000 + Addr(epoch) * 0x40;
+        core.store(a, &v, sizeof(v));
+        core.clwb(a);
+        core.sfence();
+        sys.crash();
+        const auto rec = sys.recover();
+        ASSERT_TRUE(rec.misuVerified) << "epoch " << epoch;
+        ASSERT_TRUE(rec.engine.rootVerified) << "epoch " << epoch;
+    }
+    for (int epoch = 0; epoch < 3; ++epoch) {
+        std::uint64_t out = 0;
+        core.load(0x1000 + Addr(epoch) * 0x40, &out, sizeof(out));
+        EXPECT_EQ(out, std::uint64_t(0x1000 + epoch));
+    }
+    EXPECT_FALSE(sys.attackDetected());
+}
+
+TEST(System, NvmHoldsOnlyCiphertextForSecureModes)
+{
+    System sys(testConfig(SecurityMode::DolosPartialWpq));
+    auto &core = sys.core();
+    Block marker;
+    for (unsigned i = 0; i < blockSize; ++i)
+        marker[i] = std::uint8_t(0xC0 + (i % 16));
+    core.store(0x1000, marker.data(), blockSize);
+    core.clwb(0x1000);
+    core.sfence();
+    // Force the drain to complete, then inspect NVM.
+    sys.controller().drainTo(core.now() + 1'000'000);
+    const Block at_rest = sys.nvmDevice().readFunctional(0x1000);
+    EXPECT_NE(at_rest, marker); // encrypted at rest
+    std::uint8_t out[blockSize];
+    core.compute(1'000'000);
+    core.load(0x1000, out, blockSize);
+    EXPECT_EQ(std::memcmp(out, marker.data(), blockSize), 0);
+}
+
+TEST(System, NonSecureModeStoresPlaintext)
+{
+    System sys(testConfig(SecurityMode::NonSecureIdeal));
+    auto &core = sys.core();
+    Block marker{};
+    marker[0] = 0x5A;
+    core.store(0x1000, marker.data(), blockSize);
+    core.clwb(0x1000);
+    core.sfence();
+    sys.controller().drainTo(core.now() + 1'000'000);
+    EXPECT_EQ(sys.nvmDevice().readFunctional(0x1000), marker);
+}
+
+TEST(System, TamperAfterCrashIsDetectedOnRead)
+{
+    System sys(testConfig(SecurityMode::DolosPartialWpq));
+    auto &core = sys.core();
+    const std::uint64_t v = 77;
+    core.store(0x1000, &v, sizeof(v));
+    core.clwb(0x1000);
+    core.sfence();
+    sys.controller().drainTo(core.now() + 1'000'000);
+    core.compute(1'000'000);
+
+    // Cold-boot adversary flips bits in the NVM data array.
+    Block ct = sys.nvmDevice().readFunctional(0x1000);
+    ct[0] ^= 0xFF;
+    sys.nvmDevice().writeFunctional(0x1000, ct);
+
+    sys.crash();
+    sys.recover();
+    std::uint64_t out = 0;
+    core.load(0x1000, &out, sizeof(out));
+    EXPECT_TRUE(sys.attackDetected());
+}
+
+TEST(System, StatsDumpMentionsAllComponents)
+{
+    System sys(testConfig(SecurityMode::DolosPartialWpq));
+    const std::uint64_t v = 1;
+    sys.core().store(0x1000, &v, sizeof(v));
+    sys.core().clwb(0x1000);
+    sys.core().sfence();
+    std::ostringstream os;
+    sys.dumpStats(os);
+    const std::string s = os.str();
+    for (const char *part : {"core", "l1", "llc", "mc", "secEngine",
+                             "nvm"})
+        EXPECT_NE(s.find(part), std::string::npos) << part;
+}
+
+} // namespace

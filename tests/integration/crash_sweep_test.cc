@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Crash-consistency property sweeps: many crash points x workloads x
+ * modes, every recovery must yield a consistent committed-prefix
+ * state; plus repeated crash/recovery epochs on one machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/runner.hh"
+
+namespace
+{
+
+using namespace dolos;
+using namespace dolos::workloads;
+
+SystemConfig
+cfgFor(SecurityMode mode)
+{
+    auto cfg = SystemConfig::paperDefault();
+    cfg.mode = mode;
+    cfg.secure.functionalLeaves = 8192;
+    cfg.secure.map.protectedBytes = Addr(8192) * pageBytes;
+    return cfg;
+}
+
+WorkloadParams
+smallParams(std::uint64_t seed)
+{
+    WorkloadParams p;
+    p.txSize = 256;
+    p.numKeys = 48;
+    p.seed = seed;
+    p.thinkTime = 400;
+    p.readsPerTx = 1;
+    return p;
+}
+
+struct SweepCase
+{
+    std::string workload;
+    std::uint64_t crashOp;
+};
+
+class CrashSweep : public ::testing::TestWithParam<SweepCase>
+{
+};
+
+TEST_P(CrashSweep, RecoversConsistently)
+{
+    const auto &[wl_name, crash_op] = GetParam();
+    System sys(cfgFor(SecurityMode::DolosPartialWpq));
+    auto wl = makeWorkload(wl_name, smallParams(crash_op));
+    const auto res =
+        runWorkload(sys, *wl, 50, CrashPlan{crash_op});
+    EXPECT_TRUE(res.verified) << res.verifyDiagnostic;
+    EXPECT_FALSE(sys.attackDetected());
+}
+
+std::vector<SweepCase>
+sweepCases()
+{
+    std::vector<SweepCase> cases;
+    for (const auto &wl : workloadNames())
+        for (const std::uint64_t op : {7u, 133u, 890u, 2048u, 3511u})
+            cases.push_back({wl, op});
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Points, CrashSweep, ::testing::ValuesIn(sweepCases()),
+    [](const auto &info) {
+        std::string n = info.param.workload + "_op" +
+                        std::to_string(info.param.crashOp);
+        for (auto &c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });
+
+TEST(CrashEpochs, RepeatedCrashesOnOneMachine)
+{
+    // Five epochs of run-crash-recover on the same machine; data
+    // committed in every epoch must remain intact at the end.
+    System sys(cfgFor(SecurityMode::DolosPostWpq));
+    auto wl = makeWorkload("hashmap", smallParams(99));
+    bool first = true;
+    for (int epoch = 0; epoch < 5; ++epoch) {
+        const auto res = runWorkload(
+            sys, *wl, 20, CrashPlan{500 + std::uint64_t(epoch) * 137},
+            first);
+        first = false;
+        ASSERT_TRUE(res.verified)
+            << "epoch " << epoch << ": " << res.verifyDiagnostic;
+    }
+    EXPECT_FALSE(sys.attackDetected());
+}
+
+TEST(CrashEpochs, CleanRunThenCrashThenContinue)
+{
+    System sys(cfgFor(SecurityMode::DolosFullWpq));
+    auto wl = makeWorkload("redis", smallParams(5));
+    const auto r1 = runWorkload(sys, *wl, 30);
+    ASSERT_TRUE(r1.verified) << r1.verifyDiagnostic;
+
+    const auto r2 =
+        runWorkload(sys, *wl, 30, CrashPlan{700}, false);
+    ASSERT_TRUE(r2.verified) << r2.verifyDiagnostic;
+
+    const auto r3 = runWorkload(sys, *wl, 30, std::nullopt, false);
+    EXPECT_TRUE(r3.verified) << r3.verifyDiagnostic;
+    EXPECT_EQ(r3.transactions, 30u);
+}
+
+TEST(CrashEpochs, CrashDuringSetupTimeWindowIsSafe)
+{
+    // Crash very early (still inside the first transactions);
+    // recovery must still verify.
+    System sys(cfgFor(SecurityMode::DolosPartialWpq));
+    auto wl = makeWorkload("btree", smallParams(7));
+    const auto res = runWorkload(sys, *wl, 50, CrashPlan{1});
+    EXPECT_TRUE(res.verified) << res.verifyDiagnostic;
+}
+
+} // namespace

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Reference-model fuzzing: drive long random operation sequences
+ * through the full machine (core -> caches -> controller -> NVM) and
+ * check every load against a flat host-side reference memory. Any
+ * coherence bug between cache levels, the WPQ tag array, the
+ * security engine's encrypt/decrypt path or the recovery machinery
+ * shows up as a mismatch.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "dolos/system.hh"
+#include "sim/random.hh"
+
+namespace
+{
+
+using namespace dolos;
+
+SystemConfig
+cfgFor(SecurityMode mode)
+{
+    auto cfg = SystemConfig::paperDefault();
+    cfg.mode = mode;
+    // Small caches force frequent evictions and WPQ traffic.
+    cfg.hierarchy.l1 = {"l1", 1024, 2, 2};
+    cfg.hierarchy.l2 = {"l2", 4096, 4, 20};
+    cfg.hierarchy.llc = {"llc", 16384, 8, 32};
+    return cfg;
+}
+
+class FuzzReference : public ::testing::TestWithParam<SecurityMode>
+{
+};
+
+TEST_P(FuzzReference, RandomTrafficMatchesReferenceMemory)
+{
+    System sys(cfgFor(GetParam()));
+    auto &core = sys.core();
+    Random rng(0xF00D + unsigned(GetParam()));
+    std::map<Addr, std::uint64_t> reference;
+
+    constexpr Addr span = 128 * 1024; // working set >> cache sizes
+    std::vector<Addr> flushable;
+
+    for (int op = 0; op < 30000; ++op) {
+        const Addr addr = blockAlign(rng.below(span)) +
+                          8 * rng.below(blockSize / 8);
+        const auto kind = rng.below(100);
+        if (kind < 45) {
+            const std::uint64_t v = rng.next();
+            core.store(addr, &v, sizeof(v));
+            reference[addr] = v;
+            flushable.push_back(addr);
+        } else if (kind < 85) {
+            std::uint64_t out = 0;
+            core.load(addr, &out, sizeof(out));
+            const auto it = reference.find(addr);
+            const std::uint64_t expect =
+                it == reference.end() ? 0 : it->second;
+            ASSERT_EQ(out, expect)
+                << "op " << op << " addr 0x" << std::hex << addr;
+        } else if (kind < 95) {
+            if (!flushable.empty())
+                core.clwb(flushable[rng.below(flushable.size())]);
+        } else {
+            core.sfence();
+        }
+    }
+    EXPECT_FALSE(sys.attackDetected());
+}
+
+TEST_P(FuzzReference, FlushedStateSurvivesRandomCrashPoints)
+{
+    // Random writes, all flushed+fenced, then a crash: everything
+    // fenced must read back; integrity intact.
+    System sys(cfgFor(GetParam()));
+    auto &core = sys.core();
+    Random rng(0xBEEF + unsigned(GetParam()));
+    std::map<Addr, std::uint64_t> fenced;
+
+    for (int round = 0; round < 4; ++round) {
+        for (int i = 0; i < 150; ++i) {
+            const Addr addr = blockAlign(rng.below(Addr(64) * 1024));
+            const std::uint64_t v = rng.next();
+            core.store(addr, &v, sizeof(v));
+            core.clwb(addr);
+            fenced[addr] = v;
+        }
+        core.sfence();
+        if (GetParam() == SecurityMode::PostWpqUnprotected)
+            continue; // infeasible design: no honest crash story
+        sys.crash();
+        const auto rec = sys.recover();
+        ASSERT_TRUE(rec.engine.rootVerified ||
+                    GetParam() == SecurityMode::NonSecureIdeal);
+        for (const auto &[addr, v] : fenced) {
+            std::uint64_t out = 0;
+            core.load(addr, &out, sizeof(out));
+            ASSERT_EQ(out, v) << "round " << round << " addr 0x"
+                              << std::hex << addr;
+        }
+    }
+    EXPECT_FALSE(sys.attackDetected());
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, FuzzReference,
+                         ::testing::Values(
+                             SecurityMode::NonSecureIdeal,
+                             SecurityMode::PreWpqSecure,
+                             SecurityMode::PostWpqUnprotected,
+                             SecurityMode::DolosFullWpq,
+                             SecurityMode::DolosPartialWpq,
+                             SecurityMode::DolosPostWpq),
+                         [](const auto &info) {
+                             std::string n =
+                                 securityModeName(info.param);
+                             std::string out;
+                             for (char c : n)
+                                 if (c != '-')
+                                     out.push_back(c);
+                             return out;
+                         });
+
+TEST(FuzzOsiris, RandomTrafficAndCrashesUnderOsiris)
+{
+    auto cfg = cfgFor(SecurityMode::DolosPartialWpq);
+    cfg.secure.crashScheme = CrashScheme::Osiris;
+    System sys(cfg);
+    auto &core = sys.core();
+    Random rng(0xCAFE);
+    std::map<Addr, std::uint64_t> fenced;
+    for (int round = 0; round < 3; ++round) {
+        for (int i = 0; i < 120; ++i) {
+            const Addr addr = blockAlign(rng.below(Addr(32) * 1024));
+            const std::uint64_t v = rng.next();
+            core.store(addr, &v, sizeof(v));
+            core.clwb(addr);
+            fenced[addr] = v;
+        }
+        core.sfence();
+        sys.crash();
+        const auto rec = sys.recover();
+        ASSERT_TRUE(rec.engine.rootVerified) << "round " << round;
+        ASSERT_EQ(rec.engine.osirisUnrecovered, 0u);
+        for (const auto &[addr, v] : fenced) {
+            std::uint64_t out = 0;
+            core.load(addr, &out, sizeof(out));
+            ASSERT_EQ(out, v);
+        }
+    }
+    EXPECT_FALSE(sys.attackDetected());
+}
+
+} // namespace

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * End-to-end assertions of the paper's qualitative results on small
+ * runs: performance ordering across controller organizations, WPQ
+ * retry ordering across Mi-SU designs, WPQ-size sensitivity, and the
+ * eager-vs-lazy contrast.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/runner.hh"
+
+namespace
+{
+
+using namespace dolos;
+using namespace dolos::workloads;
+
+SystemConfig
+cfgFor(SecurityMode mode,
+       TreeUpdatePolicy policy = TreeUpdatePolicy::EagerMerkle)
+{
+    auto cfg = SystemConfig::paperDefault();
+    cfg.mode = mode;
+    cfg.secure.treePolicy = policy;
+    return cfg;
+}
+
+WorkloadParams
+benchLikeParams()
+{
+    WorkloadParams p;
+    p.txSize = 1024;
+    p.numKeys = 256;
+    p.thinkTime = 60000;
+    p.readsPerTx = 1;
+    return p;
+}
+
+double
+cyclesPerTx(SecurityMode mode, const WorkloadParams &p,
+            std::uint64_t txns = 120,
+            TreeUpdatePolicy policy = TreeUpdatePolicy::EagerMerkle)
+{
+    System sys(cfgFor(mode, policy));
+    auto wl = makeWorkload("hashmap", p);
+    const auto res = runWorkload(sys, *wl, txns);
+    EXPECT_TRUE(res.verified) << res.verifyDiagnostic;
+    return res.cyclesPerTx();
+}
+
+TEST(PaperProperties, ModePerformanceOrdering)
+{
+    // NonSecureIdeal <= each Dolos design < PreWpqSecure (Fig 5/12).
+    const auto p = benchLikeParams();
+    const double ideal = cyclesPerTx(SecurityMode::NonSecureIdeal, p);
+    const double full = cyclesPerTx(SecurityMode::DolosFullWpq, p);
+    const double partial =
+        cyclesPerTx(SecurityMode::DolosPartialWpq, p);
+    const double post = cyclesPerTx(SecurityMode::DolosPostWpq, p);
+    const double baseline = cyclesPerTx(SecurityMode::PreWpqSecure, p);
+
+    EXPECT_LE(ideal, full);
+    EXPECT_LE(ideal, partial);
+    EXPECT_LE(ideal, post);
+    EXPECT_LT(full, baseline);
+    EXPECT_LT(partial, baseline);
+    EXPECT_LT(post, baseline);
+}
+
+TEST(PaperProperties, RetryOrderingAcrossMisuDesigns)
+{
+    // Table 2: Full (16 usable entries) < Partial (13) < Post (10).
+    const auto p = benchLikeParams();
+    double kwr[3];
+    const SecurityMode modes[] = {SecurityMode::DolosFullWpq,
+                                  SecurityMode::DolosPartialWpq,
+                                  SecurityMode::DolosPostWpq};
+    for (int i = 0; i < 3; ++i) {
+        System sys(cfgFor(modes[i]));
+        auto wl = makeWorkload("hashmap", p);
+        const auto res = runWorkload(sys, *wl, 120);
+        kwr[i] = res.retriesPerKwr;
+    }
+    EXPECT_LE(kwr[0], kwr[1]);
+    EXPECT_LE(kwr[1], kwr[2]);
+}
+
+TEST(PaperProperties, LargerWpqReducesRetriesAndHelpsSpeed)
+{
+    // Figure 15 trend.
+    const auto p = benchLikeParams();
+    double kwr_small, kwr_large, tx_small, tx_large;
+    {
+        System sys(cfgFor(SecurityMode::DolosPartialWpq));
+        auto wl = makeWorkload("hashmap", p);
+        const auto res = runWorkload(sys, *wl, 120);
+        kwr_small = res.retriesPerKwr;
+        tx_small = res.cyclesPerTx();
+    }
+    {
+        auto cfg = cfgFor(SecurityMode::DolosPartialWpq);
+        cfg.wpq.adrBudgetEntries = 64;
+        cfg.wpq.partialEntries = 57;
+        System sys(cfg);
+        auto wl = makeWorkload("hashmap", p);
+        const auto res = runWorkload(sys, *wl, 120);
+        kwr_large = res.retriesPerKwr;
+        tx_large = res.cyclesPerTx();
+    }
+    EXPECT_LT(kwr_large, kwr_small);
+    EXPECT_LE(tx_large, tx_small * 1.02);
+}
+
+TEST(PaperProperties, LazySchemeShrinksDolosAdvantage)
+{
+    // Figure 16: with the cheap (pipelined ToC) backend there is
+    // less latency to hide, so the Dolos speedup contracts.
+    const auto p = benchLikeParams();
+    const double eager_base =
+        cyclesPerTx(SecurityMode::PreWpqSecure, p);
+    const double eager_dolos =
+        cyclesPerTx(SecurityMode::DolosPartialWpq, p);
+    const double lazy_base = cyclesPerTx(
+        SecurityMode::PreWpqSecure, p, 120, TreeUpdatePolicy::LazyToc);
+    const double lazy_dolos =
+        cyclesPerTx(SecurityMode::DolosPartialWpq, p, 120,
+                    TreeUpdatePolicy::LazyToc);
+
+    const double eager_speedup = eager_base / eager_dolos;
+    const double lazy_speedup = lazy_base / lazy_dolos;
+    EXPECT_GT(eager_speedup, lazy_speedup);
+    EXPECT_GE(lazy_speedup, 0.95); // never a real slowdown
+}
+
+TEST(PaperProperties, TransactionSizeTrend)
+{
+    // Figures 13/14: larger transactions => more retries, smaller
+    // (but still positive) speedup.
+    WorkloadParams small = benchLikeParams();
+    small.txSize = 128;
+    small.thinkTime = 60000 / 8;
+    WorkloadParams large = benchLikeParams();
+    large.txSize = 2048;
+    large.thinkTime = 60000 * 2;
+
+    double retries[2], speedup[2];
+    const WorkloadParams *ps[] = {&small, &large};
+    for (int i = 0; i < 2; ++i) {
+        System base(cfgFor(SecurityMode::PreWpqSecure));
+        auto w1 = makeWorkload("hashmap", *ps[i]);
+        const auto rb = runWorkload(base, *w1, 120);
+        System dolos(cfgFor(SecurityMode::DolosPartialWpq));
+        auto w2 = makeWorkload("hashmap", *ps[i]);
+        const auto rd = runWorkload(dolos, *w2, 120);
+        retries[i] = rd.retriesPerKwr;
+        speedup[i] = rb.cyclesPerTx() / rd.cyclesPerTx();
+    }
+    EXPECT_LT(retries[0], retries[1]);
+    EXPECT_GT(speedup[0], speedup[1]);
+    EXPECT_GT(speedup[1], 1.0);
+}
+
+TEST(PaperProperties, AdrBudgetHeldAcrossDolosDesigns)
+{
+    // The crash path must stay within the standard ADR envelope for
+    // every Dolos design, at any crash point.
+    const auto p = benchLikeParams();
+    for (const auto mode : {SecurityMode::DolosFullWpq,
+                            SecurityMode::DolosPartialWpq,
+                            SecurityMode::DolosPostWpq}) {
+        System sys(cfgFor(mode));
+        auto wl = makeWorkload("hashmap", p);
+        PmemEnv env(sys);
+        wl->setup(env);
+        for (int i = 0; i < 25; ++i)
+            wl->transaction(env, i);
+        const auto dump = sys.crash();
+        EXPECT_TRUE(dump.withinAdrBudget) << securityModeName(mode);
+        EXPECT_LE(dump.entriesDumped, sys.controller().wpqCapacity());
+        const auto rec = sys.recover();
+        EXPECT_TRUE(rec.misuVerified);
+    }
+}
+
+} // namespace

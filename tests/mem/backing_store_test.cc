@@ -1,0 +1,75 @@
+/**
+ * @file
+ * BackingStore unit tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/backing_store.hh"
+
+namespace
+{
+
+using namespace dolos;
+
+TEST(BackingStore, UntouchedBlocksReadZero)
+{
+    BackingStore bs;
+    EXPECT_EQ(bs.read(0x1000), zeroBlock());
+    EXPECT_FALSE(bs.contains(0x1000));
+    EXPECT_EQ(bs.numBlocks(), 0u);
+}
+
+TEST(BackingStore, WriteThenReadRoundTrips)
+{
+    BackingStore bs;
+    Block b{};
+    for (unsigned i = 0; i < blockSize; ++i)
+        b[i] = std::uint8_t(i);
+    bs.write(0x40, b);
+    EXPECT_EQ(bs.read(0x40), b);
+    EXPECT_TRUE(bs.contains(0x40));
+    EXPECT_TRUE(bs.contains(0x7F)); // same block
+    EXPECT_EQ(bs.numBlocks(), 1u);
+}
+
+TEST(BackingStore, BlocksAreIndependent)
+{
+    BackingStore bs;
+    Block a{}, b{};
+    a[0] = 1;
+    b[0] = 2;
+    bs.write(0x0, a);
+    bs.write(0x40, b);
+    EXPECT_EQ(bs.read(0x0)[0], 1);
+    EXPECT_EQ(bs.read(0x40)[0], 2);
+}
+
+TEST(BackingStore, ClearForgetsEverything)
+{
+    BackingStore bs;
+    Block b{};
+    b[5] = 9;
+    bs.write(0x80, b);
+    bs.clear();
+    EXPECT_EQ(bs.read(0x80), zeroBlock());
+    EXPECT_EQ(bs.numBlocks(), 0u);
+}
+
+TEST(BackingStoreDeath, UnalignedAccessPanics)
+{
+    BackingStore bs;
+    Block b{};
+    EXPECT_DEATH(bs.write(0x41, b), "unaligned");
+    EXPECT_DEATH((void)bs.read(0x3F), "unaligned");
+}
+
+TEST(BackingStore, WordHelpersRoundTrip)
+{
+    Block b{};
+    storeWord(b, 8, 0xDEADBEEFCAFEF00DULL);
+    EXPECT_EQ(loadWord(b, 8), 0xDEADBEEFCAFEF00DULL);
+    EXPECT_EQ(loadWord(b, 0), 0u);
+}
+
+} // namespace

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Single cache-level tests: hits, misses, LRU, writebacks, crash loss.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+#include "tests/mem/fake_memory.hh"
+
+namespace
+{
+
+using namespace dolos;
+using dolos::test::FakeMemory;
+
+// Tiny cache: 4 sets x 2 ways x 64B = 512B, 2-cycle latency.
+CacheParams
+tinyParams()
+{
+    return CacheParams{"tiny", 512, 2, 2};
+}
+
+Block
+patternBlock(std::uint8_t seed)
+{
+    Block b;
+    for (unsigned i = 0; i < blockSize; ++i)
+        b[i] = std::uint8_t(seed + i);
+    return b;
+}
+
+TEST(Cache, MissThenHit)
+{
+    FakeMemory mem(100);
+    mem.store.write(0x0, patternBlock(7));
+    Cache c(tinyParams(), mem);
+
+    const auto miss = c.readBlock(0x0, 0);
+    EXPECT_EQ(miss.data, patternBlock(7));
+    EXPECT_EQ(miss.completeTick, 2u + 100u); // lookup + downstream
+    EXPECT_EQ(c.misses(), 1u);
+
+    const auto hit = c.readBlock(0x0, 200);
+    EXPECT_EQ(hit.completeTick, 202u);
+    EXPECT_EQ(hit.data, patternBlock(7));
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(mem.numReads, 1u);
+}
+
+TEST(Cache, SubBlockAddressesShareLine)
+{
+    FakeMemory mem;
+    Cache c(tinyParams(), mem);
+    c.readBlock(0x40, 0);
+    c.readBlock(0x7F, 100);
+    EXPECT_EQ(c.misses(), 1u);
+    EXPECT_EQ(c.hits(), 1u);
+}
+
+TEST(Cache, LruEvictsOldestWay)
+{
+    FakeMemory mem;
+    Cache c(tinyParams(), mem);
+    // 4 sets: addresses mapping to set 0 are multiples of 0x100.
+    c.readBlock(0x000, 0);
+    c.readBlock(0x100, 10);
+    c.readBlock(0x000, 20); // touch A: now B is LRU
+    c.readBlock(0x200, 30); // evicts B
+    EXPECT_TRUE(c.probe(0x000));
+    EXPECT_FALSE(c.probe(0x100));
+    EXPECT_TRUE(c.probe(0x200));
+}
+
+TEST(Cache, DirtyEvictionWritesBack)
+{
+    FakeMemory mem;
+    Cache c(tinyParams(), mem);
+    c.writebackBlock(0x000, patternBlock(1), 0); // dirty in set 0
+    c.readBlock(0x100, 10);
+    c.readBlock(0x200, 20); // evicts 0x000 (dirty)
+    EXPECT_EQ(mem.numWritebacks, 1u);
+    EXPECT_EQ(mem.writebackLog[0], 0x000u);
+    EXPECT_EQ(mem.store.read(0x000), patternBlock(1));
+}
+
+TEST(Cache, CleanEvictionIsSilent)
+{
+    FakeMemory mem;
+    Cache c(tinyParams(), mem);
+    c.readBlock(0x000, 0);
+    c.readBlock(0x100, 10);
+    c.readBlock(0x200, 20); // evicts clean 0x000
+    EXPECT_EQ(mem.numWritebacks, 0u);
+}
+
+TEST(Cache, UpdateIfPresentDirties)
+{
+    FakeMemory mem;
+    Cache c(tinyParams(), mem);
+    c.readBlock(0x0, 0);
+    EXPECT_TRUE(c.updateIfPresent(0x0, patternBlock(9)));
+    Block data;
+    bool dirty = false;
+    ASSERT_TRUE(c.peek(0x0, data, dirty));
+    EXPECT_TRUE(dirty);
+    EXPECT_EQ(data, patternBlock(9));
+}
+
+TEST(Cache, UpdateIfAbsentFails)
+{
+    FakeMemory mem;
+    Cache c(tinyParams(), mem);
+    EXPECT_FALSE(c.updateIfPresent(0x0, patternBlock(9)));
+}
+
+TEST(Cache, MarkCleanSuppressesWriteback)
+{
+    FakeMemory mem;
+    Cache c(tinyParams(), mem);
+    c.writebackBlock(0x000, patternBlock(1), 0);
+    c.markClean(0x000);
+    c.readBlock(0x100, 10);
+    c.readBlock(0x200, 20); // evicts 0x000, now clean
+    EXPECT_EQ(mem.numWritebacks, 0u);
+}
+
+TEST(Cache, InvalidateAllLosesDirtyData)
+{
+    FakeMemory mem;
+    Cache c(tinyParams(), mem);
+    c.writebackBlock(0x0, patternBlock(5), 0);
+    c.invalidateAll();
+    EXPECT_FALSE(c.probe(0x0));
+    // Data was never written downstream: genuinely lost.
+    EXPECT_EQ(mem.store.read(0x0), zeroBlock());
+}
+
+TEST(Cache, WritebackHitUpdatesInPlace)
+{
+    FakeMemory mem;
+    Cache c(tinyParams(), mem);
+    c.readBlock(0x0, 0);
+    c.writebackBlock(0x0, patternBlock(3), 10);
+    Block data;
+    bool dirty = false;
+    ASSERT_TRUE(c.peek(0x0, data, dirty));
+    EXPECT_TRUE(dirty);
+    EXPECT_EQ(data, patternBlock(3));
+    // No extra allocation happened: nothing was evicted.
+    EXPECT_EQ(mem.numWritebacks, 0u);
+}
+
+TEST(CacheDeath, BadGeometryPanics)
+{
+    FakeMemory mem;
+    CacheParams p{"bad", 100, 3, 1}; // not divisible
+    EXPECT_DEATH(Cache(p, mem), "size not divisible");
+}
+
+} // namespace

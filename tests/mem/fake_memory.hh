@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Test double: a flat memory implementing the controller interfaces
+ * with a fixed latency, recording traffic for assertions.
+ */
+
+#ifndef DOLOS_TESTS_FAKE_MEMORY_HH
+#define DOLOS_TESTS_FAKE_MEMORY_HH
+
+#include <vector>
+
+#include "mem/backing_store.hh"
+#include "mem/hierarchy.hh"
+#include "mem/mem_iface.hh"
+
+namespace dolos::test
+{
+
+class FakeMemory : public PersistController
+{
+  public:
+    explicit FakeMemory(Cycles latency = 100) : latency(latency) {}
+
+    ReadResult
+    readBlock(Addr addr, Tick now) override
+    {
+        ++numReads;
+        return {store.read(blockAlign(addr)), now + latency};
+    }
+
+    Tick
+    writebackBlock(Addr addr, const Block &data, Tick now) override
+    {
+        ++numWritebacks;
+        writebackLog.push_back(blockAlign(addr));
+        store.write(blockAlign(addr), data);
+        return now + latency;
+    }
+
+    PersistTicket
+    persistBlock(Addr addr, const Block &data, Tick now) override
+    {
+        ++numPersists;
+        persistLog.push_back(blockAlign(addr));
+        store.write(blockAlign(addr), data);
+        return {now + 1, now + latency};
+    }
+
+    Tick
+    pendingPersistTick(Addr, Tick now) override
+    {
+        ++numPendingQueries;
+        return now;
+    }
+
+    BackingStore store;
+    Cycles latency;
+    unsigned numReads = 0;
+    unsigned numWritebacks = 0;
+    unsigned numPersists = 0;
+    unsigned numPendingQueries = 0;
+    std::vector<Addr> writebackLog;
+    std::vector<Addr> persistLog;
+};
+
+} // namespace dolos::test
+
+#endif // DOLOS_TESTS_FAKE_MEMORY_HH

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Osiris counter-recovery tests: ECC discrimination, stop-loss
+ * probing, recovery equivalence with Anubis, tamper detection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "secure/osiris.hh"
+#include "secure/security_engine.hh"
+#include "sim/random.hh"
+
+namespace
+{
+
+using namespace dolos;
+
+SecureParams
+osirisParams()
+{
+    SecureParams p;
+    p.functionalLeaves = 256;
+    p.map.protectedBytes = Addr(256) * pageBytes;
+    p.counterCache = {"counterCache", 4 * 1024, 4};
+    p.mtCache = {"mtCache", 4 * 1024, 8};
+    p.crashScheme = CrashScheme::Osiris;
+    p.osirisStopLoss = 4;
+    for (int i = 0; i < 16; ++i) {
+        p.dataKey[i] = std::uint8_t(i + 1);
+        p.macKey[i] = std::uint8_t(0x80 + i);
+    }
+    return p;
+}
+
+Block
+pattern(std::uint8_t seed)
+{
+    Block b;
+    for (unsigned i = 0; i < blockSize; ++i)
+        b[i] = std::uint8_t(seed ^ (i * 5));
+    return b;
+}
+
+TEST(OsirisEcc, DeterministicAndContentSensitive)
+{
+    const Block a = pattern(1);
+    Block b = a;
+    EXPECT_EQ(OsirisEcc::compute(a), OsirisEcc::compute(b));
+    b[13] ^= 0x20;
+    EXPECT_NE(OsirisEcc::compute(a), OsirisEcc::compute(b));
+}
+
+TEST(OsirisEcc, CheckMatchesCompute)
+{
+    const Block a = pattern(2);
+    EXPECT_TRUE(OsirisEcc::check(a, OsirisEcc::compute(a)));
+    EXPECT_FALSE(OsirisEcc::check(a, OsirisEcc::compute(a) ^ 1));
+}
+
+struct OsirisEngineTest : ::testing::Test
+{
+    NvmDevice nvm{NvmParams{}};
+    SecurityEngine eng{osirisParams(), nvm};
+
+    Tick
+    writeThrough(Addr addr, const Block &pt, Tick now)
+    {
+        const auto r = eng.secureWrite(addr, pt, now);
+        return eng.writeCiphertext(addr, r.ciphertext, r.doneTick);
+    }
+};
+
+TEST_F(OsirisEngineTest, RecoveryWithCleanCountersProbesAtZero)
+{
+    // Four writes to the same block: counter = 4 = stop-loss, so the
+    // counter region is up to date and every probe hits at k = 0.
+    Tick t = 0;
+    Block pt{};
+    for (int i = 0; i < 4; ++i) {
+        pt = pattern(std::uint8_t(i));
+        t = writeThrough(0x1000, pt, t);
+    }
+    eng.crash();
+    const auto rec = eng.recover();
+    EXPECT_TRUE(rec.rootVerified);
+    EXPECT_EQ(rec.osirisProbed, 1u);
+    EXPECT_EQ(rec.osirisAdvanced, 0u);
+    EXPECT_EQ(rec.osirisUnrecovered, 0u);
+    EXPECT_EQ(eng.secureRead(0x1000, 10'000'000).data, pt);
+}
+
+TEST_F(OsirisEngineTest, RecoveryAdvancesStaleCounters)
+{
+    // Six writes: last write-through at counter 4, true counter 6 —
+    // recovery must probe forward by 2.
+    Tick t = 0;
+    Block pt{};
+    for (int i = 0; i < 6; ++i) {
+        pt = pattern(std::uint8_t(10 + i));
+        t = writeThrough(0x2000, pt, t);
+    }
+    EXPECT_EQ(eng.counterOf(0x2000), 6u);
+    eng.crash();
+    const auto rec = eng.recover();
+    EXPECT_TRUE(rec.rootVerified);
+    EXPECT_EQ(rec.osirisAdvanced, 1u);
+    EXPECT_EQ(rec.osirisUnrecovered, 0u);
+    EXPECT_EQ(eng.counterOf(0x2000), 6u);
+    EXPECT_EQ(eng.secureRead(0x2000, 10'000'000).data, pt);
+    EXPECT_FALSE(eng.attackDetected());
+}
+
+TEST_F(OsirisEngineTest, RecoveryHandlesManyBlocksMixedPhases)
+{
+    Random rng(31);
+    std::vector<std::pair<Addr, Block>> latest;
+    Tick t = 0;
+    for (int i = 0; i < 120; ++i) {
+        const Addr addr = blockAlign(rng.below(64 * pageBytes));
+        const Block pt = pattern(std::uint8_t(i));
+        t = writeThrough(addr, pt, t);
+        bool found = false;
+        for (auto &[a, b] : latest)
+            if (a == addr) {
+                b = pt;
+                found = true;
+            }
+        if (!found)
+            latest.emplace_back(addr, pt);
+    }
+    eng.crash();
+    const auto rec = eng.recover();
+    EXPECT_TRUE(rec.rootVerified);
+    EXPECT_EQ(rec.osirisUnrecovered, 0u);
+    EXPECT_EQ(rec.osirisProbed, latest.size());
+    Tick rt = 1'000'000'000;
+    for (const auto &[addr, pt] : latest) {
+        const auto rd = eng.secureRead(addr, rt);
+        EXPECT_EQ(rd.data, pt) << std::hex << addr;
+        rt = rd.completeTick;
+    }
+    EXPECT_FALSE(eng.attackDetected());
+}
+
+TEST_F(OsirisEngineTest, SurvivesMinorCounterOverflow)
+{
+    // 130 writes overflow the 7-bit minor; the forced write-through
+    // keeps the stop-loss invariant despite the counter jump.
+    Tick t = 0;
+    Block pt{};
+    for (int i = 0; i < 130; ++i) {
+        pt = pattern(std::uint8_t(i));
+        t = writeThrough(0x3000, pt, t);
+    }
+    eng.crash();
+    const auto rec = eng.recover();
+    EXPECT_TRUE(rec.rootVerified);
+    EXPECT_EQ(rec.osirisUnrecovered, 0u);
+    EXPECT_EQ(eng.secureRead(0x3000, 100'000'000).data, pt);
+}
+
+TEST_F(OsirisEngineTest, TamperedCiphertextFailsEveryProbe)
+{
+    writeThrough(0x1000, pattern(9), 0);
+    eng.crash();
+    Block ct = nvm.readFunctional(0x1000);
+    ct[0] ^= 0xFF;
+    nvm.writeFunctional(0x1000, ct);
+    const auto rec = eng.recover();
+    EXPECT_GE(rec.osirisUnrecovered, 1u);
+    EXPECT_TRUE(eng.attackDetected());
+}
+
+TEST_F(OsirisEngineTest, NoShadowWritesInOsirisMode)
+{
+    Tick t = 0;
+    for (int i = 0; i < 10; ++i)
+        t = writeThrough(0x1000 + Addr(i) * 64, pattern(1), t);
+    // The shadow region must remain untouched.
+    EXPECT_EQ(nvm.readFunctional(AddressMap::shadowSlotAddr(0)),
+              zeroBlock());
+}
+
+TEST_F(OsirisEngineTest, WriteThroughTrafficMatchesStopLoss)
+{
+    // 8 writes to one block with K=4 => exactly 2 counter-region
+    // write-throughs (at counters 4 and 8).
+    const auto writes_before = nvm.writes();
+    Tick t = 0;
+    for (int i = 0; i < 8; ++i)
+        t = writeThrough(0x1000, pattern(std::uint8_t(i)), t);
+    // Total timed NVM writes: 8 data + 2 counter write-throughs.
+    EXPECT_EQ(nvm.writes() - writes_before, 10u);
+}
+
+} // namespace

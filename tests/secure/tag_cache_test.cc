@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tag-only metadata cache tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "secure/tag_cache.hh"
+
+namespace
+{
+
+using namespace dolos;
+
+// 4 sets x 2 ways.
+TagCacheParams
+tinyParams()
+{
+    return TagCacheParams{"tiny", 512, 2};
+}
+
+TEST(TagCache, MissThenHit)
+{
+    TagCache tc(tinyParams());
+    EXPECT_FALSE(tc.lookup(0x0));
+    tc.insert(0x0, false);
+    EXPECT_TRUE(tc.lookup(0x0));
+    EXPECT_EQ(tc.hits(), 1u);
+    EXPECT_EQ(tc.misses(), 1u);
+}
+
+TEST(TagCache, InsertReportsDirtyVictimOnly)
+{
+    TagCache tc(tinyParams());
+    tc.insert(0x000, true);  // set 0, dirty
+    tc.insert(0x100, false); // set 0, clean
+    // Third insert into set 0 evicts the LRU (0x000, dirty).
+    const auto ev = tc.insert(0x200, false);
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(ev->addr, 0x000u);
+
+    // Now 0x100 (clean) is LRU; evicting it reports nothing.
+    const auto ev2 = tc.insert(0x300, false);
+    EXPECT_FALSE(ev2.has_value());
+}
+
+TEST(TagCache, LookupRefreshesLru)
+{
+    TagCache tc(tinyParams());
+    tc.insert(0x000, false);
+    tc.insert(0x100, false);
+    tc.lookup(0x000);        // refresh
+    tc.insert(0x200, false); // evicts 0x100
+    EXPECT_TRUE(tc.contains(0x000));
+    EXPECT_FALSE(tc.contains(0x100));
+}
+
+TEST(TagCache, DirtyTrackingLifecycle)
+{
+    TagCache tc(tinyParams());
+    tc.insert(0x0, false);
+    EXPECT_FALSE(tc.isDirty(0x0));
+    tc.markDirty(0x0);
+    EXPECT_TRUE(tc.isDirty(0x0));
+    tc.markClean(0x0);
+    EXPECT_FALSE(tc.isDirty(0x0));
+}
+
+TEST(TagCache, ForEachDirtyVisitsExactlyDirtyEntries)
+{
+    TagCache tc(tinyParams());
+    tc.insert(0x000, true);
+    tc.insert(0x040, false);
+    tc.insert(0x080, true);
+    std::vector<Addr> dirty;
+    tc.forEachDirty([&](Addr a) { dirty.push_back(a); });
+    std::sort(dirty.begin(), dirty.end());
+    EXPECT_EQ(dirty, (std::vector<Addr>{0x000, 0x080}));
+}
+
+TEST(TagCache, SlotOfIsStableAndInRange)
+{
+    TagCache tc(tinyParams());
+    tc.insert(0x0, false);
+    const auto slot = tc.slotOf(0x0);
+    EXPECT_LT(slot, tc.numSlots());
+    tc.lookup(0x0);
+    EXPECT_EQ(tc.slotOf(0x0), slot);
+}
+
+TEST(TagCache, InvalidateAllEmpties)
+{
+    TagCache tc(tinyParams());
+    tc.insert(0x0, true);
+    tc.invalidateAll();
+    EXPECT_FALSE(tc.contains(0x0));
+    EXPECT_EQ(tc.numEntries(), 0u);
+}
+
+TEST(TagCacheDeath, DoubleInsertPanics)
+{
+    TagCache tc(tinyParams());
+    tc.insert(0x0, false);
+    EXPECT_DEATH(tc.insert(0x0, false), "double insert");
+}
+
+TEST(TagCache, SubBlockAddressesAlias)
+{
+    TagCache tc(tinyParams());
+    tc.insert(0x40, false);
+    EXPECT_TRUE(tc.lookup(0x7F));
+}
+
+} // namespace

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace
+{
+
+using dolos::EventQueue;
+using dolos::Tick;
+
+TEST(EventQueue, StartsAtTickZeroEmpty)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.curTick(), 0u);
+    EXPECT_EQ(eq.numPending(), 0u);
+    EXPECT_EQ(eq.run(), 0u);
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    EXPECT_EQ(eq.run(), 3u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 30u);
+}
+
+TEST(EventQueue, FifoAmongEqualTicks)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        ++fired;
+        if (fired < 5)
+            eq.scheduleIn(10, chain);
+    };
+    eq.schedule(0, chain);
+    eq.run();
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(eq.curTick(), 40u);
+}
+
+TEST(EventQueue, RunLimitStopsBeforeLaterEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(100, [&] { ++fired; });
+    EXPECT_EQ(eq.run(50), 1u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.curTick(), 10u);
+    EXPECT_EQ(eq.run(), 1u);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue eq;
+    int fired = 0;
+    auto h = eq.schedule(10, [&] { ++fired; });
+    eq.schedule(20, [&] { ++fired; });
+    EXPECT_TRUE(h.pending());
+    h.cancel();
+    EXPECT_FALSE(h.pending());
+    eq.run();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelAfterFiringIsHarmless)
+{
+    EventQueue eq;
+    auto h = eq.schedule(1, [] {});
+    eq.run();
+    EXPECT_FALSE(h.pending());
+    h.cancel(); // no-op
+}
+
+TEST(EventQueue, DefaultHandleIsInert)
+{
+    dolos::EventHandle h;
+    EXPECT_FALSE(h.pending());
+    h.cancel();
+}
+
+TEST(EventQueue, AdvanceToMovesTimeForward)
+{
+    EventQueue eq;
+    eq.advanceTo(1234);
+    EXPECT_EQ(eq.curTick(), 1234u);
+    int fired = 0;
+    eq.schedule(1300, [&] { ++fired; });
+    eq.run();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueDeath, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.advanceTo(100);
+    EXPECT_DEATH(eq.schedule(50, [] {}), "schedule at");
+}
+
+TEST(EventQueue, ResetClearsEverything)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.advanceTo(5);
+    eq.reset();
+    EXPECT_EQ(eq.curTick(), 0u);
+    EXPECT_EQ(eq.numPending(), 0u);
+    EXPECT_EQ(eq.run(), 0u);
+}
+
+} // namespace

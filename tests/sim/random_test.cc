@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for the PRNG and Zipfian generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/random.hh"
+
+namespace
+{
+
+using dolos::Random;
+using dolos::ZipfianGenerator;
+
+TEST(Random, DeterministicForSameSeed)
+{
+    Random a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiverge)
+{
+    Random a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Random, BelowStaysInRange)
+{
+    Random r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Random, InRangeIsInclusive)
+{
+    Random r(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = r.inRange(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        saw_lo |= (v == 3);
+        saw_hi |= (v == 6);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Random, RealInUnitInterval)
+{
+    Random r(9);
+    for (int i = 0; i < 10000; ++i) {
+        const double v = r.real();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Random, BelowIsRoughlyUniform)
+{
+    Random r(11);
+    constexpr int buckets = 10;
+    int counts[buckets] = {};
+    constexpr int draws = 100000;
+    for (int i = 0; i < draws; ++i)
+        ++counts[r.below(buckets)];
+    for (int c : counts) {
+        EXPECT_GT(c, draws / buckets * 0.9);
+        EXPECT_LT(c, draws / buckets * 1.1);
+    }
+}
+
+TEST(Zipfian, KeysInRange)
+{
+    Random r(3);
+    ZipfianGenerator z(1000);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(z.next(r), 1000u);
+}
+
+TEST(Zipfian, SkewFavorsSmallKeys)
+{
+    Random r(3);
+    ZipfianGenerator z(1000, 0.99);
+    std::map<std::uint64_t, int> counts;
+    constexpr int draws = 50000;
+    for (int i = 0; i < draws; ++i)
+        ++counts[z.next(r)];
+    // Key 0 should dominate any mid-range key by a wide margin.
+    EXPECT_GT(counts[0], draws / 20);
+    EXPECT_GT(counts[0], counts[500] * 10);
+}
+
+TEST(Zipfian, ThetaZeroIsNearUniform)
+{
+    Random r(3);
+    ZipfianGenerator z(10, 1e-9);
+    std::map<std::uint64_t, int> counts;
+    constexpr int draws = 100000;
+    for (int i = 0; i < draws; ++i)
+        ++counts[z.next(r)];
+    for (const auto &[k, c] : counts)
+        EXPECT_GT(c, draws / 10 * 0.7) << "key " << k;
+}
+
+} // namespace

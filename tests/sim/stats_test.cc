@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+namespace
+{
+
+using namespace dolos::stats;
+
+TEST(Scalar, CountsAndResets)
+{
+    Scalar s;
+    EXPECT_EQ(s.value(), 0u);
+    ++s;
+    s += 5;
+    EXPECT_EQ(s.value(), 6u);
+    s.reset();
+    EXPECT_EQ(s.value(), 0u);
+}
+
+TEST(Average, MeanOfSamples)
+{
+    Average a;
+    EXPECT_EQ(a.mean(), 0.0);
+    a.sample(2);
+    a.sample(4);
+    a.sample(6);
+    EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+    EXPECT_EQ(a.samples(), 3u);
+    EXPECT_DOUBLE_EQ(a.total(), 12.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(10.0, 4); // buckets [0,10) [10,20) [20,30) [30,40)
+    h.sample(5);
+    h.sample(15);
+    h.sample(15);
+    h.sample(100);
+    EXPECT_EQ(h.samples(), 4u);
+    EXPECT_EQ(h.data()[0], 1u);
+    EXPECT_EQ(h.data()[1], 2u);
+    EXPECT_EQ(h.overflows(), 1u);
+    EXPECT_DOUBLE_EQ(h.max(), 100.0);
+    h.reset();
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_EQ(h.overflows(), 0u);
+}
+
+TEST(StatGroup, DumpContainsNamesValuesDescriptions)
+{
+    StatGroup g("wpq");
+    Scalar inserts;
+    inserts += 7;
+    g.addScalar(&inserts, "inserts", "WPQ insertions");
+    std::ostringstream os;
+    g.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("wpq.inserts"), std::string::npos);
+    EXPECT_NE(out.find("7"), std::string::npos);
+    EXPECT_NE(out.find("WPQ insertions"), std::string::npos);
+}
+
+TEST(StatGroup, ChildGroupsDumpNested)
+{
+    StatGroup parent("system");
+    StatGroup child("misu");
+    Scalar macs;
+    macs += 3;
+    child.addScalar(&macs, "macOps", "MAC computations");
+    parent.addChild(&child);
+    std::ostringstream os;
+    parent.dump(os);
+    EXPECT_NE(os.str().find("system.misu.macOps"), std::string::npos);
+}
+
+TEST(StatGroup, ResetAllRecurses)
+{
+    StatGroup parent("p");
+    StatGroup child("c");
+    Scalar a, b;
+    a += 1;
+    b += 2;
+    parent.addScalar(&a, "a", "");
+    child.addScalar(&b, "b", "");
+    parent.addChild(&child);
+    parent.resetAll();
+    EXPECT_EQ(a.value(), 0u);
+    EXPECT_EQ(b.value(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * PmemEnv tests: typed access, allocator persistence, root slots,
+ * crash-hook plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/pmem.hh"
+
+namespace
+{
+
+using namespace dolos;
+using namespace dolos::workloads;
+
+SystemConfig
+testConfig()
+{
+    auto cfg = SystemConfig::paperDefault();
+    cfg.mode = SecurityMode::DolosPartialWpq;
+    cfg.secure.functionalLeaves = 4096; // 16 MB heap
+    cfg.secure.map.protectedBytes = Addr(4096) * pageBytes;
+    return cfg;
+}
+
+struct PmemTest : ::testing::Test
+{
+    System sys{testConfig()};
+    PmemEnv env{sys};
+};
+
+TEST_F(PmemTest, TypedReadWriteRoundTrips)
+{
+    env.write<std::uint32_t>(0x30000, 0xCAFE);
+    EXPECT_EQ(env.read<std::uint32_t>(0x30000), 0xCAFEu);
+}
+
+TEST_F(PmemTest, AllocReturnsAlignedDisjointRegions)
+{
+    const Addr a = env.alloc(100, 64);
+    const Addr b = env.alloc(100, 64);
+    EXPECT_EQ(a % 64, 0u);
+    EXPECT_EQ(b % 64, 0u);
+    EXPECT_GE(b, a + 100);
+    EXPECT_GE(a, PmemLayout::heapBase);
+}
+
+TEST_F(PmemTest, AllocCursorSurvivesReattach)
+{
+    const Addr a = env.alloc(256, 8);
+    env.fence();
+    env.reattach();
+    const Addr b = env.alloc(8, 8);
+    EXPECT_GE(b, a + 256);
+}
+
+TEST_F(PmemTest, RootSlotsPersistAcrossCrash)
+{
+    env.setRootPtr(3, 0xABC0);
+    sys.crash();
+    sys.recover();
+    env.reattach();
+    EXPECT_EQ(env.rootPtr(3), 0xABC0u);
+}
+
+TEST_F(PmemTest, OpHookFiresAndCanCrash)
+{
+    int calls = 0;
+    env.setOpHook([&] {
+        if (++calls == 3)
+            throw CrashRequested{};
+    });
+    env.write<std::uint64_t>(0x30000, 1);
+    env.write<std::uint64_t>(0x30040, 2);
+    EXPECT_THROW(env.write<std::uint64_t>(0x30080, 3), CrashRequested);
+}
+
+TEST_F(PmemTest, FlushCoversWholeRange)
+{
+    std::vector<std::uint8_t> buf(200, 0x5A);
+    env.writeBytes(0x30000, buf.data(), 200);
+    env.flush(0x30000, 200);
+    env.fence();
+    sys.crash();
+    sys.recover();
+    env.reattach();
+    std::vector<std::uint8_t> out(200);
+    env.readBytes(0x30000, out.data(), 200);
+    EXPECT_EQ(out, buf);
+}
+
+} // namespace

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Parameterized tests over all workloads (the six paper benchmarks
+ * plus the echo and vacation extensions): functional
+ * verification, runner metrics, and crash-consistency sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/runner.hh"
+
+namespace
+{
+
+using namespace dolos;
+using namespace dolos::workloads;
+
+SystemConfig
+testConfig(SecurityMode mode = SecurityMode::DolosPartialWpq)
+{
+    auto cfg = SystemConfig::paperDefault();
+    cfg.mode = mode;
+    cfg.secure.functionalLeaves = 8192; // 32 MB heap
+    cfg.secure.map.protectedBytes = Addr(8192) * pageBytes;
+    return cfg;
+}
+
+WorkloadParams
+smallParams()
+{
+    WorkloadParams p;
+    p.txSize = 256;
+    p.numKeys = 64;
+    p.seed = 9;
+    p.thinkTime = 500;
+    p.readsPerTx = 1;
+    return p;
+}
+
+class WorkloadTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadTest, RunsAndVerifies)
+{
+    System sys(testConfig());
+    auto wl = makeWorkload(GetParam(), smallParams());
+    const auto res = runWorkload(sys, *wl, 60);
+    EXPECT_EQ(res.transactions, 60u);
+    EXPECT_TRUE(res.verified) << res.verifyDiagnostic;
+    EXPECT_FALSE(sys.attackDetected());
+    EXPECT_GT(res.runCycles, 0u);
+    EXPECT_GT(res.writeRequests, 0u);
+}
+
+TEST_P(WorkloadTest, VerifiesOnBaselineToo)
+{
+    System sys(testConfig(SecurityMode::PreWpqSecure));
+    auto wl = makeWorkload(GetParam(), smallParams());
+    const auto res = runWorkload(sys, *wl, 30);
+    EXPECT_TRUE(res.verified) << res.verifyDiagnostic;
+}
+
+TEST_P(WorkloadTest, DolosIsFasterThanBaseline)
+{
+    auto params = smallParams();
+    System base(testConfig(SecurityMode::PreWpqSecure));
+    auto wl1 = makeWorkload(GetParam(), params);
+    const auto rb = runWorkload(base, *wl1, 40);
+
+    System dolos(testConfig(SecurityMode::DolosPartialWpq));
+    auto wl2 = makeWorkload(GetParam(), params);
+    const auto rd = runWorkload(dolos, *wl2, 40);
+
+    EXPECT_LT(rd.cyclesPerTx(), rb.cyclesPerTx()) << GetParam();
+}
+
+TEST_P(WorkloadTest, CrashDuringRunRecoversConsistently)
+{
+    // Sweep several crash points; each run must recover to a state
+    // where every committed transaction is intact and any partial
+    // transaction was rolled back.
+    for (const std::uint64_t crash_op : {50u, 500u, 1700u, 4300u}) {
+        System sys(testConfig());
+        auto wl = makeWorkload(GetParam(), smallParams());
+        const auto res =
+            runWorkload(sys, *wl, 60, CrashPlan{crash_op});
+        EXPECT_TRUE(res.verified)
+            << GetParam() << " crash at op " << crash_op << ": "
+            << res.verifyDiagnostic;
+        if (res.crashed)
+            EXPECT_LT(res.transactions, 60u);
+        EXPECT_FALSE(sys.attackDetected());
+    }
+}
+
+TEST_P(WorkloadTest, CrashSweepAcrossAllDolosModes)
+{
+    for (const auto mode : {SecurityMode::DolosFullWpq,
+                            SecurityMode::DolosPostWpq}) {
+        System sys(testConfig(mode));
+        auto wl = makeWorkload(GetParam(), smallParams());
+        const auto res = runWorkload(sys, *wl, 40, CrashPlan{900});
+        EXPECT_TRUE(res.verified)
+            << GetParam() << " mode " << securityModeName(mode) << ": "
+            << res.verifyDiagnostic;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadTest,
+                         ::testing::ValuesIn(extendedWorkloadNames()),
+                         [](const auto &info) {
+                             std::string n = info.param;
+                             for (auto &c : n)
+                                 if (c == '-')
+                                     c = '_';
+                             return n;
+                         });
+
+TEST(WorkloadFactory, NamesAreStable)
+{
+    const auto names = workloadNames();
+    ASSERT_EQ(names.size(), 6u);
+    EXPECT_EQ(names[0], "hashmap");
+    EXPECT_EQ(names[5], "redis");
+}
+
+TEST(WorkloadFactoryDeath, UnknownNameIsFatal)
+{
+    EXPECT_DEATH((void)makeWorkload("nope", WorkloadParams{}),
+                 "unknown workload");
+}
+
+TEST(Runner, TransactionSizeScalesWriteTraffic)
+{
+    auto small = smallParams();
+    auto large = smallParams();
+    large.txSize = 1024;
+
+    System s1(testConfig());
+    auto w1 = makeWorkload("hashmap", small);
+    const auto r1 = runWorkload(s1, *w1, 30);
+
+    System s2(testConfig());
+    auto w2 = makeWorkload("hashmap", large);
+    const auto r2 = runWorkload(s2, *w2, 30);
+
+    EXPECT_GT(r2.writeRequests, r1.writeRequests * 2);
+}
+
+} // namespace

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * dolos_sim — command-line front end to the simulator.
+ *
+ * Runs one workload on one controller configuration and prints the
+ * run metrics (and optionally the full statistics tree). Examples:
+ *
+ *   dolos_sim --workload btree --mode dolos-partial --txns 2000
+ *   dolos_sim --workload redis --mode baseline --tx-size 512 --stats
+ *   dolos_sim --workload hashmap --mode dolos-post --crash-at 5000
+ *   dolos_sim --list
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <optional>
+
+#include "workloads/runner.hh"
+
+using namespace dolos;
+using namespace dolos::workloads;
+
+namespace
+{
+
+struct Options
+{
+    std::string workload = "hashmap";
+    std::string mode = "dolos-partial";
+    std::uint64_t txns = 1000;
+    unsigned txSize = 1024;
+    std::uint64_t numKeys = 1024;
+    std::uint64_t seed = 42;
+    Cycles thinkTime = 60000;
+    unsigned wpqBudget = 16;
+    std::string tree = "eager";
+    std::string crashScheme = "anubis";
+    std::optional<std::uint64_t> crashAt;
+    bool stats = false;
+    bool noCoalescing = false;
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::printf(
+        "usage: dolos_sim [options]\n"
+        "  --workload NAME     hashmap|ctree|btree|rbtree|nstore-ycsb|"
+        "redis (--list)\n"
+        "  --mode MODE         ideal|baseline|post-unprotected|"
+        "dolos-full|dolos-partial|dolos-post\n"
+        "  --txns N            transactions to run (default 1000)\n"
+        "  --tx-size BYTES     payload per transaction (default 1024)\n"
+        "  --keys N            key-space size (default 1024)\n"
+        "  --think CYCLES      modeled compute per tx (default 60000)\n"
+        "  --wpq N             ADR budget entries (default 16)\n"
+        "  --tree eager|lazy   integrity-tree scheme (default eager)\n"
+        "  --crash-scheme anubis|osiris\n"
+        "  --crash-at OP       inject a power failure at env op OP\n"
+        "  --no-coalescing     disable the WPQ tag-array coalescing\n"
+        "  --seed N | --stats | --list | --help\n");
+    std::exit(code);
+}
+
+SecurityMode
+parseMode(const std::string &m)
+{
+    if (m == "ideal")
+        return SecurityMode::NonSecureIdeal;
+    if (m == "baseline")
+        return SecurityMode::PreWpqSecure;
+    if (m == "post-unprotected")
+        return SecurityMode::PostWpqUnprotected;
+    if (m == "dolos-full")
+        return SecurityMode::DolosFullWpq;
+    if (m == "dolos-partial")
+        return SecurityMode::DolosPartialWpq;
+    if (m == "dolos-post")
+        return SecurityMode::DolosPostWpq;
+    std::fprintf(stderr, "unknown mode '%s'\n", m.c_str());
+    usage(1);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             a.c_str());
+                usage(1);
+            }
+            return argv[++i];
+        };
+        if (a == "--workload")
+            o.workload = value();
+        else if (a == "--mode")
+            o.mode = value();
+        else if (a == "--txns")
+            o.txns = std::strtoull(value(), nullptr, 0);
+        else if (a == "--tx-size")
+            o.txSize = unsigned(std::strtoul(value(), nullptr, 0));
+        else if (a == "--keys")
+            o.numKeys = std::strtoull(value(), nullptr, 0);
+        else if (a == "--think")
+            o.thinkTime = std::strtoull(value(), nullptr, 0);
+        else if (a == "--wpq")
+            o.wpqBudget = unsigned(std::strtoul(value(), nullptr, 0));
+        else if (a == "--tree")
+            o.tree = value();
+        else if (a == "--crash-scheme")
+            o.crashScheme = value();
+        else if (a == "--crash-at")
+            o.crashAt = std::strtoull(value(), nullptr, 0);
+        else if (a == "--seed")
+            o.seed = std::strtoull(value(), nullptr, 0);
+        else if (a == "--stats")
+            o.stats = true;
+        else if (a == "--no-coalescing")
+            o.noCoalescing = true;
+        else if (a == "--list") {
+            for (const auto &n : extendedWorkloadNames())
+                std::printf("%s\n", n.c_str());
+            std::exit(0);
+        } else if (a == "--help" || a == "-h")
+            usage(0);
+        else {
+            std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+            usage(1);
+        }
+    }
+    return o;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options o = parse(argc, argv);
+
+    auto cfg = SystemConfig::paperDefault();
+    cfg.mode = parseMode(o.mode);
+    cfg.secure.treePolicy = o.tree == "lazy" ? TreeUpdatePolicy::LazyToc
+                                             : TreeUpdatePolicy::EagerMerkle;
+    cfg.secure.crashScheme = o.crashScheme == "osiris"
+                                 ? CrashScheme::Osiris
+                                 : CrashScheme::Anubis;
+    cfg.wpq.adrBudgetEntries = o.wpqBudget;
+    cfg.wpq.partialEntries = o.wpqBudget * 8 / 9 - 1;
+    cfg.wpq.postEntries =
+        o.wpqBudget > 6 ? o.wpqBudget * 8 / 9 - 4 : o.wpqBudget / 2;
+    cfg.wpq.coalescing = !o.noCoalescing;
+    System sys(cfg);
+
+    WorkloadParams params;
+    params.txSize = o.txSize;
+    params.numKeys = o.numKeys;
+    params.seed = o.seed;
+    params.thinkTime = o.thinkTime;
+    auto wl = makeWorkload(o.workload, params);
+
+    std::optional<CrashPlan> crash;
+    if (o.crashAt)
+        crash = CrashPlan{*o.crashAt};
+
+    const auto res = runWorkload(sys, *wl, o.txns, crash);
+
+    std::printf("workload            : %s\n", res.workload.c_str());
+    std::printf("mode                : %s\n",
+                securityModeName(res.mode));
+    std::printf("transactions        : %llu%s\n",
+                (unsigned long long)res.transactions,
+                res.crashed ? " (power failure injected)" : "");
+    std::printf("cycles/transaction  : %.0f\n", res.cyclesPerTx());
+    std::printf("CPI                 : %.3f\n", res.cpi);
+    std::printf("retry events / KWR  : %.2f\n", res.retriesPerKwr);
+    std::printf("fence stall cycles  : %llu\n",
+                (unsigned long long)res.fenceStallCycles);
+    std::printf("WPQ read hits       : %llu\n",
+                (unsigned long long)res.wpqReadHits);
+    std::printf("coalesced writes    : %llu\n",
+                (unsigned long long)res.coalesces);
+    std::printf("verified            : %s\n",
+                res.verified ? "yes" : "NO");
+    if (!res.verified)
+        std::printf("  diagnostic: %s\n", res.verifyDiagnostic.c_str());
+    std::printf("attacks detected    : %llu\n",
+                (unsigned long long)sys.engine().attacksDetected());
+
+    if (o.stats) {
+        std::printf("\n");
+        sys.dumpStats(std::cout);
+    }
+    return res.verified ? 0 : 1;
+}
