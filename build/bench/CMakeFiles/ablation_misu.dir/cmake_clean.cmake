@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_misu.dir/ablation_misu.cc.o"
+  "CMakeFiles/ablation_misu.dir/ablation_misu.cc.o.d"
+  "ablation_misu"
+  "ablation_misu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_misu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

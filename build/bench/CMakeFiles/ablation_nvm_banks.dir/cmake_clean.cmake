@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nvm_banks.dir/ablation_nvm_banks.cc.o"
+  "CMakeFiles/ablation_nvm_banks.dir/ablation_nvm_banks.cc.o.d"
+  "ablation_nvm_banks"
+  "ablation_nvm_banks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nvm_banks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

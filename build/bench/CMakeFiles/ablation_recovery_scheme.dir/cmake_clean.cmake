@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_recovery_scheme.dir/ablation_recovery_scheme.cc.o"
+  "CMakeFiles/ablation_recovery_scheme.dir/ablation_recovery_scheme.cc.o.d"
+  "ablation_recovery_scheme"
+  "ablation_recovery_scheme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_recovery_scheme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_eadr_comparison.dir/ext_eadr_comparison.cc.o"
+  "CMakeFiles/ext_eadr_comparison.dir/ext_eadr_comparison.cc.o.d"
+  "ext_eadr_comparison"
+  "ext_eadr_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_eadr_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_cpi_placement.dir/fig06_cpi_placement.cc.o"
+  "CMakeFiles/fig06_cpi_placement.dir/fig06_cpi_placement.cc.o.d"
+  "fig06_cpi_placement"
+  "fig06_cpi_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_cpi_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

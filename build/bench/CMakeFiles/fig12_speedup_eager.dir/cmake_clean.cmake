@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_speedup_eager.dir/fig12_speedup_eager.cc.o"
+  "CMakeFiles/fig12_speedup_eager.dir/fig12_speedup_eager.cc.o.d"
+  "fig12_speedup_eager"
+  "fig12_speedup_eager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_speedup_eager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_retry_txsize.dir/fig13_retry_txsize.cc.o"
+  "CMakeFiles/fig13_retry_txsize.dir/fig13_retry_txsize.cc.o.d"
+  "fig13_retry_txsize"
+  "fig13_retry_txsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_retry_txsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_speedup_txsize.dir/fig14_speedup_txsize.cc.o"
+  "CMakeFiles/fig14_speedup_txsize.dir/fig14_speedup_txsize.cc.o.d"
+  "fig14_speedup_txsize"
+  "fig14_speedup_txsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_speedup_txsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

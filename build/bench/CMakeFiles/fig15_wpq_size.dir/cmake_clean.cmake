@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_wpq_size.dir/fig15_wpq_size.cc.o"
+  "CMakeFiles/fig15_wpq_size.dir/fig15_wpq_size.cc.o.d"
+  "fig15_wpq_size"
+  "fig15_wpq_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_wpq_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

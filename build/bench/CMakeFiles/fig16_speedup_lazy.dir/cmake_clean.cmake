@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_speedup_lazy.dir/fig16_speedup_lazy.cc.o"
+  "CMakeFiles/fig16_speedup_lazy.dir/fig16_speedup_lazy.cc.o.d"
+  "fig16_speedup_lazy"
+  "fig16_speedup_lazy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_speedup_lazy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intro_overhead.dir/intro_overhead.cc.o"
+  "CMakeFiles/intro_overhead.dir/intro_overhead.cc.o.d"
+  "intro_overhead"
+  "intro_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intro_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

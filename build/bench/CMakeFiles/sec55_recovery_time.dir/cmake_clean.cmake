@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec55_recovery_time.dir/sec55_recovery_time.cc.o"
+  "CMakeFiles/sec55_recovery_time.dir/sec55_recovery_time.cc.o.d"
+  "sec55_recovery_time"
+  "sec55_recovery_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec55_recovery_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table2_wpq_retries.cc" "bench/CMakeFiles/table2_wpq_retries.dir/table2_wpq_retries.cc.o" "gcc" "bench/CMakeFiles/table2_wpq_retries.dir/table2_wpq_retries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/dolos_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/dolos/CMakeFiles/dolos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/secure/CMakeFiles/dolos_secure.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dolos_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/dolos_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dolos_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dolos_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_wpq_retries.dir/table2_wpq_retries.cc.o"
+  "CMakeFiles/table2_wpq_retries.dir/table2_wpq_retries.cc.o.d"
+  "table2_wpq_retries"
+  "table2_wpq_retries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_wpq_retries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dolos_cpu.dir/core.cc.o"
+  "CMakeFiles/dolos_cpu.dir/core.cc.o.d"
+  "libdolos_cpu.a"
+  "libdolos_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dolos_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

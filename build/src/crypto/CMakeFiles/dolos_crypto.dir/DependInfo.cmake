@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes128.cc" "src/crypto/CMakeFiles/dolos_crypto.dir/aes128.cc.o" "gcc" "src/crypto/CMakeFiles/dolos_crypto.dir/aes128.cc.o.d"
+  "/root/repo/src/crypto/ctr_pad.cc" "src/crypto/CMakeFiles/dolos_crypto.dir/ctr_pad.cc.o" "gcc" "src/crypto/CMakeFiles/dolos_crypto.dir/ctr_pad.cc.o.d"
+  "/root/repo/src/crypto/hmac.cc" "src/crypto/CMakeFiles/dolos_crypto.dir/hmac.cc.o" "gcc" "src/crypto/CMakeFiles/dolos_crypto.dir/hmac.cc.o.d"
+  "/root/repo/src/crypto/mac_engine.cc" "src/crypto/CMakeFiles/dolos_crypto.dir/mac_engine.cc.o" "gcc" "src/crypto/CMakeFiles/dolos_crypto.dir/mac_engine.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "src/crypto/CMakeFiles/dolos_crypto.dir/sha256.cc.o" "gcc" "src/crypto/CMakeFiles/dolos_crypto.dir/sha256.cc.o.d"
+  "/root/repo/src/crypto/siphash.cc" "src/crypto/CMakeFiles/dolos_crypto.dir/siphash.cc.o" "gcc" "src/crypto/CMakeFiles/dolos_crypto.dir/siphash.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dolos_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dolos_crypto.dir/aes128.cc.o"
+  "CMakeFiles/dolos_crypto.dir/aes128.cc.o.d"
+  "CMakeFiles/dolos_crypto.dir/ctr_pad.cc.o"
+  "CMakeFiles/dolos_crypto.dir/ctr_pad.cc.o.d"
+  "CMakeFiles/dolos_crypto.dir/hmac.cc.o"
+  "CMakeFiles/dolos_crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/dolos_crypto.dir/mac_engine.cc.o"
+  "CMakeFiles/dolos_crypto.dir/mac_engine.cc.o.d"
+  "CMakeFiles/dolos_crypto.dir/sha256.cc.o"
+  "CMakeFiles/dolos_crypto.dir/sha256.cc.o.d"
+  "CMakeFiles/dolos_crypto.dir/siphash.cc.o"
+  "CMakeFiles/dolos_crypto.dir/siphash.cc.o.d"
+  "libdolos_crypto.a"
+  "libdolos_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dolos_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dolos/controller.cc" "src/dolos/CMakeFiles/dolos_core.dir/controller.cc.o" "gcc" "src/dolos/CMakeFiles/dolos_core.dir/controller.cc.o.d"
+  "/root/repo/src/dolos/misu.cc" "src/dolos/CMakeFiles/dolos_core.dir/misu.cc.o" "gcc" "src/dolos/CMakeFiles/dolos_core.dir/misu.cc.o.d"
+  "/root/repo/src/dolos/system.cc" "src/dolos/CMakeFiles/dolos_core.dir/system.cc.o" "gcc" "src/dolos/CMakeFiles/dolos_core.dir/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dolos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dolos_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dolos_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/secure/CMakeFiles/dolos_secure.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/dolos_cpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

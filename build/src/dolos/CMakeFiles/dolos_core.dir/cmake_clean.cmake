@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dolos_core.dir/controller.cc.o"
+  "CMakeFiles/dolos_core.dir/controller.cc.o.d"
+  "CMakeFiles/dolos_core.dir/misu.cc.o"
+  "CMakeFiles/dolos_core.dir/misu.cc.o.d"
+  "CMakeFiles/dolos_core.dir/system.cc.o"
+  "CMakeFiles/dolos_core.dir/system.cc.o.d"
+  "libdolos_core.a"
+  "libdolos_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dolos_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdolos_core.a"
+)

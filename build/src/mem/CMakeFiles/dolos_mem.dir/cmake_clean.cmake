@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dolos_mem.dir/cache.cc.o"
+  "CMakeFiles/dolos_mem.dir/cache.cc.o.d"
+  "CMakeFiles/dolos_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/dolos_mem.dir/hierarchy.cc.o.d"
+  "CMakeFiles/dolos_mem.dir/nvm_device.cc.o"
+  "CMakeFiles/dolos_mem.dir/nvm_device.cc.o.d"
+  "libdolos_mem.a"
+  "libdolos_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dolos_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

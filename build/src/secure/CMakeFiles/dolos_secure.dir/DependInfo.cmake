@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/secure/anubis.cc" "src/secure/CMakeFiles/dolos_secure.dir/anubis.cc.o" "gcc" "src/secure/CMakeFiles/dolos_secure.dir/anubis.cc.o.d"
+  "/root/repo/src/secure/counters.cc" "src/secure/CMakeFiles/dolos_secure.dir/counters.cc.o" "gcc" "src/secure/CMakeFiles/dolos_secure.dir/counters.cc.o.d"
+  "/root/repo/src/secure/merkle_tree.cc" "src/secure/CMakeFiles/dolos_secure.dir/merkle_tree.cc.o" "gcc" "src/secure/CMakeFiles/dolos_secure.dir/merkle_tree.cc.o.d"
+  "/root/repo/src/secure/security_engine.cc" "src/secure/CMakeFiles/dolos_secure.dir/security_engine.cc.o" "gcc" "src/secure/CMakeFiles/dolos_secure.dir/security_engine.cc.o.d"
+  "/root/repo/src/secure/tag_cache.cc" "src/secure/CMakeFiles/dolos_secure.dir/tag_cache.cc.o" "gcc" "src/secure/CMakeFiles/dolos_secure.dir/tag_cache.cc.o.d"
+  "/root/repo/src/secure/toc.cc" "src/secure/CMakeFiles/dolos_secure.dir/toc.cc.o" "gcc" "src/secure/CMakeFiles/dolos_secure.dir/toc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dolos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dolos_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dolos_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

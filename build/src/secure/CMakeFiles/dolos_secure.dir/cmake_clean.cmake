@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dolos_secure.dir/anubis.cc.o"
+  "CMakeFiles/dolos_secure.dir/anubis.cc.o.d"
+  "CMakeFiles/dolos_secure.dir/counters.cc.o"
+  "CMakeFiles/dolos_secure.dir/counters.cc.o.d"
+  "CMakeFiles/dolos_secure.dir/merkle_tree.cc.o"
+  "CMakeFiles/dolos_secure.dir/merkle_tree.cc.o.d"
+  "CMakeFiles/dolos_secure.dir/security_engine.cc.o"
+  "CMakeFiles/dolos_secure.dir/security_engine.cc.o.d"
+  "CMakeFiles/dolos_secure.dir/tag_cache.cc.o"
+  "CMakeFiles/dolos_secure.dir/tag_cache.cc.o.d"
+  "CMakeFiles/dolos_secure.dir/toc.cc.o"
+  "CMakeFiles/dolos_secure.dir/toc.cc.o.d"
+  "libdolos_secure.a"
+  "libdolos_secure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dolos_secure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

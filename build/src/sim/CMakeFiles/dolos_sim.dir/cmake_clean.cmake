@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dolos_sim.dir/logging.cc.o"
+  "CMakeFiles/dolos_sim.dir/logging.cc.o.d"
+  "CMakeFiles/dolos_sim.dir/stats.cc.o"
+  "CMakeFiles/dolos_sim.dir/stats.cc.o.d"
+  "libdolos_sim.a"
+  "libdolos_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dolos_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

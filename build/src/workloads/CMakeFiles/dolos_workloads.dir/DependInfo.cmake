@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/btree.cc" "src/workloads/CMakeFiles/dolos_workloads.dir/btree.cc.o" "gcc" "src/workloads/CMakeFiles/dolos_workloads.dir/btree.cc.o.d"
+  "/root/repo/src/workloads/ctree.cc" "src/workloads/CMakeFiles/dolos_workloads.dir/ctree.cc.o" "gcc" "src/workloads/CMakeFiles/dolos_workloads.dir/ctree.cc.o.d"
+  "/root/repo/src/workloads/echo.cc" "src/workloads/CMakeFiles/dolos_workloads.dir/echo.cc.o" "gcc" "src/workloads/CMakeFiles/dolos_workloads.dir/echo.cc.o.d"
+  "/root/repo/src/workloads/hashmap.cc" "src/workloads/CMakeFiles/dolos_workloads.dir/hashmap.cc.o" "gcc" "src/workloads/CMakeFiles/dolos_workloads.dir/hashmap.cc.o.d"
+  "/root/repo/src/workloads/nstore_ycsb.cc" "src/workloads/CMakeFiles/dolos_workloads.dir/nstore_ycsb.cc.o" "gcc" "src/workloads/CMakeFiles/dolos_workloads.dir/nstore_ycsb.cc.o.d"
+  "/root/repo/src/workloads/pmem.cc" "src/workloads/CMakeFiles/dolos_workloads.dir/pmem.cc.o" "gcc" "src/workloads/CMakeFiles/dolos_workloads.dir/pmem.cc.o.d"
+  "/root/repo/src/workloads/rbtree.cc" "src/workloads/CMakeFiles/dolos_workloads.dir/rbtree.cc.o" "gcc" "src/workloads/CMakeFiles/dolos_workloads.dir/rbtree.cc.o.d"
+  "/root/repo/src/workloads/redis.cc" "src/workloads/CMakeFiles/dolos_workloads.dir/redis.cc.o" "gcc" "src/workloads/CMakeFiles/dolos_workloads.dir/redis.cc.o.d"
+  "/root/repo/src/workloads/runner.cc" "src/workloads/CMakeFiles/dolos_workloads.dir/runner.cc.o" "gcc" "src/workloads/CMakeFiles/dolos_workloads.dir/runner.cc.o.d"
+  "/root/repo/src/workloads/tx.cc" "src/workloads/CMakeFiles/dolos_workloads.dir/tx.cc.o" "gcc" "src/workloads/CMakeFiles/dolos_workloads.dir/tx.cc.o.d"
+  "/root/repo/src/workloads/vacation.cc" "src/workloads/CMakeFiles/dolos_workloads.dir/vacation.cc.o" "gcc" "src/workloads/CMakeFiles/dolos_workloads.dir/vacation.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/dolos_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/dolos_workloads.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dolos/CMakeFiles/dolos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/secure/CMakeFiles/dolos_secure.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dolos_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/dolos_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dolos_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dolos_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dolos_workloads.dir/btree.cc.o"
+  "CMakeFiles/dolos_workloads.dir/btree.cc.o.d"
+  "CMakeFiles/dolos_workloads.dir/ctree.cc.o"
+  "CMakeFiles/dolos_workloads.dir/ctree.cc.o.d"
+  "CMakeFiles/dolos_workloads.dir/echo.cc.o"
+  "CMakeFiles/dolos_workloads.dir/echo.cc.o.d"
+  "CMakeFiles/dolos_workloads.dir/hashmap.cc.o"
+  "CMakeFiles/dolos_workloads.dir/hashmap.cc.o.d"
+  "CMakeFiles/dolos_workloads.dir/nstore_ycsb.cc.o"
+  "CMakeFiles/dolos_workloads.dir/nstore_ycsb.cc.o.d"
+  "CMakeFiles/dolos_workloads.dir/pmem.cc.o"
+  "CMakeFiles/dolos_workloads.dir/pmem.cc.o.d"
+  "CMakeFiles/dolos_workloads.dir/rbtree.cc.o"
+  "CMakeFiles/dolos_workloads.dir/rbtree.cc.o.d"
+  "CMakeFiles/dolos_workloads.dir/redis.cc.o"
+  "CMakeFiles/dolos_workloads.dir/redis.cc.o.d"
+  "CMakeFiles/dolos_workloads.dir/runner.cc.o"
+  "CMakeFiles/dolos_workloads.dir/runner.cc.o.d"
+  "CMakeFiles/dolos_workloads.dir/tx.cc.o"
+  "CMakeFiles/dolos_workloads.dir/tx.cc.o.d"
+  "CMakeFiles/dolos_workloads.dir/vacation.cc.o"
+  "CMakeFiles/dolos_workloads.dir/vacation.cc.o.d"
+  "CMakeFiles/dolos_workloads.dir/workload.cc.o"
+  "CMakeFiles/dolos_workloads.dir/workload.cc.o.d"
+  "libdolos_workloads.a"
+  "libdolos_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dolos_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crypto/aes128_test.cc" "tests/crypto/CMakeFiles/crypto_test.dir/aes128_test.cc.o" "gcc" "tests/crypto/CMakeFiles/crypto_test.dir/aes128_test.cc.o.d"
+  "/root/repo/tests/crypto/ctr_pad_test.cc" "tests/crypto/CMakeFiles/crypto_test.dir/ctr_pad_test.cc.o" "gcc" "tests/crypto/CMakeFiles/crypto_test.dir/ctr_pad_test.cc.o.d"
+  "/root/repo/tests/crypto/mac_engine_test.cc" "tests/crypto/CMakeFiles/crypto_test.dir/mac_engine_test.cc.o" "gcc" "tests/crypto/CMakeFiles/crypto_test.dir/mac_engine_test.cc.o.d"
+  "/root/repo/tests/crypto/sha256_test.cc" "tests/crypto/CMakeFiles/crypto_test.dir/sha256_test.cc.o" "gcc" "tests/crypto/CMakeFiles/crypto_test.dir/sha256_test.cc.o.d"
+  "/root/repo/tests/crypto/siphash_test.cc" "tests/crypto/CMakeFiles/crypto_test.dir/siphash_test.cc.o" "gcc" "tests/crypto/CMakeFiles/crypto_test.dir/siphash_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dolos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dolos_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_test.dir/aes128_test.cc.o"
+  "CMakeFiles/crypto_test.dir/aes128_test.cc.o.d"
+  "CMakeFiles/crypto_test.dir/ctr_pad_test.cc.o"
+  "CMakeFiles/crypto_test.dir/ctr_pad_test.cc.o.d"
+  "CMakeFiles/crypto_test.dir/mac_engine_test.cc.o"
+  "CMakeFiles/crypto_test.dir/mac_engine_test.cc.o.d"
+  "CMakeFiles/crypto_test.dir/sha256_test.cc.o"
+  "CMakeFiles/crypto_test.dir/sha256_test.cc.o.d"
+  "CMakeFiles/crypto_test.dir/siphash_test.cc.o"
+  "CMakeFiles/crypto_test.dir/siphash_test.cc.o.d"
+  "crypto_test"
+  "crypto_test.pdb"
+  "crypto_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

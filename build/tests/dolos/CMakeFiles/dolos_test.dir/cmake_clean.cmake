@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dolos_test.dir/controller_test.cc.o"
+  "CMakeFiles/dolos_test.dir/controller_test.cc.o.d"
+  "CMakeFiles/dolos_test.dir/misu_test.cc.o"
+  "CMakeFiles/dolos_test.dir/misu_test.cc.o.d"
+  "CMakeFiles/dolos_test.dir/redo_log_test.cc.o"
+  "CMakeFiles/dolos_test.dir/redo_log_test.cc.o.d"
+  "CMakeFiles/dolos_test.dir/system_test.cc.o"
+  "CMakeFiles/dolos_test.dir/system_test.cc.o.d"
+  "dolos_test"
+  "dolos_test.pdb"
+  "dolos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dolos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

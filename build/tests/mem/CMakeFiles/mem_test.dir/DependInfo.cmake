@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mem/backing_store_test.cc" "tests/mem/CMakeFiles/mem_test.dir/backing_store_test.cc.o" "gcc" "tests/mem/CMakeFiles/mem_test.dir/backing_store_test.cc.o.d"
+  "/root/repo/tests/mem/cache_test.cc" "tests/mem/CMakeFiles/mem_test.dir/cache_test.cc.o" "gcc" "tests/mem/CMakeFiles/mem_test.dir/cache_test.cc.o.d"
+  "/root/repo/tests/mem/hierarchy_test.cc" "tests/mem/CMakeFiles/mem_test.dir/hierarchy_test.cc.o" "gcc" "tests/mem/CMakeFiles/mem_test.dir/hierarchy_test.cc.o.d"
+  "/root/repo/tests/mem/nvm_device_test.cc" "tests/mem/CMakeFiles/mem_test.dir/nvm_device_test.cc.o" "gcc" "tests/mem/CMakeFiles/mem_test.dir/nvm_device_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dolos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dolos_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dolos_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/secure/anubis_test.cc" "tests/secure/CMakeFiles/secure_test.dir/anubis_test.cc.o" "gcc" "tests/secure/CMakeFiles/secure_test.dir/anubis_test.cc.o.d"
+  "/root/repo/tests/secure/counters_test.cc" "tests/secure/CMakeFiles/secure_test.dir/counters_test.cc.o" "gcc" "tests/secure/CMakeFiles/secure_test.dir/counters_test.cc.o.d"
+  "/root/repo/tests/secure/merkle_tree_test.cc" "tests/secure/CMakeFiles/secure_test.dir/merkle_tree_test.cc.o" "gcc" "tests/secure/CMakeFiles/secure_test.dir/merkle_tree_test.cc.o.d"
+  "/root/repo/tests/secure/osiris_test.cc" "tests/secure/CMakeFiles/secure_test.dir/osiris_test.cc.o" "gcc" "tests/secure/CMakeFiles/secure_test.dir/osiris_test.cc.o.d"
+  "/root/repo/tests/secure/security_engine_test.cc" "tests/secure/CMakeFiles/secure_test.dir/security_engine_test.cc.o" "gcc" "tests/secure/CMakeFiles/secure_test.dir/security_engine_test.cc.o.d"
+  "/root/repo/tests/secure/tag_cache_test.cc" "tests/secure/CMakeFiles/secure_test.dir/tag_cache_test.cc.o" "gcc" "tests/secure/CMakeFiles/secure_test.dir/tag_cache_test.cc.o.d"
+  "/root/repo/tests/secure/toc_test.cc" "tests/secure/CMakeFiles/secure_test.dir/toc_test.cc.o" "gcc" "tests/secure/CMakeFiles/secure_test.dir/toc_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dolos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dolos_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/secure/CMakeFiles/dolos_secure.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dolos_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_test.dir/anubis_test.cc.o"
+  "CMakeFiles/secure_test.dir/anubis_test.cc.o.d"
+  "CMakeFiles/secure_test.dir/counters_test.cc.o"
+  "CMakeFiles/secure_test.dir/counters_test.cc.o.d"
+  "CMakeFiles/secure_test.dir/merkle_tree_test.cc.o"
+  "CMakeFiles/secure_test.dir/merkle_tree_test.cc.o.d"
+  "CMakeFiles/secure_test.dir/osiris_test.cc.o"
+  "CMakeFiles/secure_test.dir/osiris_test.cc.o.d"
+  "CMakeFiles/secure_test.dir/security_engine_test.cc.o"
+  "CMakeFiles/secure_test.dir/security_engine_test.cc.o.d"
+  "CMakeFiles/secure_test.dir/tag_cache_test.cc.o"
+  "CMakeFiles/secure_test.dir/tag_cache_test.cc.o.d"
+  "CMakeFiles/secure_test.dir/toc_test.cc.o"
+  "CMakeFiles/secure_test.dir/toc_test.cc.o.d"
+  "secure_test"
+  "secure_test.pdb"
+  "secure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

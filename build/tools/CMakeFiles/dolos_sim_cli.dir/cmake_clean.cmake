@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dolos_sim_cli.dir/dolos_sim.cc.o"
+  "CMakeFiles/dolos_sim_cli.dir/dolos_sim.cc.o.d"
+  "dolos-sim"
+  "dolos-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dolos_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
