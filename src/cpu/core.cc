@@ -35,6 +35,8 @@ SimpleCore::load(Addr addr, void *out, unsigned size)
     ++statInstructions;
     ++statLoads;
     clock = hierarchy.load(addr, out, size, clock);
+    if (observer)
+        observer->onLoad(addr, out, size);
 }
 
 void
@@ -43,6 +45,8 @@ SimpleCore::store(Addr addr, const void *src, unsigned size)
     ++statInstructions;
     ++statStores;
     clock = hierarchy.store(addr, src, size, clock);
+    if (observer)
+        observer->onStore(addr, src, size);
 }
 
 void
@@ -50,6 +54,15 @@ SimpleCore::clwb(Addr addr)
 {
     ++statInstructions;
     ++statClwbs;
+    if (observer)
+        observer->onClwb(addr);
+    if (clwbDropIn) {
+        if (*clwbDropIn == 0) {
+            clwbDropIn.reset();
+            return; // injected fault: the flush silently vanishes
+        }
+        --*clwbDropIn;
+    }
     const PersistTicket t = hierarchy.clwb(addr, clock);
     clock = t.acceptTick;
     outstanding.push_back(t);
@@ -68,6 +81,16 @@ SimpleCore::sfence()
     statFenceStall += stall;
     statFenceWait.sample(double(stall));
     clock = latest;
+    if (observer)
+        observer->onSfence();
+}
+
+void
+SimpleCore::notifyCrash()
+{
+    outstanding.clear();
+    if (observer)
+        observer->onCrash();
 }
 
 } // namespace dolos

@@ -14,6 +14,7 @@
 #ifndef DOLOS_CPU_CORE_HH
 #define DOLOS_CPU_CORE_HH
 
+#include <optional>
 #include <vector>
 
 #include "mem/hierarchy.hh"
@@ -22,11 +23,49 @@
 namespace dolos
 {
 
+/**
+ * Passive observer of the core's architectural memory operations.
+ *
+ * Observers see every load (with the returned data), store, CLWB,
+ * SFENCE and power failure in program order, which is exactly the
+ * information an in-order reference machine needs (src/verify's
+ * GoldenModel). Callbacks must not drive the core re-entrantly.
+ */
+class CoreObserver
+{
+  public:
+    virtual ~CoreObserver() = default;
+
+    virtual void onLoad(Addr, const void *, unsigned) {}
+    virtual void onStore(Addr, const void *, unsigned) {}
+    virtual void onClwb(Addr) {}
+    virtual void onSfence() {}
+    virtual void onCrash() {}
+};
+
 /** In-order core bound to a hierarchy. */
 class SimpleCore
 {
   public:
     explicit SimpleCore(CacheHierarchy &hierarchy);
+
+    /** Attach (or detach, with nullptr) an operation observer. */
+    void setObserver(CoreObserver *obs) { observer = obs; }
+
+    /**
+     * Fault injection: silently drop the @p nth next CLWB (0 = the
+     * very next one). The dropped flush is still reported to the
+     * observer — the *program* issued it; losing its effect is the
+     * fault — and still counts as an executed instruction.
+     */
+    void armClwbDrop(std::uint64_t nth) { clwbDropIn = nth; }
+
+    /**
+     * Power failure: outstanding persist tickets die with the core's
+     * volatile state; the observer is told so reference machines can
+     * fork their admissible-state sets.
+     */
+    void notifyCrash();
 
     /** Model @p n cycles of non-memory work (n instructions). */
     void compute(Cycles n);
@@ -73,6 +112,8 @@ class SimpleCore
     CacheHierarchy &hierarchy;
     Tick clock = 0;
     std::vector<PersistTicket> outstanding;
+    CoreObserver *observer = nullptr;
+    std::optional<std::uint64_t> clwbDropIn; ///< armed CLWB drop
 
     stats::StatGroup stats_;
     stats::Scalar statInstructions;

@@ -332,19 +332,28 @@ SecureMemController::crash(Tick at)
             undrained.push_back(&e);
     report.entriesDumped = unsigned(undrained.size());
 
+    // Injected torn-drain fault: ADR power dies after this many
+    // entries; the remainder of the flush never reaches NVM.
+    const unsigned flush_limit =
+        adrTear ? std::min(*adrTear, unsigned(undrained.size()))
+                : unsigned(undrained.size());
+    adrTear.reset();
+
     switch (cfg.mode) {
       case SecurityMode::NonSecureIdeal:
         // ADR flushes the plaintext WPQ to the home locations.
-        for (const auto *e : undrained)
-            nvm.writeFunctional(e->addr, e->plaintext);
+        for (unsigned i = 0; i < flush_limit; ++i)
+            nvm.writeFunctional(undrained[i]->addr,
+                                undrained[i]->plaintext);
         report.blocksFlushed = report.entriesDumped * 2;
         report.energyBytes = report.entriesDumped * 72;
         break;
 
       case SecurityMode::PreWpqSecure:
         // Entries are already secured ciphertext: flush home.
-        for (const auto *e : undrained)
-            nvm.writeFunctional(e->addr, e->ciphertext);
+        for (unsigned i = 0; i < flush_limit; ++i)
+            nvm.writeFunctional(undrained[i]->addr,
+                                undrained[i]->ciphertext);
         report.blocksFlushed = report.entriesDumped * 2;
         report.energyBytes = report.entriesDumped * 72;
         break;
@@ -353,10 +362,10 @@ SecureMemController::crash(Tick at)
         // The infeasible design: full security processing of every
         // pending entry on backup power. Modeled for Figure 6; the
         // report flags the budget violation.
-        for (const auto *e : undrained) {
-            const auto res = engine.secureWrite(e->addr, e->plaintext,
-                                                at);
-            nvm.writeFunctional(e->addr, res.ciphertext);
+        for (unsigned i = 0; i < flush_limit; ++i) {
+            const auto res = engine.secureWrite(
+                undrained[i]->addr, undrained[i]->plaintext, at);
+            nvm.writeFunctional(undrained[i]->addr, res.ciphertext);
         }
         report.blocksFlushed = report.entriesDumped * 2;
         report.energyBytes = report.entriesDumped * 72 +
@@ -376,6 +385,8 @@ SecureMemController::crash(Tick at)
 
         unsigned i = 0;
         for (const auto *e : undrained) {
+            if (i >= flush_limit)
+                break;
             const Addr base = AddressMap::wpqDumpAddr(1 + i);
             nvm.writeFunctional(base, e->image.ctData);
             Block meta{};
@@ -446,6 +457,8 @@ SecureMemController::recover()
         for (const auto &[slot, img] : images)
             report.misuVerified &= misu_->verifyEntry(slot, img);
     }
+    if (!report.misuVerified)
+        engine.noteAttack("Mi-SU WPQ dump failed authentication");
 
     if (report.misuVerified) {
         // Drain the recovered entries through Ma-SU in FIFO order.

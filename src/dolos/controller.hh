@@ -25,6 +25,7 @@
 
 #include <deque>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 
 #include "dolos/config.hh"
@@ -81,6 +82,16 @@ class SecureMemController : public PersistController
 
     /** Advance background drains to @p t (idle time, test hooks). */
     void drainTo(Tick t);
+
+    /**
+     * Fault injection: at the next crash, ADR power dies after
+     * flushing @p surviving_entries WPQ entries — the rest of the
+     * dump is torn off. One-shot; consumed by crash().
+     */
+    void armAdrTear(unsigned surviving_entries)
+    {
+        adrTear = surviving_entries;
+    }
 
     SecurityMode mode() const { return cfg.mode; }
     unsigned wpqCapacity() const { return capacity; }
@@ -141,6 +152,7 @@ class SecureMemController : public PersistController
     RedoLogBuffer redoLog;
 
     unsigned capacity;
+    std::optional<unsigned> adrTear; ///< armed torn-ADR-drain fault
     std::deque<WpqEntry> wpq;
     std::uint64_t nextId = 0;
     std::uint64_t drainCursor = 0; ///< id of next entry to drain

@@ -22,6 +22,7 @@ System::crash()
 {
     const auto report = mc->crash(core_->now());
     hier->invalidateAll();
+    core_->notifyCrash();
     return report;
 }
 

@@ -45,6 +45,13 @@ SecurityEngine::SecurityEngine(const SecureParams &p, NvmDevice &nvm)
     stats_.addChild(&shadow.statGroup());
 }
 
+void
+SecurityEngine::noteAttack(const char *what)
+{
+    ++statAttacks;
+    warn("%s", what);
+}
+
 unsigned
 SecurityEngine::writeMacOps() const
 {

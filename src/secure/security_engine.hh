@@ -175,6 +175,13 @@ class SecurityEngine
     bool attackDetected() const { return statAttacks.value() != 0; }
     std::uint64_t attacksDetected() const { return statAttacks.value(); }
 
+    /**
+     * Record an integrity failure detected outside the engine proper
+     * (e.g. Mi-SU dump authentication in the controller), so that
+     * attackDetected() reflects every verification the platform runs.
+     */
+    void noteAttack(const char *what);
+
     /** Current (volatile) counter of a block — test/inspection. */
     std::uint64_t counterOf(Addr addr) const
     {

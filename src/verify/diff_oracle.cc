@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Differential crash oracle implementation.
+ */
+
+#include "verify/diff_oracle.hh"
+
+#include <cstdio>
+
+namespace dolos::verify
+{
+
+std::string
+OracleReport::summary() const
+{
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "oracle: %llu blocks, %llu committed / %llu in-flight"
+                  " / %llu untouched bytes, %llu violations",
+                  (unsigned long long)blocksScanned,
+                  (unsigned long long)committedBytes,
+                  (unsigned long long)inFlightBytes,
+                  (unsigned long long)untouchedBytes,
+                  (unsigned long long)violations);
+    std::string out = buf;
+    if (!diagnostics.empty())
+        out += "; first: " + diagnostics.front();
+    return out;
+}
+
+OracleReport
+checkAgainstGolden(System &sys, GoldenModel &golden)
+{
+    OracleReport report;
+
+    // Classify before the sweep: reading resolves in-flight bytes.
+    const auto tracked = golden.trackedBlocks();
+    for (const Addr block : tracked) {
+        for (unsigned i = 0; i < blockSize; ++i) {
+            switch (golden.classify(block + i)) {
+              case ByteClass::Committed:
+                ++report.committedBytes;
+                break;
+              case ByteClass::InFlight:
+                ++report.inFlightBytes;
+                break;
+              case ByteClass::Untouched:
+                ++report.untouchedBytes;
+                break;
+            }
+        }
+    }
+
+    // The sweep: every tracked block read through the real core; the
+    // golden model adjudicates each byte via the observer path.
+    Block buf;
+    for (const Addr block : tracked) {
+        sys.core().load(block, buf.data(), blockSize);
+        ++report.blocksScanned;
+    }
+
+    report.violations = golden.violationCount();
+    report.diagnostics = golden.diagnostics();
+    return report;
+}
+
+} // namespace dolos::verify

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Differential crash oracle.
+ *
+ * After a run (and in particular after a crash + recovery) the
+ * oracle sweeps every block the golden model ever saw stored, reads
+ * it back through the real machine's core, and lets the golden model
+ * adjudicate each byte: committed bytes must match byte-exactly,
+ * in-flight bytes must fall inside their admissible sets, untouched
+ * bytes must be zero. The verdict therefore covers the paper's
+ * committed-prefix recovery claim end to end — through the caches,
+ * the WPQ tag array, the security engine's decrypt path and the
+ * recovery machinery.
+ */
+
+#ifndef DOLOS_VERIFY_DIFF_ORACLE_HH
+#define DOLOS_VERIFY_DIFF_ORACLE_HH
+
+#include "dolos/system.hh"
+#include "verify/golden_model.hh"
+
+namespace dolos::verify
+{
+
+/** Verdict of one oracle sweep. */
+struct OracleReport
+{
+    std::uint64_t blocksScanned = 0;
+    std::uint64_t committedBytes = 0;
+    std::uint64_t inFlightBytes = 0;
+    std::uint64_t untouchedBytes = 0;
+    std::uint64_t violations = 0;   ///< run-long total, incl. the sweep
+    std::vector<std::string> diagnostics;
+
+    bool clean() const { return violations == 0; }
+
+    /** One-line human-readable summary. */
+    std::string summary() const;
+};
+
+/**
+ * Sweep the machine against the golden model.
+ *
+ * The golden model must be attached to @p sys's core as its
+ * observer (the sweep's own loads are adjudicated through the
+ * observer path, resolving any still-ambiguous post-crash bytes).
+ */
+OracleReport checkAgainstGolden(System &sys, GoldenModel &golden);
+
+} // namespace dolos::verify
+
+#endif // DOLOS_VERIFY_DIFF_ORACLE_HH

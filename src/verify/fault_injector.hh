@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Deterministic fault and attack injection.
+ *
+ * The injector models the failure and adversary classes the Dolos
+ * design must survive (paper §4.1, §5):
+ *
+ *   DataFlip         flip one NVM bit in a protected data block
+ *   MacFlip          flip one NVM bit in the block's stored data MAC
+ *   CounterRollback  roll an NVM counter block backwards and scrub
+ *                    the Anubis shadow region so the stale image
+ *                    looks like a clean shutdown
+ *   BmtFlip          corrupt (or forge) a stored integrity-tree node
+ *                    on a written block's path
+ *   TornAdrDump      ADR power dies after K entries of the crash
+ *                    dump — the rest of the WPQ flush is torn off
+ *   DroppedClwb      a CLWB silently never reaches the controller
+ *                    (platform/software flush bug; the class the
+ *                    differential oracle exists to catch)
+ *
+ * Image mutations (the first four) are applied to the NVM backing
+ * store at a quiesced point — between crash and recovery for a
+ * cold-boot adversary, or after recovery for a bus adversary.
+ * Crash-path faults (the last two) are armed ahead of time and fire
+ * inside the machine. Victim selection is seeded and deterministic:
+ * the same (seed, machine history) always injects the same fault,
+ * which is what makes fuzz failures reproducible from one line.
+ */
+
+#ifndef DOLOS_VERIFY_FAULT_INJECTOR_HH
+#define DOLOS_VERIFY_FAULT_INJECTOR_HH
+
+#include <optional>
+#include <string>
+
+#include "dolos/system.hh"
+#include "sim/random.hh"
+
+namespace dolos::verify
+{
+
+/** The injectable fault classes. */
+enum class FaultKind
+{
+    None,
+    DataFlip,
+    MacFlip,
+    CounterRollback,
+    BmtFlip,
+    TornAdrDump,
+    DroppedClwb,
+};
+
+/** Stable CLI name of a fault kind (and its inverse). */
+const char *faultKindName(FaultKind kind);
+std::optional<FaultKind> parseFaultKind(const std::string &name);
+
+/** All injectable kinds, in a fixed order (None excluded). */
+inline constexpr FaultKind allFaultKinds[] = {
+    FaultKind::DataFlip,       FaultKind::MacFlip,
+    FaultKind::CounterRollback, FaultKind::BmtFlip,
+    FaultKind::TornAdrDump,    FaultKind::DroppedClwb,
+};
+
+/** What an injection actually did (repro + assertions). */
+struct InjectionRecord
+{
+    FaultKind kind = FaultKind::None;
+    bool injected = false; ///< a concrete target existed
+    Addr target = 0;       ///< mutated NVM address (if any)
+    Addr victim = 0;       ///< data block whose read provokes the check
+    unsigned bit = 0;      ///< flipped bit index (flip kinds)
+    std::string detail;
+};
+
+/**
+ * Seeded fault injector bound to one System.
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector(System &sys, std::uint64_t seed)
+        : sys(sys), rng(seed ^ 0xFA17'1E57ULL)
+    {
+    }
+
+    /** @{ Crash-path faults: armed now, fire inside the machine. */
+    InjectionRecord armTornAdrDump(unsigned surviving_entries);
+    InjectionRecord armDroppedClwb(std::uint64_t nth);
+    /** @} */
+
+    /** @{ NVM image mutations (apply at a quiesced point). */
+    InjectionRecord injectDataFlip();
+    InjectionRecord injectMacFlip();
+    InjectionRecord injectCounterRollback();
+    InjectionRecord injectBmtFlip();
+    /** @} */
+
+    /**
+     * Dispatch an image mutation by kind (campaign convenience);
+     * crash-path kinds must be armed explicitly and return a
+     * not-injected record here.
+     */
+    InjectionRecord inject(FaultKind kind);
+
+    /**
+     * Deterministically pick a victim among the protected-data
+     * blocks currently stored in NVM.
+     */
+    std::optional<Addr> pickVictimDataBlock();
+
+  private:
+    /** Flip one seeded bit of the stored block at @p addr. */
+    InjectionRecord flipBitAt(FaultKind kind, Addr addr);
+
+    System &sys;
+    Random rng;
+};
+
+} // namespace dolos::verify
+
+#endif // DOLOS_VERIFY_FAULT_INJECTOR_HH

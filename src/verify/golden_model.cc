@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Golden reference machine implementation.
+ */
+
+#include "verify/golden_model.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dolos::verify
+{
+
+namespace
+{
+
+/** Pretty one-line diagnostic for a byte mismatch. */
+std::string
+describeMismatch(Addr addr, std::uint8_t observed, const char *expect)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "addr 0x%llx: observed 0x%02x, expected %s",
+                  (unsigned long long)addr, observed, expect);
+    return buf;
+}
+
+} // namespace
+
+GoldenModel::ByteState *
+GoldenModel::find(Addr addr)
+{
+    const auto it = blocks.find(blockAlign(addr));
+    if (it == blocks.end())
+        return nullptr;
+    return &it->second[addr % blockSize];
+}
+
+const GoldenModel::ByteState *
+GoldenModel::find(Addr addr) const
+{
+    const auto it = blocks.find(blockAlign(addr));
+    if (it == blocks.end())
+        return nullptr;
+    return &it->second[addr % blockSize];
+}
+
+GoldenModel::ByteState &
+GoldenModel::touch(Addr addr)
+{
+    return blocks[blockAlign(addr)][addr % blockSize];
+}
+
+void
+GoldenModel::recordViolation(Addr addr, std::uint8_t observed,
+                             const ByteState *state)
+{
+    ++violations_;
+    if (diagnostics_.size() >= 16)
+        return;
+    if (!state || !state->written) {
+        diagnostics_.push_back(
+            describeMismatch(addr, observed, "0x00 (untouched)"));
+        return;
+    }
+    char expect[96];
+    if (state->ambiguous && state->pending.empty()) {
+        std::string set;
+        for (std::uint8_t v : state->admissible) {
+            char e[8];
+            std::snprintf(e, sizeof(e), "%s0x%02x",
+                          set.empty() ? "" : ",", v);
+            set += e;
+        }
+        std::snprintf(expect, sizeof(expect), "one of {%s} (in-flight)",
+                      set.c_str());
+    } else {
+        std::snprintf(expect, sizeof(expect), "0x%02x (%s)",
+                      state->currentValue(),
+                      state->pending.empty() ? "committed" : "dirty");
+    }
+    diagnostics_.push_back(describeMismatch(addr, observed, expect));
+}
+
+void
+GoldenModel::onStore(Addr addr, const void *data, unsigned size)
+{
+    ++seq;
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+    for (unsigned i = 0; i < size; ++i) {
+        ByteState &b = touch(addr + i);
+        b.written = true;
+        b.pending.emplace_back(seq, bytes[i]);
+    }
+}
+
+void
+GoldenModel::onClwb(Addr addr)
+{
+    // Snapshot the block's program-order position; the fence that
+    // retires this CLWB commits the content as of this point.
+    flushSnaps[blockAlign(addr)] = seq;
+}
+
+void
+GoldenModel::onSfence()
+{
+    for (const auto &[block, snap] : flushSnaps) {
+        const auto it = blocks.find(block);
+        if (it == blocks.end())
+            continue;
+        for (ByteState &b : it->second) {
+            // Latest pending value at or before the snapshot becomes
+            // the durable floor; older pending values are dead (the
+            // WPQ drains in FIFO order, so nothing can resurrect
+            // them past this fence).
+            auto last = b.pending.end();
+            for (auto p = b.pending.begin(); p != b.pending.end(); ++p)
+                if (p->first <= snap)
+                    last = p;
+            if (last == b.pending.end())
+                continue;
+            b.floorValue = last->second;
+            b.pending.erase(b.pending.begin(), last + 1);
+            b.ambiguous = false;
+            b.admissible.clear();
+        }
+    }
+    flushSnaps.clear();
+}
+
+void
+GoldenModel::onCrash()
+{
+    ++crashes_;
+    flushSnaps.clear();
+    for (auto &[block, state] : blocks) {
+        for (ByteState &b : state) {
+            if (!b.written)
+                continue;
+            if (b.pending.empty() && !b.ambiguous)
+                continue; // exact durable value: survives as-is
+            // Fork the admissible set: the floor (or the previous
+            // set, if still unresolved) plus every value stored
+            // since — an eviction may have persisted any of them.
+            if (!b.ambiguous) {
+                b.admissible.clear();
+                b.admissible.push_back(b.floorValue);
+            }
+            for (const auto &[s, v] : b.pending) {
+                (void)s;
+                if (std::find(b.admissible.begin(), b.admissible.end(),
+                              v) == b.admissible.end())
+                    b.admissible.push_back(v);
+            }
+            b.pending.clear();
+            b.ambiguous = true;
+        }
+    }
+}
+
+void
+GoldenModel::onLoad(Addr addr, const void *data, unsigned size)
+{
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+    for (unsigned i = 0; i < size; ++i) {
+        ++checkedLoads_;
+        ByteState *b = find(addr + i);
+        if (!b || !b->written) {
+            if (bytes[i] != 0)
+                recordViolation(addr + i, bytes[i], b);
+            continue;
+        }
+        if (b->ambiguous && b->pending.empty()) {
+            // First observation after a crash: the machine reveals
+            // which admissible value survived; pin it.
+            if (std::find(b->admissible.begin(), b->admissible.end(),
+                          bytes[i]) == b->admissible.end()) {
+                recordViolation(addr + i, bytes[i], b);
+                continue;
+            }
+            b->floorValue = bytes[i];
+            b->ambiguous = false;
+            b->admissible.clear();
+            continue;
+        }
+        if (bytes[i] != b->currentValue())
+            recordViolation(addr + i, bytes[i], b);
+    }
+}
+
+ByteClass
+GoldenModel::classify(Addr addr) const
+{
+    const ByteState *b = find(addr);
+    if (!b || !b->written)
+        return ByteClass::Untouched;
+    if (b->ambiguous && b->pending.empty())
+        return ByteClass::InFlight;
+    return ByteClass::Committed;
+}
+
+std::vector<Addr>
+GoldenModel::trackedBlocks() const
+{
+    std::vector<Addr> out;
+    out.reserve(blocks.size());
+    for (const auto &[block, state] : blocks)
+        out.push_back(block);
+    return out;
+}
+
+} // namespace dolos::verify

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * In-order golden reference machine for differential verification.
+ *
+ * The GoldenModel attaches to a SimpleCore as a CoreObserver and
+ * mirrors every architectural memory operation in a flat byte-exact
+ * reference memory that also tracks *persistence* state. From the
+ * program-order stream of stores, CLWBs and SFENCEs it derives, per
+ * byte, the committed-prefix contract the paper's recovery guarantee
+ * promises (PAPER.md §5):
+ *
+ *  - committed: the byte was covered by a CLWB whose SFENCE
+ *    completed. After any crash it must read back exactly.
+ *  - in-flight: stored, but the last store was not known-persisted
+ *    at the crash. After a crash it may read as any value the byte
+ *    held since its last committed snapshot (an eviction may have
+ *    pushed any of them into the persistence domain), but nothing
+ *    else — never garbage, never a pre-committed value.
+ *  - untouched: never stored; reads as zero.
+ *
+ * During normal operation every load is checked byte-exactly against
+ * the reference (the machine is coherent); after a crash, the first
+ * load of an in-flight byte must fall inside its admissible set and
+ * pins the byte from then on. Any disagreement is recorded as a
+ * violation with a diagnostic; the DiffOracle turns the record into
+ * a verdict.
+ */
+
+#ifndef DOLOS_VERIFY_GOLDEN_MODEL_HH
+#define DOLOS_VERIFY_GOLDEN_MODEL_HH
+
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cpu/core.hh"
+
+namespace dolos::verify
+{
+
+/** Persistence classification of one tracked byte. */
+enum class ByteClass
+{
+    Untouched, ///< never stored; must read zero
+    Committed, ///< durable value known exactly
+    InFlight,  ///< value within a known admissible set
+};
+
+/** The reference machine. */
+class GoldenModel : public CoreObserver
+{
+  public:
+    /** @{ CoreObserver: mirror the architectural operation stream. */
+    void onLoad(Addr addr, const void *data, unsigned size) override;
+    void onStore(Addr addr, const void *data, unsigned size) override;
+    void onClwb(Addr addr) override;
+    void onSfence() override;
+    void onCrash() override;
+    /** @} */
+
+    /** Classification of @p addr right now. */
+    ByteClass classify(Addr addr) const;
+
+    /** Block-aligned addresses of every block ever stored to. */
+    std::vector<Addr> trackedBlocks() const;
+
+    /** Loads checked against the reference so far. */
+    std::uint64_t checkedLoads() const { return checkedLoads_; }
+
+    /** Mismatches between the machine and the reference. */
+    std::uint64_t violationCount() const { return violations_; }
+
+    /** First few violation diagnostics (capped). */
+    const std::vector<std::string> &diagnostics() const
+    {
+        return diagnostics_;
+    }
+
+    bool clean() const { return violations_ == 0; }
+
+    /** Crashes observed (admissible-set forks). */
+    unsigned crashesSeen() const { return crashes_; }
+
+  private:
+    /**
+     * One byte of reference memory. `pending` holds every value
+     * stored since the byte's durable floor, newest last; `admissible`
+     * holds the post-crash candidate set while the byte is ambiguous.
+     */
+    struct ByteState
+    {
+        std::uint8_t floorValue = 0;
+        bool written = false;
+        bool ambiguous = false;
+        std::vector<std::pair<std::uint64_t, std::uint8_t>> pending;
+        std::vector<std::uint8_t> admissible;
+
+        /** Value a coherent load must observe (pending wins). */
+        std::uint8_t
+        currentValue() const
+        {
+            return pending.empty() ? floorValue : pending.back().second;
+        }
+    };
+
+    using BlockState = std::array<ByteState, blockSize>;
+
+    ByteState *find(Addr addr);
+    const ByteState *find(Addr addr) const;
+    ByteState &touch(Addr addr);
+
+    void recordViolation(Addr addr, std::uint8_t observed,
+                         const ByteState *state);
+
+    std::map<Addr, BlockState> blocks; ///< keyed by block base
+    std::map<Addr, std::uint64_t> flushSnaps; ///< block -> seq at CLWB
+    std::uint64_t seq = 0;
+    std::uint64_t checkedLoads_ = 0;
+    std::uint64_t violations_ = 0;
+    unsigned crashes_ = 0;
+    std::vector<std::string> diagnostics_;
+};
+
+} // namespace dolos::verify
+
+#endif // DOLOS_VERIFY_GOLDEN_MODEL_HH

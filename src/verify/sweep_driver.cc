@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Crash-point sweep implementation.
+ */
+
+#include "verify/sweep_driver.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sim/random.hh"
+#include "workloads/pmem.hh"
+
+namespace dolos::verify
+{
+
+namespace
+{
+
+SystemConfig
+configFor(const SweepOptions &opt)
+{
+    SystemConfig cfg = opt.base;
+    cfg.mode = opt.mode;
+    return cfg;
+}
+
+} // namespace
+
+std::string
+SweepResult::firstFailure() const
+{
+    for (const auto &p : points) {
+        if (p.passed())
+            continue;
+        char buf[96];
+        std::snprintf(buf, sizeof(buf),
+                      "crash-op %llu: structure=%d attack=%d, ",
+                      (unsigned long long)p.crashOp,
+                      int(p.structureVerified), int(p.attackDetected));
+        return buf + p.oracle.summary();
+    }
+    return {};
+}
+
+std::vector<std::uint64_t>
+enumerateWpqBoundaries(const SweepOptions &opt)
+{
+    System sys(configFor(opt));
+    const auto workload = workloads::makeWorkload(opt.workload, opt.params);
+    workloads::PmemEnv env(sys);
+    workload->setup(env);
+
+    // Record, during the measured run only, every environment
+    // operation after which the controller had accepted new writes.
+    std::vector<std::uint64_t> boundaries;
+    const std::uint64_t ops0 = env.opCount();
+    std::uint64_t writes_seen = sys.controller().writeRequests();
+    env.setOpHook([&] {
+        const std::uint64_t w = sys.controller().writeRequests();
+        if (w != writes_seen) {
+            writes_seen = w;
+            boundaries.push_back(env.opCount() - ops0);
+        }
+    });
+    for (std::uint64_t i = 0; i < opt.numTx; ++i)
+        workload->transaction(env, i);
+    env.setOpHook(nullptr);
+    return boundaries;
+}
+
+CrashPointResult
+runCrashPoint(const SweepOptions &opt, std::uint64_t crash_op)
+{
+    System sys(configFor(opt));
+    GoldenModel golden;
+    sys.core().setObserver(&golden);
+
+    const auto workload = workloads::makeWorkload(opt.workload, opt.params);
+    workloads::CrashPlan plan;
+    plan.atOp = crash_op;
+    const auto res =
+        workloads::runWorkload(sys, *workload, opt.numTx, plan);
+
+    CrashPointResult out;
+    out.crashOp = crash_op;
+    out.structureVerified = res.verified;
+    out.attackDetected = sys.attackDetected();
+    out.oracle = checkAgainstGolden(sys, golden);
+    sys.core().setObserver(nullptr);
+    return out;
+}
+
+SweepResult
+sweepCrashPoints(const SweepOptions &opt)
+{
+    SweepResult result;
+    result.boundaries = enumerateWpqBoundaries(opt);
+    if (result.boundaries.empty())
+        return result;
+
+    // Select the points to run: all of them, or a budgeted sample
+    // that is evenly strided with a seeded start so repeated CI runs
+    // with different seeds cover different slices.
+    std::vector<std::uint64_t> chosen;
+    const std::size_t n = result.boundaries.size();
+    if (opt.budget == 0 || opt.budget >= n) {
+        chosen = result.boundaries;
+    } else {
+        Random rng(opt.sampleSeed ^ 0x5eeb0a2dULL);
+        chosen.push_back(result.boundaries.front());
+        if (opt.budget >= 2)
+            chosen.push_back(result.boundaries.back());
+        const std::size_t middle = opt.budget > 2 ? opt.budget - 2 : 0;
+        if (middle > 0 && n > 2) {
+            const std::size_t span = n - 2;
+            const double stride = double(span) / double(middle);
+            const std::size_t offset = rng.below(std::max<std::uint64_t>(
+                1, std::uint64_t(stride)));
+            for (std::size_t k = 0; k < middle; ++k) {
+                std::size_t pos =
+                    1 + std::size_t(stride * double(k)) + offset;
+                pos = std::min(pos, n - 2);
+                chosen.push_back(result.boundaries[pos]);
+            }
+        }
+        std::sort(chosen.begin(), chosen.end());
+        chosen.erase(std::unique(chosen.begin(), chosen.end()),
+                     chosen.end());
+    }
+
+    for (const std::uint64_t op : chosen)
+        result.points.push_back(runCrashPoint(opt, op));
+    return result;
+}
+
+} // namespace dolos::verify

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Exhaustive crash-point sweep driver.
+ *
+ * A crash can only change the persistent outcome when the WPQ's
+ * contents changed since the previous candidate point, so the sweep
+ * enumerates *WPQ-insertion boundaries*: the environment-operation
+ * indices at which the controller accepted at least one new write
+ * request. A probe run records the boundary set for a (mode,
+ * workload, seed) triple; the sweep then replays the workload from
+ * scratch once per boundary, crashes there, recovers, and checks the
+ * machine against the golden model's committed-prefix contract plus
+ * the workload's own structural verifier.
+ *
+ * Exhaustive sweeps are the gold standard but grow with the
+ * transaction count, so a budget selects an evenly-strided, seeded
+ * subset (always keeping the first and last boundary) for CI.
+ */
+
+#ifndef DOLOS_VERIFY_SWEEP_DRIVER_HH
+#define DOLOS_VERIFY_SWEEP_DRIVER_HH
+
+#include <string>
+#include <vector>
+
+#include "dolos/config.hh"
+#include "verify/diff_oracle.hh"
+#include "workloads/runner.hh"
+
+namespace dolos::verify
+{
+
+/** One (mode, workload) sweep configuration. */
+struct SweepOptions
+{
+    SecurityMode mode = SecurityMode::DolosPartialWpq;
+    std::string workload = "hashmap";
+    std::uint64_t numTx = 6;
+    workloads::WorkloadParams params;
+    SystemConfig base; ///< mode is overridden per sweep
+
+    /**
+     * Max crash points actually run; 0 = exhaustive. Sampling is
+     * evenly strided with a seeded offset and always includes the
+     * first and last boundary.
+     */
+    std::size_t budget = 0;
+    std::uint64_t sampleSeed = 1;
+};
+
+/** Outcome of one crash point. */
+struct CrashPointResult
+{
+    std::uint64_t crashOp = 0;
+    bool structureVerified = false; ///< workload's own verifier
+    bool attackDetected = false;    ///< must stay false (no faults)
+    OracleReport oracle;
+
+    bool
+    passed() const
+    {
+        return structureVerified && oracle.clean() && !attackDetected;
+    }
+};
+
+/** Outcome of a whole sweep. */
+struct SweepResult
+{
+    std::vector<std::uint64_t> boundaries; ///< all enumerated
+    std::vector<CrashPointResult> points;  ///< the ones actually run
+
+    std::size_t
+    failures() const
+    {
+        std::size_t n = 0;
+        for (const auto &p : points)
+            n += !p.passed();
+        return n;
+    }
+
+    bool allPassed() const { return failures() == 0; }
+
+    /** Diagnostic for the first failing point (empty if none). */
+    std::string firstFailure() const;
+};
+
+/**
+ * Probe run: enumerate every WPQ-insertion boundary of the workload
+ * (environment-operation indices where the controller accepted new
+ * write requests), in increasing order.
+ */
+std::vector<std::uint64_t> enumerateWpqBoundaries(const SweepOptions &opt);
+
+/**
+ * Run one crash point from scratch: fresh machine with an attached
+ * golden model, crash at @p crash_op, recover, check structure and
+ * committed-prefix agreement.
+ */
+CrashPointResult runCrashPoint(const SweepOptions &opt,
+                               std::uint64_t crash_op);
+
+/** Enumerate boundaries, sample within budget, run every sample. */
+SweepResult sweepCrashPoints(const SweepOptions &opt);
+
+} // namespace dolos::verify
+
+#endif // DOLOS_VERIFY_SWEEP_DRIVER_HH

@@ -44,12 +44,17 @@ runWorkload(System &sys, Workload &workload, std::uint64_t num_tx,
             res.crashed = true;
             env.setOpHook(nullptr);
             sys.crash();
+            if (crash->atPowerOff)
+                crash->atPowerOff(sys);
             sys.recover();
             env.reattach();
             TxContext::recover(env);
             break;
         }
     }
+    // A crash op beyond the run's last operation never fires; disarm
+    // the hook so the verification walk below cannot trip it.
+    env.setOpHook(nullptr);
 
     res.runCycles = sys.core().now() - res.setupCycles;
     res.instructions = sys.core().instructions() - insts0;

@@ -8,6 +8,7 @@
 #ifndef DOLOS_WORKLOADS_RUNNER_HH
 #define DOLOS_WORKLOADS_RUNNER_HH
 
+#include <functional>
 #include <optional>
 
 #include "workloads/workload.hh"
@@ -49,6 +50,13 @@ struct CrashPlan
 {
     /** Power fails at the Nth environment operation of the run. */
     std::uint64_t atOp = 0;
+
+    /**
+     * Cold-boot hook: runs after the power failure (ADR dump done,
+     * volatile state gone) and before recovery boots. Fault
+     * injectors use it to tamper with the powered-off NVM image.
+     */
+    std::function<void(System &)> atPowerOff;
 };
 
 /**

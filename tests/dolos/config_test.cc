@@ -1,0 +1,95 @@
+/**
+ * @file
+ * SecurityMode / WpqParams configuration coverage: every enumerator
+ * must have a usable-entry count, a distinct human-readable name and
+ * a correct Dolos-family classification.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "dolos/config.hh"
+
+namespace
+{
+
+using namespace dolos;
+
+constexpr SecurityMode allModes[] = {
+    SecurityMode::NonSecureIdeal,     SecurityMode::PreWpqSecure,
+    SecurityMode::PostWpqUnprotected, SecurityMode::DolosFullWpq,
+    SecurityMode::DolosPartialWpq,    SecurityMode::DolosPostWpq,
+};
+
+TEST(WpqParamsConfig, EntriesForEveryMode)
+{
+    const WpqParams p; // paper defaults: 16 / 13 / 10
+    EXPECT_EQ(p.entriesFor(SecurityMode::NonSecureIdeal), 16u);
+    EXPECT_EQ(p.entriesFor(SecurityMode::PreWpqSecure), 16u);
+    EXPECT_EQ(p.entriesFor(SecurityMode::PostWpqUnprotected), 16u);
+    EXPECT_EQ(p.entriesFor(SecurityMode::DolosFullWpq), 16u);
+    EXPECT_EQ(p.entriesFor(SecurityMode::DolosPartialWpq), 13u);
+    EXPECT_EQ(p.entriesFor(SecurityMode::DolosPostWpq), 10u);
+}
+
+TEST(WpqParamsConfig, EntriesForTracksTunedParams)
+{
+    WpqParams p;
+    p.adrBudgetEntries = 32;
+    p.partialEntries = 26;
+    p.postEntries = 20;
+    EXPECT_EQ(p.entriesFor(SecurityMode::DolosFullWpq), 32u);
+    EXPECT_EQ(p.entriesFor(SecurityMode::DolosPartialWpq), 26u);
+    EXPECT_EQ(p.entriesFor(SecurityMode::DolosPostWpq), 20u);
+    EXPECT_EQ(p.entriesFor(SecurityMode::PreWpqSecure), 32u);
+}
+
+TEST(WpqParamsConfig, NoModeExceedsTheAdrBudget)
+{
+    const WpqParams p;
+    for (const auto mode : allModes)
+        EXPECT_LE(p.entriesFor(mode), p.adrBudgetEntries)
+            << securityModeName(mode);
+}
+
+TEST(SecurityModeConfig, NamesAreNonEmptyAndDistinct)
+{
+    std::set<std::string> seen;
+    for (const auto mode : allModes) {
+        const std::string name = securityModeName(mode);
+        EXPECT_FALSE(name.empty());
+        EXPECT_TRUE(seen.insert(name).second)
+            << "duplicate mode name: " << name;
+    }
+    EXPECT_EQ(seen.size(), std::size(allModes));
+}
+
+TEST(SecurityModeConfig, ExpectedNames)
+{
+    EXPECT_STREQ(securityModeName(SecurityMode::NonSecureIdeal),
+                 "NonSecureIdeal");
+    EXPECT_STREQ(securityModeName(SecurityMode::PreWpqSecure),
+                 "PreWpqSecure");
+    EXPECT_STREQ(securityModeName(SecurityMode::PostWpqUnprotected),
+                 "PostWpqUnprotected");
+    EXPECT_STREQ(securityModeName(SecurityMode::DolosFullWpq),
+                 "Dolos-Full-WPQ");
+    EXPECT_STREQ(securityModeName(SecurityMode::DolosPartialWpq),
+                 "Dolos-Partial-WPQ");
+    EXPECT_STREQ(securityModeName(SecurityMode::DolosPostWpq),
+                 "Dolos-Post-WPQ");
+}
+
+TEST(SecurityModeConfig, DolosFamilyClassification)
+{
+    EXPECT_FALSE(isDolosMode(SecurityMode::NonSecureIdeal));
+    EXPECT_FALSE(isDolosMode(SecurityMode::PreWpqSecure));
+    EXPECT_FALSE(isDolosMode(SecurityMode::PostWpqUnprotected));
+    EXPECT_TRUE(isDolosMode(SecurityMode::DolosFullWpq));
+    EXPECT_TRUE(isDolosMode(SecurityMode::DolosPartialWpq));
+    EXPECT_TRUE(isDolosMode(SecurityMode::DolosPostWpq));
+}
+
+} // namespace

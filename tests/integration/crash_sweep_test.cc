@@ -1,12 +1,17 @@
 /**
  * @file
- * Crash-consistency property sweeps: many crash points x workloads x
- * modes, every recovery must yield a consistent committed-prefix
- * state; plus repeated crash/recovery epochs on one machine.
+ * Crash-consistency property sweeps, driven by the verification
+ * subsystem: crash points are enumerated at WPQ-insertion boundaries
+ * (SweepDriver) instead of a hard-coded operation list, and every
+ * recovery is checked both by the workload's structural verifier and
+ * by the golden model's committed-prefix oracle; plus repeated
+ * crash/recovery epochs on one machine.
  */
 
 #include <gtest/gtest.h>
 
+#include "tests/integration/integration_common.hh"
+#include "verify/sweep_driver.hh"
 #include "workloads/runner.hh"
 
 namespace
@@ -14,70 +19,78 @@ namespace
 
 using namespace dolos;
 using namespace dolos::workloads;
+using dolos::test::cfgFor;
+using dolos::test::smallParams;
 
-SystemConfig
-cfgFor(SecurityMode mode)
+verify::SweepOptions
+sweepFor(SecurityMode mode, const std::string &workload,
+         std::uint64_t seed)
 {
-    auto cfg = SystemConfig::paperDefault();
-    cfg.mode = mode;
-    cfg.secure.functionalLeaves = 8192;
-    cfg.secure.map.protectedBytes = Addr(8192) * pageBytes;
-    return cfg;
+    verify::SweepOptions opt;
+    opt.mode = mode;
+    opt.workload = workload;
+    opt.numTx = 6;
+    opt.params = smallParams(seed);
+    opt.base = cfgFor(mode);
+    opt.budget = 3;
+    opt.sampleSeed = seed;
+    return opt;
 }
 
-WorkloadParams
-smallParams(std::uint64_t seed)
+TEST(CrashSweep, BoundariesAreNonEmptyAndIncreasing)
 {
-    WorkloadParams p;
-    p.txSize = 256;
-    p.numKeys = 48;
-    p.seed = seed;
-    p.thinkTime = 400;
-    p.readsPerTx = 1;
-    return p;
+    const auto opt =
+        sweepFor(SecurityMode::DolosPartialWpq, "hashmap", 11);
+    const auto boundaries = verify::enumerateWpqBoundaries(opt);
+    ASSERT_FALSE(boundaries.empty());
+    for (std::size_t i = 1; i < boundaries.size(); ++i)
+        EXPECT_LT(boundaries[i - 1], boundaries[i]) << "index " << i;
 }
 
-struct SweepCase
+class CrashSweepWorkloads
+    : public ::testing::TestWithParam<std::string>
 {
-    std::string workload;
-    std::uint64_t crashOp;
 };
 
-class CrashSweep : public ::testing::TestWithParam<SweepCase>
+TEST_P(CrashSweepWorkloads, EveryBoundarySampleRecoversConsistently)
 {
-};
-
-TEST_P(CrashSweep, RecoversConsistently)
-{
-    const auto &[wl_name, crash_op] = GetParam();
-    System sys(cfgFor(SecurityMode::DolosPartialWpq));
-    auto wl = makeWorkload(wl_name, smallParams(crash_op));
-    const auto res =
-        runWorkload(sys, *wl, 50, CrashPlan{crash_op});
-    EXPECT_TRUE(res.verified) << res.verifyDiagnostic;
-    EXPECT_FALSE(sys.attackDetected());
-}
-
-std::vector<SweepCase>
-sweepCases()
-{
-    std::vector<SweepCase> cases;
-    for (const auto &wl : workloadNames())
-        for (const std::uint64_t op : {7u, 133u, 890u, 2048u, 3511u})
-            cases.push_back({wl, op});
-    return cases;
+    const auto result = verify::sweepCrashPoints(
+        sweepFor(SecurityMode::DolosPartialWpq, GetParam(), 23));
+    ASSERT_FALSE(result.boundaries.empty());
+    ASSERT_FALSE(result.points.empty());
+    EXPECT_TRUE(result.allPassed()) << result.firstFailure();
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    Points, CrashSweep, ::testing::ValuesIn(sweepCases()),
-    [](const auto &info) {
-        std::string n = info.param.workload + "_op" +
-                        std::to_string(info.param.crashOp);
+    Workloads, CrashSweepWorkloads,
+    ::testing::ValuesIn(workloadNames()), [](const auto &info) {
+        std::string n = info.param;
         for (auto &c : n)
             if (c == '-')
                 c = '_';
         return n;
     });
+
+class CrashSweepModes
+    : public ::testing::TestWithParam<SecurityMode>
+{
+};
+
+TEST_P(CrashSweepModes, HashmapSurvivesBoundaryCrashes)
+{
+    if (GetParam() == SecurityMode::PostWpqUnprotected)
+        GTEST_SKIP() << "infeasible design: no honest crash story";
+    const auto result = verify::sweepCrashPoints(
+        sweepFor(GetParam(), "hashmap", 31));
+    ASSERT_FALSE(result.points.empty());
+    EXPECT_TRUE(result.allPassed()) << result.firstFailure();
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, CrashSweepModes,
+                         ::testing::ValuesIn(dolos::test::allModes()),
+                         [](const auto &info) {
+                             return dolos::test::modeLabel(info.param);
+                         });
 
 TEST(CrashEpochs, RepeatedCrashesOnOneMachine)
 {
@@ -116,11 +129,11 @@ TEST(CrashEpochs, CleanRunThenCrashThenContinue)
 TEST(CrashEpochs, CrashDuringSetupTimeWindowIsSafe)
 {
     // Crash very early (still inside the first transactions);
-    // recovery must still verify.
-    System sys(cfgFor(SecurityMode::DolosPartialWpq));
-    auto wl = makeWorkload("btree", smallParams(7));
-    const auto res = runWorkload(sys, *wl, 50, CrashPlan{1});
-    EXPECT_TRUE(res.verified) << res.verifyDiagnostic;
+    // recovery must still verify. runCrashPoint also attaches the
+    // committed-prefix oracle.
+    const auto point = verify::runCrashPoint(
+        sweepFor(SecurityMode::DolosPartialWpq, "btree", 7), 1);
+    EXPECT_TRUE(point.passed()) << point.oracle.summary();
 }
 
 } // namespace

@@ -2,8 +2,11 @@
  * @file
  * Reference-model fuzzing: drive long random operation sequences
  * through the full machine (core -> caches -> controller -> NVM) and
- * check every load against a flat host-side reference memory. Any
- * coherence bug between cache levels, the WPQ tag array, the
+ * check every load against two independent referees: a flat
+ * host-side reference memory inside the test, and the verification
+ * subsystem's GoldenModel attached as a core observer (which also
+ * understands persistence, so it keeps adjudicating across crashes).
+ * Any coherence bug between cache levels, the WPQ tag array, the
  * security engine's encrypt/decrypt path or the recovery machinery
  * shows up as a mismatch.
  */
@@ -14,23 +17,14 @@
 
 #include "dolos/system.hh"
 #include "sim/random.hh"
+#include "tests/integration/integration_common.hh"
+#include "verify/golden_model.hh"
 
 namespace
 {
 
 using namespace dolos;
-
-SystemConfig
-cfgFor(SecurityMode mode)
-{
-    auto cfg = SystemConfig::paperDefault();
-    cfg.mode = mode;
-    // Small caches force frequent evictions and WPQ traffic.
-    cfg.hierarchy.l1 = {"l1", 1024, 2, 2};
-    cfg.hierarchy.l2 = {"l2", 4096, 4, 20};
-    cfg.hierarchy.llc = {"llc", 16384, 8, 32};
-    return cfg;
-}
+using dolos::test::smallCacheCfgFor;
 
 class FuzzReference : public ::testing::TestWithParam<SecurityMode>
 {
@@ -38,7 +32,9 @@ class FuzzReference : public ::testing::TestWithParam<SecurityMode>
 
 TEST_P(FuzzReference, RandomTrafficMatchesReferenceMemory)
 {
-    System sys(cfgFor(GetParam()));
+    System sys(smallCacheCfgFor(GetParam()));
+    verify::GoldenModel golden;
+    sys.core().setObserver(&golden);
     auto &core = sys.core();
     Random rng(0xF00D + unsigned(GetParam()));
     std::map<Addr, std::uint64_t> reference;
@@ -71,13 +67,20 @@ TEST_P(FuzzReference, RandomTrafficMatchesReferenceMemory)
         }
     }
     EXPECT_FALSE(sys.attackDetected());
+    EXPECT_TRUE(golden.clean())
+        << (golden.diagnostics().empty() ? std::string()
+                                         : golden.diagnostics().front());
+    EXPECT_GT(golden.checkedLoads(), 0u);
+    sys.core().setObserver(nullptr);
 }
 
 TEST_P(FuzzReference, FlushedStateSurvivesRandomCrashPoints)
 {
     // Random writes, all flushed+fenced, then a crash: everything
     // fenced must read back; integrity intact.
-    System sys(cfgFor(GetParam()));
+    System sys(smallCacheCfgFor(GetParam()));
+    verify::GoldenModel golden;
+    sys.core().setObserver(&golden);
     auto &core = sys.core();
     Random rng(0xBEEF + unsigned(GetParam()));
     std::map<Addr, std::uint64_t> fenced;
@@ -105,31 +108,27 @@ TEST_P(FuzzReference, FlushedStateSurvivesRandomCrashPoints)
         }
     }
     EXPECT_FALSE(sys.attackDetected());
+    EXPECT_TRUE(golden.clean())
+        << (golden.diagnostics().empty() ? std::string()
+                                         : golden.diagnostics().front());
+    if (GetParam() != SecurityMode::PostWpqUnprotected)
+        EXPECT_EQ(golden.crashesSeen(), 4u);
+    sys.core().setObserver(nullptr);
 }
 
 INSTANTIATE_TEST_SUITE_P(Modes, FuzzReference,
-                         ::testing::Values(
-                             SecurityMode::NonSecureIdeal,
-                             SecurityMode::PreWpqSecure,
-                             SecurityMode::PostWpqUnprotected,
-                             SecurityMode::DolosFullWpq,
-                             SecurityMode::DolosPartialWpq,
-                             SecurityMode::DolosPostWpq),
+                         ::testing::ValuesIn(dolos::test::allModes()),
                          [](const auto &info) {
-                             std::string n =
-                                 securityModeName(info.param);
-                             std::string out;
-                             for (char c : n)
-                                 if (c != '-')
-                                     out.push_back(c);
-                             return out;
+                             return dolos::test::modeLabel(info.param);
                          });
 
 TEST(FuzzOsiris, RandomTrafficAndCrashesUnderOsiris)
 {
-    auto cfg = cfgFor(SecurityMode::DolosPartialWpq);
+    auto cfg = smallCacheCfgFor(SecurityMode::DolosPartialWpq);
     cfg.secure.crashScheme = CrashScheme::Osiris;
     System sys(cfg);
+    verify::GoldenModel golden;
+    sys.core().setObserver(&golden);
     auto &core = sys.core();
     Random rng(0xCAFE);
     std::map<Addr, std::uint64_t> fenced;
@@ -153,6 +152,8 @@ TEST(FuzzOsiris, RandomTrafficAndCrashesUnderOsiris)
         }
     }
     EXPECT_FALSE(sys.attackDetected());
+    EXPECT_TRUE(golden.clean());
+    sys.core().setObserver(nullptr);
 }
 
 } // namespace

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Shared configuration helpers for the integration test suite.
+ *
+ * Every integration test wants the same things: a paper-default
+ * system scaled down so runs finish in CI time (a small functional
+ * tree, optionally small caches to force eviction traffic) and small
+ * workload parameters. Keeping them here keeps the suites in
+ * agreement about what "small" means.
+ */
+
+#ifndef DOLOS_TESTS_INTEGRATION_COMMON_HH
+#define DOLOS_TESTS_INTEGRATION_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "dolos/config.hh"
+#include "workloads/workload.hh"
+
+namespace dolos::test
+{
+
+/** Paper defaults with a small functional tree (8K pages). */
+inline SystemConfig
+cfgFor(SecurityMode mode)
+{
+    auto cfg = SystemConfig::paperDefault();
+    cfg.mode = mode;
+    cfg.secure.functionalLeaves = 8192;
+    cfg.secure.map.protectedBytes = Addr(8192) * pageBytes;
+    return cfg;
+}
+
+/** cfgFor plus caches small enough to force frequent evictions. */
+inline SystemConfig
+smallCacheCfgFor(SecurityMode mode)
+{
+    auto cfg = cfgFor(mode);
+    cfg.hierarchy.l1 = {"l1", 1024, 2, 2};
+    cfg.hierarchy.l2 = {"l2", 4096, 4, 20};
+    cfg.hierarchy.llc = {"llc", 16384, 8, 32};
+    return cfg;
+}
+
+/** Workload parameters small enough for crash sweeps. */
+inline workloads::WorkloadParams
+smallParams(std::uint64_t seed)
+{
+    workloads::WorkloadParams p;
+    p.txSize = 256;
+    p.numKeys = 48;
+    p.seed = seed;
+    p.thinkTime = 400;
+    p.readsPerTx = 1;
+    return p;
+}
+
+/** All six controller organizations. */
+inline std::vector<SecurityMode>
+allModes()
+{
+    return {SecurityMode::NonSecureIdeal,
+            SecurityMode::PreWpqSecure,
+            SecurityMode::PostWpqUnprotected,
+            SecurityMode::DolosFullWpq,
+            SecurityMode::DolosPartialWpq,
+            SecurityMode::DolosPostWpq};
+}
+
+/** The modes with a full security engine in the read/write path. */
+inline std::vector<SecurityMode>
+secureModes()
+{
+    return {SecurityMode::PreWpqSecure,
+            SecurityMode::DolosFullWpq,
+            SecurityMode::DolosPartialWpq,
+            SecurityMode::DolosPostWpq};
+}
+
+/** Mode name stripped to a valid gtest parameter label. */
+inline std::string
+modeLabel(SecurityMode mode)
+{
+    std::string out;
+    for (const char c : std::string(securityModeName(mode)))
+        if (c != '-')
+            out.push_back(c);
+    return out;
+}
+
+} // namespace dolos::test
+
+#endif // DOLOS_TESTS_INTEGRATION_COMMON_HH

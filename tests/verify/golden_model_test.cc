@@ -1,0 +1,199 @@
+/**
+ * @file
+ * GoldenModel state-machine tests (driving the observer callbacks
+ * directly) plus end-to-end differential checks on a real machine,
+ * including the oracle-sensitivity guarantee: a silently dropped
+ * CLWB must surface as a committed-prefix violation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dolos/system.hh"
+#include "tests/integration/integration_common.hh"
+#include "verify/diff_oracle.hh"
+#include "verify/fault_injector.hh"
+
+namespace
+{
+
+using namespace dolos;
+using namespace dolos::verify;
+
+void
+store8(GoldenModel &m, Addr addr, std::uint8_t v)
+{
+    m.onStore(addr, &v, 1);
+}
+
+void
+load8(GoldenModel &m, Addr addr, std::uint8_t v)
+{
+    m.onLoad(addr, &v, 1);
+}
+
+TEST(GoldenModel, UntouchedBytesMustReadZero)
+{
+    GoldenModel m;
+    EXPECT_EQ(m.classify(0x100), ByteClass::Untouched);
+    load8(m, 0x100, 0x00);
+    EXPECT_TRUE(m.clean());
+    load8(m, 0x100, 0x5A);
+    EXPECT_EQ(m.violationCount(), 1u);
+    ASSERT_FALSE(m.diagnostics().empty());
+}
+
+TEST(GoldenModel, CoherentLoadSeesLatestStore)
+{
+    GoldenModel m;
+    store8(m, 0x40, 0x11);
+    store8(m, 0x40, 0x22);
+    load8(m, 0x40, 0x22);
+    EXPECT_TRUE(m.clean());
+    load8(m, 0x40, 0x11); // stale: the machine would be incoherent
+    EXPECT_EQ(m.violationCount(), 1u);
+}
+
+TEST(GoldenModel, CommittedByteIsExactAfterCrash)
+{
+    GoldenModel m;
+    store8(m, 0x80, 0x33);
+    m.onClwb(0x80);
+    m.onSfence();
+    EXPECT_EQ(m.classify(0x80), ByteClass::Committed);
+    m.onCrash();
+    EXPECT_EQ(m.classify(0x80), ByteClass::Committed);
+    load8(m, 0x80, 0x33);
+    EXPECT_TRUE(m.clean());
+    load8(m, 0x80, 0x00); // committed data lost: violation
+    EXPECT_EQ(m.violationCount(), 1u);
+}
+
+TEST(GoldenModel, CrashForksAdmissibleSetAndFirstLoadPins)
+{
+    GoldenModel m;
+    store8(m, 0xC0, 0x01);
+    m.onClwb(0xC0);
+    m.onSfence(); // floor = 0x01
+    store8(m, 0xC0, 0x02); // in flight at the crash
+    m.onCrash();
+    EXPECT_EQ(m.classify(0xC0), ByteClass::InFlight);
+    EXPECT_EQ(m.crashesSeen(), 1u);
+
+    // Either value is admissible; 0x03 never existed.
+    load8(m, 0xC0, 0x02);
+    EXPECT_TRUE(m.clean());
+    EXPECT_EQ(m.classify(0xC0), ByteClass::Committed);
+    // The first observation pinned 0x02: flipping back is a bug.
+    load8(m, 0xC0, 0x01);
+    EXPECT_EQ(m.violationCount(), 1u);
+}
+
+TEST(GoldenModel, NeverHeldValueIsInadmissibleAfterCrash)
+{
+    GoldenModel m;
+    store8(m, 0xC0, 0x01);
+    m.onClwb(0xC0);
+    m.onSfence();
+    store8(m, 0xC0, 0x02);
+    m.onCrash();
+    load8(m, 0xC0, 0x03);
+    EXPECT_EQ(m.violationCount(), 1u);
+}
+
+TEST(GoldenModel, SfenceCommitsOnlyTheFlushedSnapshot)
+{
+    GoldenModel m;
+    store8(m, 0x40, 0x0A);
+    m.onClwb(0x40);
+    store8(m, 0x40, 0x0B); // after the CLWB: not covered by it
+    m.onSfence();          // commits 0x0A, 0x0B stays pending
+    m.onCrash();
+    // Admissible: committed 0x0A or the in-flight 0x0B — but never
+    // the initial zero, which the fence overwrote durably.
+    load8(m, 0x40, 0x00);
+    EXPECT_EQ(m.violationCount(), 1u);
+}
+
+TEST(GoldenModel, RepeatedCrashesKeepPriorAdmissibleValues)
+{
+    GoldenModel m;
+    store8(m, 0x40, 0x01);
+    m.onCrash(); // admissible {0x00-floor, 0x01}
+    store8(m, 0x40, 0x02);
+    m.onCrash(); // admissible {0x00, 0x01, 0x02}
+    load8(m, 0x40, 0x01);
+    EXPECT_TRUE(m.clean());
+}
+
+TEST(GoldenModelSystem, CleanRunThroughRealMachineStaysClean)
+{
+    System sys(dolos::test::cfgFor(SecurityMode::DolosPartialWpq));
+    GoldenModel golden;
+    sys.core().setObserver(&golden);
+
+    for (Addr a = 0; a < 32 * blockSize; a += 8) {
+        const std::uint64_t v = a * 0x9E3779B97F4A7C15ULL + 1;
+        sys.core().store(a, &v, sizeof(v));
+    }
+    for (Addr a = 0; a < 32 * blockSize; a += blockSize)
+        sys.core().clwb(a);
+    sys.core().sfence();
+    sys.crash();
+    sys.recover();
+
+    const auto report = checkAgainstGolden(sys, golden);
+    EXPECT_TRUE(report.clean()) << report.summary();
+    EXPECT_EQ(report.blocksScanned, 32u);
+    EXPECT_EQ(report.committedBytes, 32u * blockSize);
+    EXPECT_EQ(report.inFlightBytes, 0u);
+    sys.core().setObserver(nullptr);
+}
+
+TEST(GoldenModelSystem, DroppedClwbIsCaughtByTheOracle)
+{
+    // A platform that silently loses a CLWB violates the committed
+    // prefix; the differential oracle must see it even though no
+    // integrity check can (nothing was tampered with).
+    System sys(dolos::test::cfgFor(SecurityMode::DolosPartialWpq));
+    GoldenModel golden;
+    sys.core().setObserver(&golden);
+    FaultInjector inj(sys, 7);
+
+    const std::uint64_t v = 0xD0105D0105D0105ULL;
+    sys.core().store(0x1000, &v, sizeof(v));
+    const auto rec = inj.armDroppedClwb(0);
+    EXPECT_TRUE(rec.injected);
+    sys.core().clwb(0x1000); // dropped: never reaches the WPQ
+    sys.core().sfence();     // nothing outstanding: returns at once
+    sys.crash();
+    sys.recover();
+
+    const auto report = checkAgainstGolden(sys, golden);
+    EXPECT_FALSE(report.clean());
+    EXPECT_FALSE(sys.attackDetected()); // a bug, not an attack
+    ASSERT_FALSE(report.diagnostics.empty());
+    sys.core().setObserver(nullptr);
+}
+
+TEST(GoldenModelSystem, HonoredClwbKeepsTheSameSequenceClean)
+{
+    // Control for the dropped-CLWB test: identical sequence, flush
+    // honored, oracle clean.
+    System sys(dolos::test::cfgFor(SecurityMode::DolosPartialWpq));
+    GoldenModel golden;
+    sys.core().setObserver(&golden);
+
+    const std::uint64_t v = 0xD0105D0105D0105ULL;
+    sys.core().store(0x1000, &v, sizeof(v));
+    sys.core().clwb(0x1000);
+    sys.core().sfence();
+    sys.crash();
+    sys.recover();
+
+    const auto report = checkAgainstGolden(sys, golden);
+    EXPECT_TRUE(report.clean()) << report.summary();
+    EXPECT_FALSE(sys.attackDetected());
+    sys.core().setObserver(nullptr);
+}
+
+} // namespace

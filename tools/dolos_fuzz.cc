@@ -1,0 +1,401 @@
+/**
+ * @file
+ * dolos_fuzz — randomized differential fault campaigns.
+ *
+ * Each episode runs one workload on one controller organization with
+ * the golden reference machine attached, crashes it at a seeded
+ * operation, optionally injects one fault, and checks the outcome
+ * contract:
+ *
+ *   no fault       : structure verified, oracle clean, no alarms
+ *   injected attack: the attack-detected flag must be raised, OR the
+ *                    fault was absorbed harmlessly (structure + oracle
+ *                    both clean)
+ *   dropped CLWB   : never an alarm (it is a software bug, not an
+ *                    attack); the oracle's catches are reported
+ *
+ * On any violated contract the tool prints a one-line repro:
+ *
+ *   REPRO: dolos_fuzz --mode M --workload W --seed S --crash-op N
+ *          --fault F
+ *
+ * which re-runs exactly that episode. Campaigns:
+ *
+ *   dolos_fuzz --campaign smoke     (CI: ~2 episodes per mode+workload)
+ *   dolos_fuzz --campaign nightly   (8 episodes per mode+workload)
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "verify/diff_oracle.hh"
+#include "verify/fault_injector.hh"
+#include "workloads/runner.hh"
+
+using namespace dolos;
+using namespace dolos::verify;
+using namespace dolos::workloads;
+
+namespace
+{
+
+struct EpisodeSpec
+{
+    SecurityMode mode = SecurityMode::DolosPartialWpq;
+    std::string workload = "hashmap";
+    std::uint64_t seed = 1;
+    std::uint64_t crashOp = 200;
+    FaultKind fault = FaultKind::None;
+};
+
+struct EpisodeOutcome
+{
+    bool passed = false;
+    bool attackDetected = false;
+    bool structureVerified = false;
+    std::uint64_t oracleViolations = 0;
+    std::string note;
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::printf(
+        "usage: dolos_fuzz [--campaign smoke|nightly] [options]\n"
+        "       dolos_fuzz --mode M --workload W --seed S"
+        " --crash-op N --fault F\n"
+        "  --mode MODE      ideal|baseline|post-unprotected|"
+        "dolos-full|dolos-partial|dolos-post\n"
+        "  --workload NAME  hashmap|ctree|btree|rbtree|nstore-ycsb|"
+        "redis\n"
+        "  --fault F        none|data-flip|mac-flip|counter-rollback|"
+        "bmt-flip|torn-adr-dump|dropped-clwb\n"
+        "  --seed N | --crash-op N | --txns N | --help\n");
+    std::exit(code);
+}
+
+SecurityMode
+parseMode(const std::string &m)
+{
+    if (m == "ideal")
+        return SecurityMode::NonSecureIdeal;
+    if (m == "baseline")
+        return SecurityMode::PreWpqSecure;
+    if (m == "post-unprotected")
+        return SecurityMode::PostWpqUnprotected;
+    if (m == "dolos-full")
+        return SecurityMode::DolosFullWpq;
+    if (m == "dolos-partial")
+        return SecurityMode::DolosPartialWpq;
+    if (m == "dolos-post")
+        return SecurityMode::DolosPostWpq;
+    std::fprintf(stderr, "unknown mode '%s'\n", m.c_str());
+    usage(1);
+}
+
+const char *
+modeCliName(SecurityMode mode)
+{
+    switch (mode) {
+      case SecurityMode::NonSecureIdeal:
+        return "ideal";
+      case SecurityMode::PreWpqSecure:
+        return "baseline";
+      case SecurityMode::PostWpqUnprotected:
+        return "post-unprotected";
+      case SecurityMode::DolosFullWpq:
+        return "dolos-full";
+      case SecurityMode::DolosPartialWpq:
+        return "dolos-partial";
+      case SecurityMode::DolosPostWpq:
+        return "dolos-post";
+    }
+    return "?";
+}
+
+std::uint64_t episodeTxns = 4;
+
+SystemConfig
+smallConfig(SecurityMode mode)
+{
+    auto cfg = SystemConfig::paperDefault();
+    cfg.mode = mode;
+    cfg.secure.functionalLeaves = 8192;
+    cfg.secure.map.protectedBytes = Addr(8192) * pageBytes;
+    cfg.hierarchy.l1 = {"l1", 1024, 2, 2};
+    cfg.hierarchy.l2 = {"l2", 4096, 4, 20};
+    cfg.hierarchy.llc = {"llc", 16384, 8, 32};
+    return cfg;
+}
+
+WorkloadParams
+smallParams(std::uint64_t seed)
+{
+    WorkloadParams p;
+    p.txSize = 256;
+    p.numKeys = 48;
+    p.seed = seed;
+    p.thinkTime = 400;
+    p.readsPerTx = 1;
+    return p;
+}
+
+/** Faults this episode's mode can meaningfully receive. */
+std::vector<FaultKind>
+applicableFaults(SecurityMode mode)
+{
+    if (mode == SecurityMode::NonSecureIdeal)
+        return {FaultKind::None, FaultKind::DroppedClwb};
+    std::vector<FaultKind> kinds = {
+        FaultKind::None,           FaultKind::DataFlip,
+        FaultKind::MacFlip,        FaultKind::CounterRollback,
+        FaultKind::BmtFlip,        FaultKind::DroppedClwb,
+    };
+    if (isDolosMode(mode))
+        kinds.push_back(FaultKind::TornAdrDump);
+    return kinds;
+}
+
+EpisodeOutcome
+runEpisode(const EpisodeSpec &spec)
+{
+    EpisodeOutcome out;
+    System sys(smallConfig(spec.mode));
+    GoldenModel golden;
+    sys.core().setObserver(&golden);
+    FaultInjector inj(sys, spec.seed);
+
+    auto wl = makeWorkload(spec.workload, smallParams(spec.seed));
+
+    InjectionRecord rec;
+    if (spec.fault == FaultKind::TornAdrDump) {
+        const unsigned entries =
+            sys.config().wpq.entriesFor(spec.mode);
+        rec = inj.armTornAdrDump(unsigned(spec.seed % entries));
+    } else if (spec.fault == FaultKind::DroppedClwb) {
+        rec = inj.armDroppedClwb(spec.seed % 64);
+    }
+
+    CrashPlan plan;
+    plan.atOp = spec.crashOp;
+    const auto res = runWorkload(sys, *wl, episodeTxns, plan);
+
+    const bool image_fault = spec.fault == FaultKind::DataFlip ||
+                             spec.fault == FaultKind::MacFlip ||
+                             spec.fault == FaultKind::CounterRollback ||
+                             spec.fault == FaultKind::BmtFlip;
+    if (image_fault) {
+        // Second power cycle: quiesce the caches and the ADR dump,
+        // then attack the powered-off (rollback) or recovered (flip)
+        // image and provoke the relevant check.
+        sys.crash();
+        if (spec.fault == FaultKind::CounterRollback)
+            rec = inj.inject(spec.fault);
+        sys.recover();
+        if (spec.fault != FaultKind::CounterRollback) {
+            rec = inj.inject(spec.fault);
+            if (rec.injected) {
+                Block buf;
+                sys.core().load(rec.victim, buf.data(), blockSize);
+            }
+        }
+    } else if (spec.fault == FaultKind::TornAdrDump && !res.crashed) {
+        // The seeded crash op landed beyond the run; the armed tear
+        // never fired. Fire it now so the episode still tests it.
+        sys.crash();
+        sys.recover();
+    }
+
+    const auto report = checkAgainstGolden(sys, golden);
+    sys.core().setObserver(nullptr);
+
+    out.attackDetected = sys.attackDetected();
+    out.structureVerified = res.verified;
+    out.oracleViolations = report.violations;
+    const bool clean =
+        res.verified && report.clean() && !out.attackDetected;
+
+    switch (spec.fault) {
+      case FaultKind::None:
+        out.passed = clean;
+        if (!out.passed)
+            out.note = res.verified ? report.summary()
+                                    : res.verifyDiagnostic;
+        break;
+      case FaultKind::DroppedClwb:
+        // Losing a flush is a software/platform bug: it must never
+        // masquerade as an attack. Oracle catches are the expected
+        // signal when the lost flush mattered.
+        out.passed = !out.attackDetected;
+        if (report.violations > 0 || !res.verified)
+            out.note = "oracle caught the dropped flush";
+        break;
+      default:
+        // An injected attack must be detected — or fully absorbed
+        // with no divergence at all (e.g. the tear had nothing to
+        // tear off). Silent corruption fails the episode.
+        out.passed = out.attackDetected ||
+                     (res.verified && report.clean());
+        if (!out.passed)
+            out.note = "silent corruption: " + report.summary();
+        break;
+    }
+    if (rec.kind != FaultKind::None && !rec.detail.empty() &&
+        out.note.empty())
+        out.note = rec.detail;
+    return out;
+}
+
+void
+printRepro(const EpisodeSpec &spec)
+{
+    std::printf("REPRO: dolos_fuzz --mode %s --workload %s --seed %llu"
+                " --crash-op %llu --fault %s\n",
+                modeCliName(spec.mode), spec.workload.c_str(),
+                (unsigned long long)spec.seed,
+                (unsigned long long)spec.crashOp,
+                faultKindName(spec.fault));
+}
+
+int
+runCampaign(const std::string &name, std::uint64_t base_seed)
+{
+    unsigned episodes_per_combo = 0;
+    if (name == "smoke") {
+        episodes_per_combo = 2;
+    } else if (name == "nightly") {
+        episodes_per_combo = 8;
+    } else {
+        std::fprintf(stderr, "unknown campaign '%s'\n", name.c_str());
+        usage(1);
+    }
+
+    const SecurityMode modes[] = {
+        SecurityMode::NonSecureIdeal,
+        SecurityMode::PreWpqSecure,
+        SecurityMode::PostWpqUnprotected,
+        SecurityMode::DolosFullWpq,
+        SecurityMode::DolosPartialWpq,
+        SecurityMode::DolosPostWpq,
+    };
+
+    unsigned total = 0, failed = 0, detected = 0, oracle_catches = 0;
+    for (const auto mode : modes) {
+        const auto faults = applicableFaults(mode);
+        unsigned fault_cursor = unsigned(base_seed % faults.size());
+        for (const auto &wl : workloadNames()) {
+            for (unsigned ep = 0; ep < episodes_per_combo; ++ep) {
+                EpisodeSpec spec;
+                spec.mode = mode;
+                spec.workload = wl;
+                spec.fault = faults[fault_cursor++ % faults.size()];
+                // Mix the coordinates into distinct per-episode seeds.
+                spec.seed = base_seed * 1000003ULL +
+                            unsigned(mode) * 131ULL +
+                            std::hash<std::string>{}(wl) % 1009 +
+                            ep * 7919ULL;
+                spec.crashOp = 1 + spec.seed % 1500;
+
+                const auto out = runEpisode(spec);
+                ++total;
+                detected += out.attackDetected;
+                oracle_catches += out.oracleViolations > 0;
+                if (!out.passed) {
+                    ++failed;
+                    std::printf("FAIL [%s/%s fault=%s]: %s\n",
+                                securityModeName(mode), wl.c_str(),
+                                faultKindName(spec.fault),
+                                out.note.c_str());
+                    printRepro(spec);
+                }
+            }
+        }
+    }
+    std::printf("campaign %s: %u episodes, %u failed, %u attack "
+                "detections, %u oracle catches\n",
+                name.c_str(), total, failed, detected, oracle_catches);
+    return failed ? 1 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string campaign;
+    EpisodeSpec spec;
+    bool single = false;
+    std::uint64_t seed = 1;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             a.c_str());
+                usage(1);
+            }
+            return argv[++i];
+        };
+        if (a == "--campaign") {
+            campaign = value();
+        } else if (a == "--mode") {
+            spec.mode = parseMode(value());
+            single = true;
+        } else if (a == "--workload") {
+            spec.workload = value();
+            single = true;
+        } else if (a == "--seed") {
+            seed = std::strtoull(value(), nullptr, 0);
+        } else if (a == "--crash-op") {
+            spec.crashOp = std::strtoull(value(), nullptr, 0);
+            single = true;
+        } else if (a == "--txns") {
+            episodeTxns = std::strtoull(value(), nullptr, 0);
+        } else if (a == "--fault") {
+            const auto kind = parseFaultKind(value());
+            if (!kind) {
+                std::fprintf(stderr, "unknown fault '%s'\n", argv[i]);
+                usage(1);
+            }
+            spec.fault = *kind;
+            single = true;
+        } else if (a == "--help" || a == "-h") {
+            usage(0);
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+            usage(1);
+        }
+    }
+
+    if (!campaign.empty() && single) {
+        std::fprintf(stderr,
+                     "--campaign and single-episode options are "
+                     "mutually exclusive\n");
+        usage(1);
+    }
+    if (campaign.empty() && !single)
+        campaign = "smoke";
+
+    if (!campaign.empty())
+        return runCampaign(campaign, seed);
+
+    spec.seed = seed;
+    const auto out = runEpisode(spec);
+    std::printf("episode %s/%s fault=%s crash-op=%llu: %s "
+                "(attack=%d structure=%d oracle-violations=%llu)%s%s\n",
+                modeCliName(spec.mode), spec.workload.c_str(),
+                faultKindName(spec.fault),
+                (unsigned long long)spec.crashOp,
+                out.passed ? "PASS" : "FAIL", int(out.attackDetected),
+                int(out.structureVerified),
+                (unsigned long long)out.oracleViolations,
+                out.note.empty() ? "" : " — ", out.note.c_str());
+    if (!out.passed) {
+        printRepro(spec);
+        return 1;
+    }
+    return 0;
+}
