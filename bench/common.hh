@@ -7,6 +7,9 @@
  * relevant controller modes, and prints the same rows/series the
  * paper reports. `--txns N` selects the per-run transaction count
  * (default 2000 for quick runs; `--full` selects the paper's 50000).
+ * `--json [FILE]` additionally writes the computed series as a
+ * machine-readable BENCH_<name>.json artifact (see
+ * docs/observability.md); `tools/dolos_report` diffs two of them.
  */
 
 #ifndef DOLOS_BENCH_COMMON_HH
@@ -14,10 +17,14 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "sim/json.hh"
 #include "workloads/runner.hh"
 
 namespace dolos::bench
@@ -30,6 +37,8 @@ struct BenchOptions
     std::uint64_t numKeys = 1024;
     std::uint64_t seed = 42;
     bool verify = true;
+    bool json = false;     ///< write a BENCH_<name>.json artifact
+    std::string jsonFile;  ///< override the artifact path
 
     static BenchOptions
     parse(int argc, char **argv)
@@ -43,7 +52,16 @@ struct BenchOptions
                                  a.c_str());
                     std::exit(1);
                 }
-                return std::strtoull(argv[++i], nullptr, 0);
+                const char *text = argv[++i];
+                char *end = nullptr;
+                const std::uint64_t v = std::strtoull(text, &end, 0);
+                if (end == text || *end != '\0') {
+                    std::fprintf(stderr,
+                                 "bad numeric value '%s' for %s\n",
+                                 text, a.c_str());
+                    std::exit(1);
+                }
+                return v;
             };
             if (a == "--txns") {
                 o.txns = next();
@@ -55,10 +73,15 @@ struct BenchOptions
                 o.seed = next();
             } else if (a == "--no-verify") {
                 o.verify = false;
+            } else if (a == "--json") {
+                o.json = true;
+                // Optional value: a path that names the artifact.
+                if (i + 1 < argc && argv[i + 1][0] != '-')
+                    o.jsonFile = argv[++i];
             } else if (a == "--help" || a == "-h") {
                 std::printf(
                     "options: --txns N | --full | --keys N | --seed N"
-                    " | --no-verify\n");
+                    " | --no-verify | --json [FILE]\n");
                 std::exit(0);
             } else {
                 std::fprintf(stderr, "unknown option %s\n", a.c_str());
@@ -67,6 +90,77 @@ struct BenchOptions
         }
         return o;
     }
+};
+
+/**
+ * Machine-readable result artifact for one experiment driver.
+ *
+ * Drivers add each computed number as a (label, value) point while
+ * printing their human-readable table, then call write() which emits
+ * BENCH_<name>.json when the user passed --json. Labels become JSON
+ * keys, so two artifacts from the same driver diff cleanly with
+ * `tools/dolos_report old.json new.json`.
+ */
+class BenchReport
+{
+  public:
+    BenchReport(std::string name, const BenchOptions &opts)
+        : name_(std::move(name)), opts_(opts)
+    {
+    }
+
+    /** Record one numeric result, e.g. add("hashmap.speedup", 1.7). */
+    void
+    add(const std::string &label, double value)
+    {
+        points_.emplace_back(label, value);
+    }
+
+    /**
+     * Write BENCH_<name>.json (or the --json FILE override) if the
+     * user asked for it. Returns the path written, or "" if not.
+     */
+    std::string
+    write() const
+    {
+        if (!opts_.json)
+            return "";
+        const std::string path = opts_.jsonFile.empty()
+                                     ? "BENCH_" + name_ + ".json"
+                                     : opts_.jsonFile;
+        std::ofstream out(path);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+            std::exit(1);
+        }
+        out << "{\"bench\":\"" << json::escape(name_) << "\""
+            << ",\"txns\":" << opts_.txns
+            << ",\"keys\":" << opts_.numKeys
+            << ",\"seed\":" << opts_.seed << ",\"results\":{";
+        bool first = true;
+        for (const auto &[label, value] : points_) {
+            if (!first)
+                out << ",";
+            first = false;
+            out << "\"" << json::escape(label) << "\":";
+            if (std::isfinite(value)) {
+                char buf[64];
+                std::snprintf(buf, sizeof(buf), "%.17g", value);
+                out << buf;
+            } else {
+                out << "null";
+            }
+        }
+        out << "}}\n";
+        std::printf("wrote %s (%zu results)\n", path.c_str(),
+                    points_.size());
+        return path;
+    }
+
+  private:
+    std::string name_;
+    BenchOptions opts_;
+    std::vector<std::pair<std::string, double>> points_;
 };
 
 /**

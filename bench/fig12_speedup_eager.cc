@@ -23,6 +23,8 @@ main(int argc, char **argv)
     const SecurityMode designs[] = {SecurityMode::DolosFullWpq,
                                     SecurityMode::DolosPartialWpq,
                                     SecurityMode::DolosPostWpq};
+    const char *labels[] = {"full", "partial", "post"};
+    BenchReport report("fig12_speedup_eager", opts);
 
     std::printf("%-12s %10s %10s %10s\n", "benchmark", "Full",
                 "Partial", "Post");
@@ -35,11 +37,17 @@ main(int argc, char **argv)
             const auto res = runOne(wl, designs[d], opts);
             speedup[d] = base.cyclesPerTx() / res.cyclesPerTx();
             avg[d].push_back(speedup[d]);
+            report.add(wl + "." + labels[d] + ".speedup", speedup[d]);
         }
+        report.add(wl + ".baseline.cyclesPerTx", base.cyclesPerTx());
         std::printf("%-12s %9.2fx %9.2fx %9.2fx\n", wl.c_str(),
                     speedup[0], speedup[1], speedup[2]);
     }
     std::printf("%-12s %9.2fx %9.2fx %9.2fx\n", "average",
                 mean(avg[0]), mean(avg[1]), mean(avg[2]));
+    for (int d = 0; d < 3; ++d)
+        report.add(std::string("average.") + labels[d] + ".speedup",
+                   mean(avg[d]));
+    report.write();
     return 0;
 }

@@ -21,6 +21,7 @@ main(int argc, char **argv)
                 "immediately-persisting ideal",
                 "average 52% overhead, up to 61%", opts);
 
+    BenchReport report("intro_overhead", opts);
     std::printf("%-12s %14s %14s %10s\n", "benchmark",
                 "baseline cyc/tx", "ideal cyc/tx", "overhead");
     std::vector<double> overheads;
@@ -31,6 +32,9 @@ main(int argc, char **argv)
         const double ov =
             100.0 * (base.cyclesPerTx() / ideal.cyclesPerTx() - 1.0);
         overheads.push_back(ov);
+        report.add(wl + ".baseline.cyclesPerTx", base.cyclesPerTx());
+        report.add(wl + ".ideal.cyclesPerTx", ideal.cyclesPerTx());
+        report.add(wl + ".overheadPct", ov);
         std::printf("%-12s %14.0f %14.0f %9.1f%%\n", wl.c_str(),
                     base.cyclesPerTx(), ideal.cyclesPerTx(), ov);
     }
@@ -39,5 +43,8 @@ main(int argc, char **argv)
         max_ov = std::max(max_ov, o);
     std::printf("%-12s %14s %14s %9.1f%% (max %.1f%%)\n", "average",
                 "", "", mean(overheads), max_ov);
+    report.add("average.overheadPct", mean(overheads));
+    report.add("max.overheadPct", max_ov);
+    report.write();
     return 0;
 }

@@ -5,6 +5,8 @@
 
 #include "cpu/core.hh"
 
+#include "sim/trace.hh"
+
 namespace dolos
 {
 
@@ -63,9 +65,13 @@ SimpleCore::clwb(Addr addr)
         }
         --*clwbDropIn;
     }
+    const Tick issued = clock;
     const PersistTicket t = hierarchy.clwb(addr, clock);
     clock = t.acceptTick;
     outstanding.push_back(t);
+    // The write's whole life: CLWB issue -> persistence domain.
+    DOLOS_TRACE(trace::Stage::CoreClwb, issued, t.persistTick, addr,
+                statClwbs.value());
 }
 
 void
@@ -80,6 +86,9 @@ SimpleCore::sfence()
     const Tick stall = latest - clock;
     statFenceStall += stall;
     statFenceWait.sample(double(stall));
+    if (stall > 0)
+        DOLOS_TRACE(trace::Stage::CoreFence, clock, latest, 0,
+                    statFences.value());
     clock = latest;
     if (observer)
         observer->onSfence();

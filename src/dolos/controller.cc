@@ -6,6 +6,7 @@
 #include "dolos/controller.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace dolos
 {
@@ -72,12 +73,20 @@ SecureMemController::SecureMemController(const SystemConfig &cfg,
     stats_.addScalar(&statWpqReadHits, "wpqReadHits",
                      "reads served from the WPQ tag array");
     stats_.addScalar(&statReads, "reads", "reads reaching the controller");
+    stats_.addScalar(&statStallCycles, "wpqStallCycles",
+                     "cycles writes waited for a free WPQ slot");
     stats_.addAverage(&statPersistLatency, "persistLatency",
                       "cycles from arrival to persistence");
     stats_.addAverage(&statOccupancy, "occupancy",
                       "WPQ entries in use at insertion");
     stats_.addAverage(&statDrainLatency, "drainLatency",
                       "cycles from persist to Ma-SU clear");
+    stats_.addHistogram(&statPersistLatencyHist, "persistLatencyHist",
+                        "distribution of arrival-to-persist cycles");
+    stats_.addHistogram(&statStallHist, "wpqStallHist",
+                        "distribution of full-WPQ stall cycles");
+    if (misu_)
+        stats_.addChild(&misu_->statGroup());
 }
 
 SecureMemController::WpqEntry *
@@ -133,6 +142,11 @@ SecureMemController::drainEntry(WpqEntry &e)
     e.drained = true;
     e.releaseTick = done;
     statDrainLatency.sample(double(done - e.persistTick));
+    DOLOS_TRACE(trace::Stage::WpqDrain, e.persistTick, done, e.addr,
+                e.id);
+    debugPrintf("Wpq", "drain id=%llu addr=0x%llx done=%llu",
+                (unsigned long long)e.id, (unsigned long long)e.addr,
+                (unsigned long long)done);
 }
 
 void
@@ -203,6 +217,9 @@ SecureMemController::enqueueWrite(Addr addr, const Block &data, Tick now)
             }
             e->persistTick = std::max(e->persistTick, t);
             statPersistLatency.sample(double(e->persistTick - now));
+            statPersistLatencyHist.sample(double(e->persistTick - now));
+            DOLOS_TRACE(trace::Stage::WpqCoalesce, now, e->persistTick,
+                        e->addr, e->id);
             return {now + cfg.wpq.mcTransitLatency, e->persistTick};
         }
     }
@@ -222,9 +239,19 @@ SecureMemController::enqueueWrite(Addr addr, const Block &data, Tick now)
     statOccupancy.sample(double(wpq.size()));
     if (wpq.size() >= capacity)
         ++statRetries;
+    const Tick stall_from = t;
     while (wpq.size() >= capacity) {
         t += cfg.wpq.retryInterval;
         processDrainsUntil(t);
+    }
+    if (t > stall_from) {
+        statStallCycles += t - stall_from;
+        statStallHist.sample(double(t - stall_from));
+        DOLOS_TRACE(trace::Stage::WpqStall, stall_from, t, addr,
+                    nextId);
+        debugPrintf("Wpq", "full: addr=0x%llx stalled %llu cycles",
+                    (unsigned long long)addr,
+                    (unsigned long long)(t - stall_from));
     }
 
     WpqEntry e;
@@ -262,6 +289,9 @@ SecureMemController::enqueueWrite(Addr addr, const Block &data, Tick now)
     wpq.push_back(e);
     tagArray[e.addr] = e.id;
     statPersistLatency.sample(double(e.persistTick - now));
+    statPersistLatencyHist.sample(double(e.persistTick - now));
+    DOLOS_TRACE(trace::Stage::WpqInsert, now, e.persistTick, e.addr,
+                e.id);
     return {now + cfg.wpq.mcTransitLatency, e.persistTick};
 }
 

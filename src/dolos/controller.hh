@@ -102,6 +102,9 @@ class SecureMemController : public PersistController
     std::uint64_t coalesces() const { return statCoalesces.value(); }
     std::uint64_t wpqReadHits() const { return statWpqReadHits.value(); }
 
+    /** Cycles writes waited for a free WPQ slot (full-queue stalls). */
+    std::uint64_t wpqStallCycles() const { return statStallCycles.value(); }
+
     /** Re-try events per kilo write requests (Table 2 metric). */
     double
     retriesPerKiloWrites() const
@@ -167,9 +170,12 @@ class SecureMemController : public PersistController
     stats::Scalar statCoalesces;
     stats::Scalar statWpqReadHits;
     stats::Scalar statReads;
+    stats::Scalar statStallCycles;
     stats::Average statPersistLatency;
     stats::Average statOccupancy;
     stats::Average statDrainLatency;
+    stats::Histogram statPersistLatencyHist{100.0, 32};
+    stats::Histogram statStallHist{500.0, 16};
 };
 
 } // namespace dolos

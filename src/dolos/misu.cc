@@ -6,6 +6,7 @@
 #include "dolos/misu.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace dolos
 {
@@ -24,10 +25,23 @@ MiSu::MiSu(SecurityMode mode, unsigned capacity, Cycles mac_latency,
       padGen(key),
       macEngine(mac),
       entryMacs(capacity),
-      slotLive(capacity, false)
+      slotLive(capacity, false),
+      stats_("misu")
 {
     DOLOS_ASSERT(isDolosMode(mode), "MiSu requires a Dolos mode");
     regeneratePads();
+
+    stats_.addScalar(&statProtects, "entriesProtected",
+                     "WPQ entries pad-encrypted and MACed");
+    stats_.addScalar(&statMacOps, "macOps", "MAC computations run");
+    stats_.addScalar(&statMacCycles, "macCycles",
+                     "critical-path cycles spent in Mi-SU MACs");
+    stats_.addScalar(&statDeferredMacs, "deferredMacs",
+                     "Post-WPQ MACs computed after commit");
+    stats_.addScalar(&statEpochs, "epochAdvances",
+                     "pad regenerations after a dump exposed pads");
+    stats_.addHistogram(&statInsertLatency, "insertLatency",
+                        "critical-path cycles added per insertion");
 }
 
 Cycles
@@ -108,6 +122,32 @@ MiSu::protect(unsigned slot, Addr addr, const Block &data,
     busyUntil_ = mode_ == SecurityMode::DolosPostWpq
                      ? commit_tick + macLatency
                      : commit_tick;
+
+    ++statProtects;
+    const Cycles in_path = insertLatency();
+    statMacCycles += in_path;
+    statInsertLatency.sample(double(in_path));
+    DOLOS_TRACE(trace::Stage::MisuPadXor,
+                commit_tick > in_path ? commit_tick - in_path - 1
+                                      : commit_tick,
+                commit_tick > in_path ? commit_tick - in_path
+                                      : commit_tick,
+                addr, slot);
+    if (mode_ == SecurityMode::DolosPostWpq) {
+        ++statMacOps;
+        ++statDeferredMacs;
+        DOLOS_TRACE(trace::Stage::MisuMac, commit_tick, busyUntil_,
+                    addr, slot);
+    } else {
+        const unsigned macs =
+            mode_ == SecurityMode::DolosFullWpq ? 2 : 1;
+        statMacOps += macs;
+        DOLOS_TRACE(trace::Stage::MisuMac, commit_tick - in_path,
+                    commit_tick, addr, slot);
+    }
+    debugPrintf("Misu", "protect slot=%u addr=0x%llx commit=%llu",
+                slot, (unsigned long long)addr,
+                (unsigned long long)commit_tick);
     return img;
 }
 
@@ -157,6 +197,7 @@ MiSu::clearSlot(unsigned slot)
 void
 MiSu::advanceEpoch()
 {
+    ++statEpochs;
     pcr += capacity_;
     regeneratePads();
     std::fill(slotLive.begin(), slotLive.end(), false);

@@ -30,6 +30,7 @@
 #include "crypto/mac_engine.hh"
 #include "dolos/config.hh"
 #include "mem/block.hh"
+#include "sim/stats.hh"
 
 namespace dolos
 {
@@ -115,6 +116,11 @@ class MiSu
     unsigned capacity() const { return capacity_; }
     Tick busyUntil() const { return busyUntil_; }
 
+    stats::StatGroup &statGroup() { return stats_; }
+
+    /** Critical-path cycles the Mi-SU MAC unit has charged so far. */
+    std::uint64_t macCycles() const { return statMacCycles.value(); }
+
     /** Per-design storage overhead report (paper Table 3). */
     struct StorageOverhead
     {
@@ -149,6 +155,14 @@ class MiSu
     std::vector<bool> slotLive;                  ///< cleared bits
     crypto::MacTag rootRegister{};               ///< Full design only
     Tick busyUntil_ = 0;                         ///< Post design only
+
+    stats::StatGroup stats_;
+    stats::Scalar statProtects;
+    stats::Scalar statMacOps;
+    stats::Scalar statMacCycles;
+    stats::Scalar statDeferredMacs;
+    stats::Scalar statEpochs;
+    stats::Histogram statInsertLatency{40.0, 16};
 };
 
 } // namespace dolos

@@ -5,6 +5,8 @@
 
 #include "dolos/system.hh"
 
+#include "sim/json.hh"
+
 namespace dolos
 {
 
@@ -40,6 +42,38 @@ System::dumpStats(std::ostream &os) const
     mc->statGroup().dump(os, cfg.name);
     eng->statGroup().dump(os, cfg.name);
     nvm->statGroup().dump(os, cfg.name);
+}
+
+void
+System::dumpStatsJson(std::ostream &os) const
+{
+    const std::uint64_t misu_mac =
+        mc->misu() ? mc->misu()->macCycles() : 0;
+    os << "{\"name\":\"" << json::escape(cfg.name) << "\",\"mode\":\""
+       << securityModeName(cfg.mode) << "\"";
+    // The per-write-stage cycle totals every security mode reports,
+    // surfaced from the stat tree for direct consumption.
+    os << ",\"breakdown\":{"
+       << "\"misuMacCycles\":" << misu_mac
+       << ",\"macCycles\":" << eng->macCycles()
+       << ",\"bmtCycles\":" << eng->bmtCycles()
+       << ",\"aesCycles\":" << eng->aesCycles()
+       << ",\"ctrFetchCycles\":" << eng->ctrFetchCycles()
+       << ",\"wpqStallCycles\":" << mc->wpqStallCycles()
+       << ",\"fenceStallCycles\":" << core_->fenceStallCycles()
+       << "}";
+    os << ",\"groups\":[";
+    stats::StatGroup *groups[] = {&core_->statGroup(),
+                                  &hier->statGroup(), &mc->statGroup(),
+                                  &eng->statGroup(), &nvm->statGroup()};
+    bool first = true;
+    for (auto *g : groups) {
+        if (!first)
+            os << ",";
+        g->dumpJson(os);
+        first = false;
+    }
+    os << "]}";
 }
 
 } // namespace dolos

@@ -54,6 +54,13 @@ class System
     /** Dump all statistics. */
     void dumpStats(std::ostream &os) const;
 
+    /**
+     * Dump all statistics as one JSON object: a per-stage cycle
+     * "breakdown" (Mi-SU/Ma-SU MAC, BMT climb, WPQ-full stalls,
+     * fence stalls) plus the full stat-group tree under "groups".
+     */
+    void dumpStatsJson(std::ostream &os) const;
+
   private:
     SystemConfig cfg;
     std::unique_ptr<NvmDevice> nvm;

@@ -25,6 +25,8 @@ Cache::Cache(const CacheParams &p, MemDevice &down)
                      "dirty blocks written downstream");
     stats_.addScalar(&statEvictions, "evictions",
                      "blocks evicted (clean or dirty)");
+    stats_.addHistogram(&statMissLatency, "missLatency",
+                        "cycles to fill a read miss from downstream");
 }
 
 std::size_t
@@ -87,6 +89,7 @@ Cache::readBlock(Addr addr, Tick now)
     }
     ++statMisses;
     const ReadResult below = downstream.readBlock(tag, now + params.latency);
+    statMissLatency.sample(double(below.completeTick - now));
     Line &line = allocate(tag, below.completeTick);
     line.valid = true;
     line.dirty = false;

@@ -107,6 +107,7 @@ class Cache : public MemDevice
     stats::Scalar statMisses;
     stats::Scalar statWritebacks;
     stats::Scalar statEvictions;
+    stats::Histogram statMissLatency{100.0, 32};
 };
 
 } // namespace dolos

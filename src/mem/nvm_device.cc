@@ -5,6 +5,8 @@
 
 #include "mem/nvm_device.hh"
 
+#include "sim/trace.hh"
+
 namespace dolos
 {
 
@@ -14,10 +16,14 @@ NvmDevice::NvmDevice(const NvmParams &p)
 {
     stats_.addScalar(&statReads, "reads", "block reads");
     stats_.addScalar(&statWrites, "writes", "block writes");
+    stats_.addScalar(&statBankConflicts, "bankConflicts",
+                     "accesses that found their bank busy");
     stats_.addAverage(&statReadQueueing, "readQueueing",
                       "cycles reads waited for a busy bank");
     stats_.addAverage(&statWriteQueueing, "writeQueueing",
                       "cycles writes waited for a busy bank");
+    stats_.addHistogram(&statWriteQueueingHist, "writeQueueingHist",
+                        "distribution of write bank-queueing cycles");
 }
 
 std::size_t
@@ -35,7 +41,10 @@ NvmDevice::read(Addr addr, Tick now)
                      : bankBusyUntil[bankIndex(addr)];
     const Tick start = std::max(now, bank);
     statReadQueueing.sample(double(start - now));
+    if (start > now)
+        ++statBankConflicts;
     bank = start + params.readLatency;
+    DOLOS_TRACE(trace::Stage::NvmRead, now, bank, addr, 0);
     return {data_.read(blockAlign(addr)), bank};
 }
 
@@ -46,8 +55,12 @@ NvmDevice::write(Addr addr, const Block &block, Tick now)
     Tick &bank = bankBusyUntil[bankIndex(addr)];
     const Tick start = std::max(now, bank);
     statWriteQueueing.sample(double(start - now));
+    statWriteQueueingHist.sample(double(start - now));
+    if (start > now)
+        ++statBankConflicts;
     bank = start + params.writeLatency;
     data_.write(blockAlign(addr), block);
+    DOLOS_TRACE(trace::Stage::NvmWrite, now, bank, addr, 0);
     return bank;
 }
 

@@ -95,8 +95,10 @@ class NvmDevice
     stats::StatGroup stats_;
     stats::Scalar statReads;
     stats::Scalar statWrites;
+    stats::Scalar statBankConflicts;
     stats::Average statReadQueueing;
     stats::Average statWriteQueueing;
+    stats::Histogram statWriteQueueingHist{500.0, 16};
 };
 
 } // namespace dolos

@@ -9,6 +9,7 @@
 
 #include "secure/osiris.hh"
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace dolos
 {
@@ -34,12 +35,24 @@ SecurityEngine::SecurityEngine(const SecureParams &p, NvmDevice &nvm)
                      "minor-counter overflow page re-encryptions");
     stats_.addScalar(&statColdReads, "coldReads",
                      "reads of never-written blocks");
+    stats_.addScalar(&statCtrFetchCycles, "ctrFetchCycles",
+                     "write-path cycles fetching/verifying counters");
+    stats_.addScalar(&statAesCycles, "aesCycles",
+                     "write-path cycles generating AES pads");
+    stats_.addScalar(&statMacCycles, "macCycles",
+                     "write-path cycles computing data MACs");
+    stats_.addScalar(&statBmtCycles, "bmtCycles",
+                     "write-path cycles climbing the integrity tree");
     stats_.addAverage(&statWriteLatency, "writeLatency",
                       "security-op cycles per write");
     stats_.addAverage(&statReadLatency, "readLatency",
                       "cycles per secure read");
     stats_.addAverage(&statTreeWalkLevels, "treeWalkLevels",
                       "tree levels fetched per counter miss");
+    stats_.addHistogram(&statWriteLatencyHist, "writeLatencyHist",
+                        "distribution of security-op cycles per write");
+    stats_.addHistogram(&statReadLatencyHist, "readLatencyHist",
+                        "distribution of cycles per secure read");
     stats_.addChild(&ctrCache.statGroup());
     stats_.addChild(&mtCache.statGroup());
     stats_.addChild(&shadow.statGroup());
@@ -252,6 +265,9 @@ SecurityEngine::secureWrite(Addr addr, const Block &plaintext,
 
     const Tick start = std::max(arrival, busyUntil_);
     Tick t = fetchCounter(addr, start, true);
+    statCtrFetchCycles += t - start;
+    if (t > start)
+        DOLOS_TRACE(trace::Stage::MasuCtrFetch, start, t, addr, 0);
 
     const CounterPage old_page = counters.page(page_idx);
     const CounterBump bump = counters.increment(addr);
@@ -263,6 +279,8 @@ SecurityEngine::secureWrite(Addr addr, const Block &plaintext,
     // Counter-mode encryption: pad generation (AES) then XOR.
     const Tick crypto_start = t;
     t += params.aesLatency;
+    statAesCycles += params.aesLatency;
+    DOLOS_TRACE(trace::Stage::MasuAes, crypto_start, t, addr, 0);
     const auto pad = padGen.generate(ivFor(addr, bump.newCounter),
                                      blockSize);
     res.ciphertext = plaintext;
@@ -270,8 +288,16 @@ SecurityEngine::secureWrite(Addr addr, const Block &plaintext,
     res.counter = bump.newCounter;
 
     // Data MAC + integrity-tree update: the configured number of
-    // serial MAC operations (Table 1: 10 eager / 4 lazy).
+    // serial MAC operations (Table 1: 10 eager / 4 lazy). One MAC op
+    // authenticates the data block; the remainder climb the BMT.
+    const Tick mac_start = t;
     t += Cycles(writeMacOps()) * params.macLatency;
+    statMacCycles += params.macLatency;
+    statBmtCycles += Cycles(writeMacOps() - 1) * params.macLatency;
+    DOLOS_TRACE(trace::Stage::MasuMac, mac_start,
+                mac_start + params.macLatency, addr, 0);
+    DOLOS_TRACE(trace::Stage::MasuBmt, mac_start + params.macLatency,
+                t, addr, 0);
     res.macTag = dataMac(addr, res.ciphertext, bump.newCounter);
     storeDataMac(addr, res.macTag);
 
@@ -321,6 +347,10 @@ SecurityEngine::secureWrite(Addr addr, const Block &plaintext,
     busyUntil_ = piped ? crypto_start + params.macLatency : t;
     res.doneTick = t;
     statWriteLatency.sample(double(t - arrival));
+    statWriteLatencyHist.sample(double(t - arrival));
+    debugPrintf("MaSu", "write addr=0x%llx arrival=%llu done=%llu",
+                (unsigned long long)addr, (unsigned long long)arrival,
+                (unsigned long long)t);
     return res;
 }
 
@@ -337,6 +367,7 @@ SecurityEngine::secureRead(Addr addr, Tick arrival)
         ++statColdReads;
         const ReadResult r = nvm_.read(addr, arrival);
         statReadLatency.sample(double(r.completeTick - arrival));
+        statReadLatencyHist.sample(double(r.completeTick - arrival));
         return {zeroBlock(), r.completeTick};
     }
 
@@ -360,6 +391,7 @@ SecurityEngine::secureRead(Addr addr, Tick arrival)
     crypto::xorInto(plaintext.data(), pad.data(), blockSize);
 
     statReadLatency.sample(double(t - arrival));
+    statReadLatencyHist.sample(double(t - arrival));
     return {plaintext, t};
 }
 

@@ -199,6 +199,12 @@ class SecurityEngine
     std::uint64_t counterCacheHits() const { return ctrCache.hits(); }
     std::uint64_t counterCacheMisses() const { return ctrCache.misses(); }
 
+    /** Per-stage write-path cycle attribution (stats JSON breakdown). */
+    std::uint64_t ctrFetchCycles() const { return statCtrFetchCycles.value(); }
+    std::uint64_t aesCycles() const { return statAesCycles.value(); }
+    std::uint64_t macCycles() const { return statMacCycles.value(); }
+    std::uint64_t bmtCycles() const { return statBmtCycles.value(); }
+
   private:
     /** MAC ops per write under the configured tree policy. */
     unsigned writeMacOps() const;
@@ -264,9 +270,15 @@ class SecurityEngine
     stats::Scalar statAttacks;
     stats::Scalar statOverflows;
     stats::Scalar statColdReads;
+    stats::Scalar statCtrFetchCycles;
+    stats::Scalar statAesCycles;
+    stats::Scalar statMacCycles;
+    stats::Scalar statBmtCycles;
     stats::Average statWriteLatency;
     stats::Average statReadLatency;
     stats::Average statTreeWalkLevels;
+    stats::Histogram statWriteLatencyHist{200.0, 32};
+    stats::Histogram statReadLatencyHist{100.0, 32};
 };
 
 } // namespace dolos

@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Minimal JSON parser / escaping implementation.
+ */
+
+#include "sim/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dolos::json
+{
+
+const Value *
+Value::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : obj)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+Value
+Value::makeBool(bool b)
+{
+    Value v;
+    v.kind_ = Kind::Bool;
+    v.bool_ = b;
+    return v;
+}
+
+Value
+Value::makeNumber(double d)
+{
+    Value v;
+    v.kind_ = Kind::Number;
+    v.num = d;
+    return v;
+}
+
+Value
+Value::makeString(std::string s)
+{
+    Value v;
+    v.kind_ = Kind::String;
+    v.str = std::move(s);
+    return v;
+}
+
+Value
+Value::makeArray(std::vector<Value> a)
+{
+    Value v;
+    v.kind_ = Kind::Array;
+    v.arr = std::move(a);
+    return v;
+}
+
+Value
+Value::makeObject(std::vector<std::pair<std::string, Value>> m)
+{
+    Value v;
+    v.kind_ = Kind::Object;
+    v.obj = std::move(m);
+    return v;
+}
+
+namespace
+{
+
+/** Recursive-descent parser over a raw buffer. */
+struct Parser
+{
+    const std::string &text;
+    std::size_t pos = 0;
+    std::string err;
+
+    bool
+    fail(const std::string &what)
+    {
+        if (err.empty()) {
+            err = what + " at offset " + std::to_string(pos);
+        }
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return fail(std::string("expected '") + c + "'");
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        skipWs();
+        if (pos >= text.size() || text[pos] != '"')
+            return fail("expected string");
+        ++pos;
+        out.clear();
+        while (pos < text.size() && text[pos] != '"') {
+            char c = text[pos++];
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos >= text.size())
+                return fail("truncated escape");
+            const char e = text[pos++];
+            switch (e) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                if (pos + 4 > text.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text[pos++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= unsigned(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= unsigned(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= unsigned(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape digit");
+                }
+                // UTF-8 encode (the emitters only produce ASCII, but
+                // accept the full BMP for robustness).
+                if (code < 0x80) {
+                    out.push_back(char(code));
+                } else if (code < 0x800) {
+                    out.push_back(char(0xC0 | (code >> 6)));
+                    out.push_back(char(0x80 | (code & 0x3F)));
+                } else {
+                    out.push_back(char(0xE0 | (code >> 12)));
+                    out.push_back(char(0x80 | ((code >> 6) & 0x3F)));
+                    out.push_back(char(0x80 | (code & 0x3F)));
+                }
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+        if (pos >= text.size())
+            return fail("unterminated string");
+        ++pos; // closing quote
+        return true;
+    }
+
+    bool
+    parseValue(Value &out)
+    {
+        skipWs();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        const char c = text[pos];
+        if (c == '{') {
+            ++pos;
+            std::vector<std::pair<std::string, Value>> members;
+            skipWs();
+            if (pos < text.size() && text[pos] == '}') {
+                ++pos;
+                out = Value::makeObject({});
+                return true;
+            }
+            while (true) {
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                if (!consume(':'))
+                    return false;
+                Value v;
+                if (!parseValue(v))
+                    return false;
+                members.emplace_back(std::move(key), std::move(v));
+                skipWs();
+                if (pos < text.size() && text[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                break;
+            }
+            if (!consume('}'))
+                return false;
+            out = Value::makeObject(std::move(members));
+            return true;
+        }
+        if (c == '[') {
+            ++pos;
+            std::vector<Value> items;
+            skipWs();
+            if (pos < text.size() && text[pos] == ']') {
+                ++pos;
+                out = Value::makeArray({});
+                return true;
+            }
+            while (true) {
+                Value v;
+                if (!parseValue(v))
+                    return false;
+                items.push_back(std::move(v));
+                skipWs();
+                if (pos < text.size() && text[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                break;
+            }
+            if (!consume(']'))
+                return false;
+            out = Value::makeArray(std::move(items));
+            return true;
+        }
+        if (c == '"') {
+            std::string s;
+            if (!parseString(s))
+                return false;
+            out = Value::makeString(std::move(s));
+            return true;
+        }
+        if (text.compare(pos, 4, "true") == 0) {
+            pos += 4;
+            out = Value::makeBool(true);
+            return true;
+        }
+        if (text.compare(pos, 5, "false") == 0) {
+            pos += 5;
+            out = Value::makeBool(false);
+            return true;
+        }
+        if (text.compare(pos, 4, "null") == 0) {
+            pos += 4;
+            out = Value::makeNull();
+            return true;
+        }
+        // Number.
+        const char *begin = text.c_str() + pos;
+        char *end = nullptr;
+        const double d = std::strtod(begin, &end);
+        if (end == begin)
+            return fail("unexpected token");
+        if (!std::isfinite(d))
+            return fail("non-finite number");
+        pos += std::size_t(end - begin);
+        out = Value::makeNumber(d);
+        return true;
+    }
+};
+
+void
+collectLeaves(const Value &v, const std::string &path,
+              std::vector<std::pair<std::string, double>> &out)
+{
+    switch (v.kind()) {
+      case Value::Kind::Number:
+        out.emplace_back(path, v.number());
+        break;
+      case Value::Kind::Array: {
+        std::size_t i = 0;
+        for (const auto &item : v.array()) {
+            collectLeaves(item, path + "[" + std::to_string(i) + "]",
+                          out);
+            ++i;
+        }
+        break;
+      }
+      case Value::Kind::Object:
+        for (const auto &[k, member] : v.members())
+            collectLeaves(member, path.empty() ? k : path + "." + k,
+                          out);
+        break;
+      default:
+        break;
+    }
+}
+
+} // namespace
+
+std::optional<Value>
+parse(const std::string &text, std::string *error)
+{
+    Parser p{text};
+    Value v;
+    if (!p.parseValue(v)) {
+        if (error)
+            *error = p.err;
+        return std::nullopt;
+    }
+    p.skipWs();
+    if (p.pos != text.size()) {
+        if (error)
+            *error = "trailing garbage at offset " +
+                     std::to_string(p.pos);
+        return std::nullopt;
+    }
+    return v;
+}
+
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<std::pair<std::string, double>>
+numericLeaves(const Value &v)
+{
+    std::vector<std::pair<std::string, double>> out;
+    collectLeaves(v, "", out);
+    return out;
+}
+
+} // namespace dolos::json

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Minimal JSON value model, parser and string escaping.
+ *
+ * The simulator emits machine-readable artifacts (stat dumps, Chrome
+ * traces, bench series) and tools/dolos_report consumes them; both
+ * sides share this header so the repo needs no external JSON
+ * dependency. The parser covers the full JSON grammar the emitters
+ * use (objects, arrays, strings with escapes, numbers, booleans,
+ * null) and is strict: trailing garbage or malformed input fails.
+ */
+
+#ifndef DOLOS_SIM_JSON_HH
+#define DOLOS_SIM_JSON_HH
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dolos::json
+{
+
+/** One parsed JSON value (object keys keep insertion order). */
+class Value
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    bool boolean() const { return bool_; }
+    double number() const { return num; }
+    const std::string &string() const { return str; }
+    const std::vector<Value> &array() const { return arr; }
+
+    /** Object members in source order. */
+    const std::vector<std::pair<std::string, Value>> &
+    members() const
+    {
+        return obj;
+    }
+
+    /** Look up an object member; nullptr if absent or not an object. */
+    const Value *find(const std::string &key) const;
+
+    static Value makeNull() { return Value(); }
+    static Value makeBool(bool b);
+    static Value makeNumber(double d);
+    static Value makeString(std::string s);
+    static Value makeArray(std::vector<Value> a);
+    static Value makeObject(std::vector<std::pair<std::string, Value>> m);
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double num = 0;
+    std::string str;
+    std::vector<Value> arr;
+    std::vector<std::pair<std::string, Value>> obj;
+};
+
+/**
+ * Parse a complete JSON document.
+ *
+ * @param text The document.
+ * @param error Filled with a diagnostic (with offset) on failure.
+ * @return the value, or nullopt on malformed input.
+ */
+std::optional<Value> parse(const std::string &text,
+                           std::string *error = nullptr);
+
+/** Escape a string for embedding between double quotes in JSON. */
+std::string escape(const std::string &s);
+
+/**
+ * Flatten every numeric leaf into "a.b[2].c" -> value pairs, in
+ * document order (dolos_report diffs two artifacts this way).
+ */
+std::vector<std::pair<std::string, double>>
+numericLeaves(const Value &v);
+
+} // namespace dolos::json
+
+#endif // DOLOS_SIM_JSON_HH

@@ -15,10 +15,22 @@ namespace
 {
 
 std::set<std::string> &
-flagSet()
+rawFlagSet()
 {
     static std::set<std::string> flags;
     return flags;
+}
+
+/** The flag set, with $DOLOS_DEBUG applied on first use. */
+std::set<std::string> &
+flagSet()
+{
+    static const bool env_applied = [] {
+        DebugFlags::initFromEnvironment();
+        return true;
+    }();
+    (void)env_applied;
+    return rawFlagSet();
 }
 
 void
@@ -53,6 +65,29 @@ void
 DebugFlags::clear()
 {
     flagSet().clear();
+}
+
+void
+DebugFlags::initFromEnvironment()
+{
+    const char *env = std::getenv("DOLOS_DEBUG");
+    if (!env)
+        return;
+    std::string token;
+    // Insert into the raw set: this runs during flagSet()'s first-use
+    // initialization, and must not recurse into it.
+    auto flush = [&token] {
+        if (!token.empty())
+            rawFlagSet().insert(token);
+        token.clear();
+    };
+    for (const char *p = env; *p; ++p) {
+        if (*p == ',' || *p == ' ' || *p == '\t')
+            flush();
+        else
+            token.push_back(*p);
+    }
+    flush();
 }
 
 void

@@ -19,11 +19,17 @@
 namespace dolos
 {
 
-/** Named debug flags; enable with DebugFlags::enable("Wpq"). */
+/**
+ * Named debug flags; enable with DebugFlags::enable("Wpq") or from
+ * the environment: DOLOS_DEBUG="Wpq,Misu" (comma/space separated)
+ * is read the first time any flag is touched, so traces work in any
+ * binary without code changes. docs/observability.md lists the flag
+ * names the simulator emits.
+ */
 class DebugFlags
 {
   public:
-    /** Enable a named flag (e.g.\ "Wpq", "MaSU", "Cache"). */
+    /** Enable a named flag (e.g.\ "Wpq", "Misu", "MaSu"). */
     static void enable(const std::string &flag);
 
     /** Disable a previously enabled flag. */
@@ -32,8 +38,15 @@ class DebugFlags
     /** Query whether a flag is enabled. */
     static bool enabled(const std::string &flag);
 
-    /** Disable all flags. */
+    /** Disable all flags (including environment-enabled ones). */
     static void clear();
+
+    /**
+     * (Re-)apply $DOLOS_DEBUG to the flag set. Runs automatically on
+     * first use; exposed so tests and embedders can re-read the
+     * environment after changing it.
+     */
+    static void initFromEnvironment();
 };
 
 /** Print a message gated on a debug flag; printf-style formatting. */

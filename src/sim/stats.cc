@@ -6,7 +6,12 @@
 #include "sim/stats.hh"
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <iomanip>
+
+#include "sim/json.hh"
+#include "sim/logging.hh"
 
 namespace dolos::stats
 {
@@ -16,8 +21,16 @@ Histogram::sample(double v)
 {
     sum += v;
     ++n;
-    if (v > maxSeen)
+    // min/max follow the first sample, not 0 — an all-negative
+    // series must report a negative max.
+    if (n == 1 || v > maxSeen)
         maxSeen = v;
+    if (n == 1 || v < minSeen)
+        minSeen = v;
+    if (v < 0) {
+        ++underflow;
+        return;
+    }
     auto idx = static_cast<std::size_t>(v / width);
     if (idx >= buckets.size())
         ++overflow;
@@ -30,15 +43,32 @@ Histogram::reset()
 {
     std::fill(buckets.begin(), buckets.end(), 0);
     overflow = 0;
+    underflow = 0;
     n = 0;
     sum = 0;
     maxSeen = 0;
+    minSeen = 0;
+}
+
+void
+StatGroup::checkUnique(const std::string &name) const
+{
+    for (const auto &e : scalars)
+        DOLOS_ASSERT(e.name != name, "duplicate stat '%s' in group '%s'",
+                     name.c_str(), _name.c_str());
+    for (const auto &e : averages)
+        DOLOS_ASSERT(e.name != name, "duplicate stat '%s' in group '%s'",
+                     name.c_str(), _name.c_str());
+    for (const auto &e : hists)
+        DOLOS_ASSERT(e.name != name, "duplicate stat '%s' in group '%s'",
+                     name.c_str(), _name.c_str());
 }
 
 void
 StatGroup::addScalar(Scalar *s, const std::string &name,
                      const std::string &desc)
 {
+    checkUnique(name);
     scalars.push_back({s, name, desc});
 }
 
@@ -46,6 +76,7 @@ void
 StatGroup::addAverage(Average *a, const std::string &name,
                       const std::string &desc)
 {
+    checkUnique(name);
     averages.push_back({a, name, desc});
 }
 
@@ -53,6 +84,7 @@ void
 StatGroup::addHistogram(Histogram *h, const std::string &name,
                         const std::string &desc)
 {
+    checkUnique(name);
     hists.push_back({h, name, desc});
 }
 
@@ -85,6 +117,90 @@ StatGroup::dump(std::ostream &os, const std::string &prefix) const
     }
     for (const auto *c : children)
         c->dump(os, base);
+}
+
+namespace
+{
+
+/** Shortest round-trippable representation of a double. */
+std::string
+num(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    // Prefer the compact form when it round-trips exactly.
+    char shorter[32];
+    std::snprintf(shorter, sizeof(shorter), "%.15g", v);
+    if (std::strtod(shorter, nullptr) == v)
+        return shorter;
+    return buf;
+}
+
+} // namespace
+
+void
+StatGroup::dumpJson(std::ostream &os) const
+{
+    os << "{\"name\":\"" << json::escape(_name) << "\"";
+    if (!scalars.empty()) {
+        os << ",\"scalars\":{";
+        bool first = true;
+        for (const auto &e : scalars) {
+            os << (first ? "" : ",") << "\"" << json::escape(e.name)
+               << "\":{\"value\":" << e.s->value() << ",\"desc\":\""
+               << json::escape(e.desc) << "\"}";
+            first = false;
+        }
+        os << "}";
+    }
+    if (!averages.empty()) {
+        os << ",\"averages\":{";
+        bool first = true;
+        for (const auto &e : averages) {
+            os << (first ? "" : ",") << "\"" << json::escape(e.name)
+               << "\":{\"mean\":" << num(e.a->mean())
+               << ",\"total\":" << num(e.a->total())
+               << ",\"samples\":" << e.a->samples() << ",\"desc\":\""
+               << json::escape(e.desc) << "\"}";
+            first = false;
+        }
+        os << "}";
+    }
+    if (!hists.empty()) {
+        os << ",\"histograms\":{";
+        bool first = true;
+        for (const auto &e : hists) {
+            os << (first ? "" : ",") << "\"" << json::escape(e.name)
+               << "\":{\"mean\":" << num(e.h->mean())
+               << ",\"min\":" << num(e.h->min())
+               << ",\"max\":" << num(e.h->max())
+               << ",\"samples\":" << e.h->samples()
+               << ",\"bucketWidth\":" << num(e.h->bucketWidth())
+               << ",\"underflows\":" << e.h->underflows()
+               << ",\"overflows\":" << e.h->overflows()
+               << ",\"buckets\":[";
+            bool bfirst = true;
+            for (const auto b : e.h->data()) {
+                os << (bfirst ? "" : ",") << b;
+                bfirst = false;
+            }
+            os << "],\"desc\":\"" << json::escape(e.desc) << "\"}";
+            first = false;
+        }
+        os << "}";
+    }
+    if (!children.empty()) {
+        os << ",\"children\":[";
+        bool first = true;
+        for (const auto *c : children) {
+            if (!first)
+                os << ",";
+            c->dumpJson(os);
+            first = false;
+        }
+        os << "]";
+    }
+    os << "}";
 }
 
 void

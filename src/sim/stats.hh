@@ -69,18 +69,27 @@ class Histogram
 
     std::uint64_t samples() const { return n; }
     double mean() const { return n ? sum / double(n) : 0.0; }
-    double max() const { return maxSeen; }
+
+    /** Largest sample seen; 0 with no samples. */
+    double max() const { return n ? maxSeen : 0.0; }
+
+    /** Smallest sample seen; 0 with no samples. */
+    double min() const { return n ? minSeen : 0.0; }
+
     double bucketWidth() const { return width; }
     const std::vector<std::uint64_t> &data() const { return buckets; }
     std::uint64_t overflows() const { return overflow; }
+    std::uint64_t underflows() const { return underflow; }
 
   private:
     double width;
     std::vector<std::uint64_t> buckets;
     std::uint64_t overflow = 0;
+    std::uint64_t underflow = 0;
     std::uint64_t n = 0;
     double sum = 0;
-    double maxSeen = 0;
+    double maxSeen = 0; ///< valid only while n > 0
+    double minSeen = 0; ///< valid only while n > 0
 };
 
 /**
@@ -97,7 +106,11 @@ class StatGroup
     StatGroup(const StatGroup &) = delete;
     StatGroup &operator=(const StatGroup &) = delete;
 
-    /** Register a scalar; the group does not own the stat. */
+    /**
+     * Register a scalar; the group does not own the stat.
+     * Registering two stats under the same name in one group is a
+     * simulator bug (panics): the dump would be ambiguous.
+     */
     void addScalar(Scalar *s, const std::string &name,
                    const std::string &desc);
     void addAverage(Average *a, const std::string &name,
@@ -111,6 +124,13 @@ class StatGroup
     /** Print all registered stats (and children) to @p os. */
     void dump(std::ostream &os, const std::string &prefix = "") const;
 
+    /**
+     * Emit this group (and children, recursively) as one JSON
+     * object: {"name":..., "scalars":{...}, "averages":{...},
+     * "histograms":{...}, "children":[...]}.
+     */
+    void dumpJson(std::ostream &os) const;
+
     /** Reset all registered stats (and children) to zero. */
     void resetAll();
 
@@ -120,6 +140,9 @@ class StatGroup
     struct ScalarEntry { Scalar *s; std::string name, desc; };
     struct AverageEntry { Average *a; std::string name, desc; };
     struct HistEntry { Histogram *h; std::string name, desc; };
+
+    /** Panic if @p name is already registered in this group. */
+    void checkUnique(const std::string &name) const;
 
     std::string _name;
     std::vector<ScalarEntry> scalars;

@@ -7,6 +7,7 @@
 
 #include <sstream>
 
+#include "sim/json.hh"
 #include "sim/stats.hh"
 
 namespace
@@ -54,6 +55,35 @@ TEST(Histogram, BucketsAndOverflow)
     EXPECT_EQ(h.overflows(), 0u);
 }
 
+TEST(Histogram, AllNegativeSamplesReportNegativeMax)
+{
+    // Regression test: maxSeen used to start at 0, so an all-negative
+    // series reported max() == 0 instead of the true (negative) max.
+    Histogram h(10.0, 4);
+    h.sample(-30);
+    h.sample(-5);
+    h.sample(-12);
+    EXPECT_DOUBLE_EQ(h.max(), -5.0);
+    EXPECT_DOUBLE_EQ(h.min(), -30.0);
+    EXPECT_EQ(h.samples(), 3u);
+    // Negative samples land in the underflow bin, not in bucket
+    // static_cast<size_t>(v / width).
+    EXPECT_EQ(h.underflows(), 3u);
+    for (const auto b : h.data())
+        EXPECT_EQ(b, 0u);
+}
+
+TEST(Histogram, EmptyReportsZeroMinMax)
+{
+    Histogram h(10.0, 4);
+    EXPECT_DOUBLE_EQ(h.max(), 0.0);
+    EXPECT_DOUBLE_EQ(h.min(), 0.0);
+    h.sample(-3);
+    h.reset();
+    EXPECT_DOUBLE_EQ(h.max(), 0.0);
+    EXPECT_EQ(h.underflows(), 0u);
+}
+
 TEST(StatGroup, DumpContainsNamesValuesDescriptions)
 {
     StatGroup g("wpq");
@@ -94,6 +124,66 @@ TEST(StatGroup, ResetAllRecurses)
     parent.resetAll();
     EXPECT_EQ(a.value(), 0u);
     EXPECT_EQ(b.value(), 0u);
+}
+
+TEST(StatGroupDeathTest, DuplicateNameInOneGroupPanics)
+{
+    StatGroup g("dup");
+    Scalar a;
+    Average avg;
+    g.addScalar(&a, "stat", "first registration");
+    EXPECT_DEATH(g.addAverage(&avg, "stat", "same name, other kind"),
+                 "duplicate stat 'stat' in group 'dup'");
+}
+
+TEST(StatGroup, DumpJsonRoundTripsThroughParser)
+{
+    StatGroup parent("mc");
+    StatGroup child("wpq");
+    Scalar writes;
+    writes += 41;
+    Average occupancy;
+    occupancy.sample(3);
+    occupancy.sample(5);
+    Histogram lat(10.0, 4);
+    lat.sample(-2);
+    lat.sample(12);
+    lat.sample(99);
+    parent.addScalar(&writes, "writes", "write \"requests\"");
+    parent.addAverage(&occupancy, "occupancy", "entries in use");
+    child.addHistogram(&lat, "latency", "per-entry persist latency");
+    parent.addChild(&child);
+
+    std::ostringstream os;
+    parent.dumpJson(os);
+    std::string error;
+    const auto doc = dolos::json::parse(os.str(), &error);
+    ASSERT_TRUE(doc.has_value()) << error << "\n" << os.str();
+
+    ASSERT_TRUE(doc->isObject());
+    EXPECT_EQ(doc->find("name")->string(), "mc");
+    const auto *writes_v = doc->find("scalars")->find("writes");
+    ASSERT_NE(writes_v, nullptr);
+    EXPECT_DOUBLE_EQ(writes_v->find("value")->number(), 41.0);
+    // The escaped description survives the round trip.
+    EXPECT_EQ(writes_v->find("desc")->string(), "write \"requests\"");
+    EXPECT_DOUBLE_EQ(
+        doc->find("averages")->find("occupancy")->find("mean")->number(),
+        4.0);
+
+    const auto *children = doc->find("children");
+    ASSERT_NE(children, nullptr);
+    ASSERT_EQ(children->array().size(), 1u);
+    const auto &wpq = children->array()[0];
+    EXPECT_EQ(wpq.find("name")->string(), "wpq");
+    const auto *hist = wpq.find("histograms")->find("latency");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_DOUBLE_EQ(hist->find("min")->number(), -2.0);
+    EXPECT_DOUBLE_EQ(hist->find("max")->number(), 99.0);
+    EXPECT_DOUBLE_EQ(hist->find("underflows")->number(), 1.0);
+    EXPECT_DOUBLE_EQ(hist->find("overflows")->number(), 1.0);
+    ASSERT_EQ(hist->find("buckets")->array().size(), 4u);
+    EXPECT_DOUBLE_EQ(hist->find("buckets")->array()[1].number(), 1.0);
 }
 
 } // namespace

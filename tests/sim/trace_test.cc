@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests for the persist-path event tracer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "sim/json.hh"
+#include "sim/trace.hh"
+
+namespace
+{
+
+using namespace dolos::trace;
+
+/** Reset the global tracer around each test. */
+class TracerTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        Tracer::instance().disable();
+        Tracer::instance().clear();
+    }
+
+    void TearDown() override { SetUp(); }
+};
+
+TEST_F(TracerTest, InactiveByDefaultAndMacroRecordsNothing)
+{
+    auto &t = Tracer::instance();
+    EXPECT_FALSE(t.active());
+    DOLOS_TRACE(Stage::WpqInsert, 1, 2, 0x40, 0);
+    EXPECT_EQ(t.size(), 0u);
+}
+
+#if DOLOS_TRACING
+TEST_F(TracerTest, MacroRecordsWhenEnabled)
+{
+    auto &t = Tracer::instance();
+    t.enable(8);
+    DOLOS_TRACE(Stage::CoreClwb, 10, 20, 0x40, 1);
+    EXPECT_EQ(t.size(), 1u);
+}
+#else
+TEST_F(TracerTest, MacroCompiledOutRecordsNothing)
+{
+    auto &t = Tracer::instance();
+    t.enable(8);
+    DOLOS_TRACE(Stage::CoreClwb, 10, 20, 0x40, 1);
+    EXPECT_EQ(t.size(), 0u);
+}
+#endif
+
+TEST_F(TracerTest, RecordsInOrderWhenEnabled)
+{
+    auto &t = Tracer::instance();
+    t.enable(8);
+    t.record(Stage::CoreClwb, 10, 20, 0x40, 1);
+    t.record(Stage::MasuMac, 20, 180, 0x40, 1);
+    EXPECT_EQ(t.size(), 2u);
+    std::vector<Event> seen;
+    t.forEach([&](const Event &e) { seen.push_back(e); });
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0].stage, Stage::CoreClwb);
+    EXPECT_EQ(seen[0].start, 10u);
+    EXPECT_EQ(seen[0].end, 20u);
+    EXPECT_EQ(seen[1].stage, Stage::MasuMac);
+    EXPECT_EQ(seen[1].addr, 0x40u);
+}
+
+TEST_F(TracerTest, RingDropsOldestWhenFull)
+{
+    auto &t = Tracer::instance();
+    t.enable(4);
+    for (std::uint64_t i = 0; i < 10; ++i)
+        t.record(Stage::NvmWrite, i, i + 1, 0, i);
+    EXPECT_EQ(t.size(), 4u);
+    EXPECT_EQ(t.dropped(), 6u);
+    std::vector<std::uint64_t> ids;
+    t.forEach([&](const Event &e) { ids.push_back(e.id); });
+    EXPECT_EQ(ids, (std::vector<std::uint64_t>{6, 7, 8, 9}));
+}
+
+TEST_F(TracerTest, DumpEmitsValidChromeTraceJson)
+{
+    auto &t = Tracer::instance();
+    t.enable(16);
+    t.record(Stage::WpqStall, 100, 350, 0x80, 7);
+    t.record(Stage::MasuBmt, 350, 1790, 0x80, 7);
+    t.disable();
+
+    std::ostringstream os;
+    t.dump(os);
+    std::string error;
+    const auto doc = dolos::json::parse(os.str(), &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    ASSERT_TRUE(doc->isArray());
+
+    // Lane-naming metadata first, then the two duration events.
+    std::size_t meta = 0, durations = 0;
+    for (const auto &e : doc->array()) {
+        const auto &ph = e.find("ph")->string();
+        if (ph == "M") {
+            ++meta;
+            EXPECT_EQ(e.find("name")->string(), "thread_name");
+        } else {
+            ASSERT_EQ(ph, "X");
+            ++durations;
+            EXPECT_TRUE(e.find("ts")->isNumber());
+            EXPECT_TRUE(e.find("dur")->isNumber());
+        }
+    }
+    EXPECT_GT(meta, 0u);
+    ASSERT_EQ(durations, 2u);
+
+    const auto &stall = doc->array()[meta];
+    EXPECT_EQ(stall.find("name")->string(), "wpqStall");
+    EXPECT_EQ(stall.find("cat")->string(), "wpq");
+    EXPECT_DOUBLE_EQ(stall.find("ts")->number(), 100.0);
+    EXPECT_DOUBLE_EQ(stall.find("dur")->number(), 250.0);
+    EXPECT_DOUBLE_EQ(stall.find("args")->find("addr")->number(), 128.0);
+}
+
+TEST_F(TracerTest, ClearKeepsRecordingState)
+{
+    auto &t = Tracer::instance();
+    t.enable(4);
+    t.record(Stage::NvmRead, 0, 1);
+    t.clear();
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.dropped(), 0u);
+    EXPECT_TRUE(t.active());
+}
+
+TEST_F(TracerTest, StageTablesCoverEveryStage)
+{
+    for (unsigned s = 0; s < unsigned(Stage::NumStages); ++s) {
+        EXPECT_NE(stageName(Stage(s)), nullptr);
+        EXPECT_STRNE(stageName(Stage(s)), "");
+        EXPECT_NE(stageCategory(Stage(s)), nullptr);
+        EXPECT_LT(stageLane(Stage(s)), 5u);
+    }
+}
+
+} // namespace

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * dolos_report — validate and diff the simulator's JSON artifacts.
+ *
+ * Two modes:
+ *
+ *   dolos_report --check FILE
+ *       Parse FILE (a --stats-json / --trace / BENCH_*.json artifact)
+ *       and exit 0 if it is well-formed JSON, 2 otherwise.
+ *
+ *   dolos_report BASELINE CANDIDATE [--threshold PCT]
+ *       Compare every numeric leaf shared by the two documents and
+ *       flag regressions: metrics whose name suggests "higher is
+ *       worse" (cycles, latency, stalls, retries, misses, ...) that
+ *       grew by more than the threshold, and "higher is better"
+ *       metrics (speedup, hits) that shrank by more than it. Exits 1
+ *       if any regression was found, 0 otherwise.
+ */
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/json.hh"
+
+namespace
+{
+
+[[noreturn]] void
+usage(int code)
+{
+    std::printf(
+        "usage: dolos_report --check FILE\n"
+        "       dolos_report BASELINE CANDIDATE [--threshold PCT]\n"
+        "  --check FILE      validate a JSON artifact (exit 0/2)\n"
+        "  --threshold PCT   regression threshold in percent "
+        "(default 5)\n");
+    std::exit(code);
+}
+
+std::optional<dolos::json::Value>
+load(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "dolos_report: cannot read %s\n",
+                     path.c_str());
+        return std::nullopt;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string error;
+    auto v = dolos::json::parse(buf.str(), &error);
+    if (!v)
+        std::fprintf(stderr, "dolos_report: %s: %s\n", path.c_str(),
+                     error.c_str());
+    return v;
+}
+
+bool
+containsWord(const std::string &path, const char *word)
+{
+    // Case-insensitive substring match on the leaf path.
+    std::string lower;
+    lower.reserve(path.size());
+    for (char c : path)
+        lower += char(std::tolower(static_cast<unsigned char>(c)));
+    return lower.find(word) != std::string::npos;
+}
+
+/**
+ * Direction heuristic: +1 means larger values are worse (latency,
+ * stalls), -1 means larger values are better (speedup, hits), 0
+ * means neutral (counts we cannot judge — reported but never flagged).
+ */
+int
+direction(const std::string &path)
+{
+    static const char *worse[] = {"cycle",   "latency", "stall",
+                                  "retries", "cpi",     "queueing",
+                                  "miss",    "dropped", "conflict"};
+    static const char *better[] = {"speedup", "hit"};
+    for (const char *w : worse)
+        if (containsWord(path, w))
+            return 1;
+    for (const char *w : better)
+        if (containsWord(path, w))
+            return -1;
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> positional;
+    std::string checkFile;
+    double threshold = 5.0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             a.c_str());
+                usage(1);
+            }
+            return argv[++i];
+        };
+        if (a == "--check")
+            checkFile = value();
+        else if (a == "--threshold") {
+            char *end = nullptr;
+            threshold = std::strtod(value(), &end);
+            if (!end || *end != '\0') {
+                std::fprintf(stderr, "bad threshold\n");
+                usage(1);
+            }
+        } else if (a == "--help" || a == "-h")
+            usage(0);
+        else if (!a.empty() && a[0] == '-') {
+            std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+            usage(1);
+        } else
+            positional.push_back(a);
+    }
+
+    if (!checkFile.empty()) {
+        if (!positional.empty())
+            usage(1);
+        auto v = load(checkFile);
+        if (!v)
+            return 2;
+        std::printf("%s: valid JSON (%zu numeric leaves)\n",
+                    checkFile.c_str(),
+                    dolos::json::numericLeaves(*v).size());
+        return 0;
+    }
+
+    if (positional.size() != 2)
+        usage(1);
+
+    auto base = load(positional[0]);
+    auto cand = load(positional[1]);
+    if (!base || !cand)
+        return 2;
+
+    const auto baseLeaves = dolos::json::numericLeaves(*base);
+    const auto candLeaves = dolos::json::numericLeaves(*cand);
+    std::size_t compared = 0;
+    std::size_t regressions = 0;
+
+    for (const auto &[path, bv] : baseLeaves) {
+        const double *cv = nullptr;
+        for (const auto &[cpath, val] : candLeaves) {
+            if (cpath == path) {
+                cv = &val;
+                break;
+            }
+        }
+        if (!cv)
+            continue;
+        ++compared;
+        const int dir = direction(path);
+        if (dir == 0 || bv == *cv)
+            continue;
+        const double deltaPct =
+            bv != 0.0 ? (*cv - bv) / std::abs(bv) * 100.0
+                      : (*cv > 0 ? 100.0 : -100.0);
+        const bool isRegression = dir > 0 ? deltaPct > threshold
+                                          : deltaPct < -threshold;
+        if (isRegression) {
+            ++regressions;
+            std::printf("REGRESSION %-50s %14.2f -> %14.2f  (%+.1f%%)\n",
+                        path.c_str(), bv, *cv, deltaPct);
+        } else if (std::abs(deltaPct) > threshold) {
+            std::printf("improved   %-50s %14.2f -> %14.2f  (%+.1f%%)\n",
+                        path.c_str(), bv, *cv, deltaPct);
+        }
+    }
+
+    std::printf("%zu shared numeric leaves compared, %zu regression%s "
+                "(threshold %.1f%%)\n",
+                compared, regressions, regressions == 1 ? "" : "s",
+                threshold);
+    return regressions ? 1 : 0;
+}

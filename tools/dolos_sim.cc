@@ -8,14 +8,19 @@
  *   dolos_sim --workload btree --mode dolos-partial --txns 2000
  *   dolos_sim --workload redis --mode baseline --tx-size 512 --stats
  *   dolos_sim --workload hashmap --mode dolos-post --crash-at 5000
+ *   dolos_sim --workload hashmap --mode full_wpq \
+ *             --trace t.json --stats-json s.json
  *   dolos_sim --list
  */
 
+#include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <optional>
 
+#include "sim/trace.hh"
 #include "workloads/runner.hh"
 
 using namespace dolos;
@@ -39,6 +44,8 @@ struct Options
     std::optional<std::uint64_t> crashAt;
     bool stats = false;
     bool noCoalescing = false;
+    std::string traceFile;     ///< --trace: Chrome trace_event JSON
+    std::string statsJsonFile; ///< --stats-json: machine-readable stats
 };
 
 [[noreturn]] void
@@ -50,6 +57,7 @@ usage(int code)
         "redis (--list)\n"
         "  --mode MODE         ideal|baseline|post-unprotected|"
         "dolos-full|dolos-partial|dolos-post\n"
+        "                      (aliases: full_wpq|partial_wpq|post_wpq)\n"
         "  --txns N            transactions to run (default 1000)\n"
         "  --tx-size BYTES     payload per transaction (default 1024)\n"
         "  --keys N            key-space size (default 1024)\n"
@@ -59,6 +67,9 @@ usage(int code)
         "  --crash-scheme anubis|osiris\n"
         "  --crash-at OP       inject a power failure at env op OP\n"
         "  --no-coalescing     disable the WPQ tag-array coalescing\n"
+        "  --trace FILE        write a Chrome trace_event JSON of the\n"
+        "                      persist critical path (chrome://tracing)\n"
+        "  --stats-json FILE   write run metrics + stat tree as JSON\n"
         "  --seed N | --stats | --list | --help\n");
     std::exit(code);
 }
@@ -72,14 +83,28 @@ parseMode(const std::string &m)
         return SecurityMode::PreWpqSecure;
     if (m == "post-unprotected")
         return SecurityMode::PostWpqUnprotected;
-    if (m == "dolos-full")
+    if (m == "dolos-full" || m == "full_wpq")
         return SecurityMode::DolosFullWpq;
-    if (m == "dolos-partial")
+    if (m == "dolos-partial" || m == "partial_wpq")
         return SecurityMode::DolosPartialWpq;
-    if (m == "dolos-post")
+    if (m == "dolos-post" || m == "post_wpq")
         return SecurityMode::DolosPostWpq;
     std::fprintf(stderr, "unknown mode '%s'\n", m.c_str());
     usage(1);
+}
+
+/** Strict base-0 integer parse: the whole token must be a number. */
+std::uint64_t
+parseNum(const char *opt, const char *text)
+{
+    char *end = nullptr;
+    const std::uint64_t v = std::strtoull(text, &end, 0);
+    if (end == text || *end != '\0') {
+        std::fprintf(stderr, "bad numeric value '%s' for %s\n", text,
+                     opt);
+        usage(1);
+    }
+    return v;
 }
 
 Options
@@ -96,32 +121,37 @@ parse(int argc, char **argv)
             }
             return argv[++i];
         };
+        auto numValue = [&]() { return parseNum(a.c_str(), value()); };
         if (a == "--workload")
             o.workload = value();
         else if (a == "--mode")
             o.mode = value();
         else if (a == "--txns")
-            o.txns = std::strtoull(value(), nullptr, 0);
+            o.txns = numValue();
         else if (a == "--tx-size")
-            o.txSize = unsigned(std::strtoul(value(), nullptr, 0));
+            o.txSize = unsigned(numValue());
         else if (a == "--keys")
-            o.numKeys = std::strtoull(value(), nullptr, 0);
+            o.numKeys = numValue();
         else if (a == "--think")
-            o.thinkTime = std::strtoull(value(), nullptr, 0);
+            o.thinkTime = numValue();
         else if (a == "--wpq")
-            o.wpqBudget = unsigned(std::strtoul(value(), nullptr, 0));
+            o.wpqBudget = unsigned(numValue());
         else if (a == "--tree")
             o.tree = value();
         else if (a == "--crash-scheme")
             o.crashScheme = value();
         else if (a == "--crash-at")
-            o.crashAt = std::strtoull(value(), nullptr, 0);
+            o.crashAt = numValue();
         else if (a == "--seed")
-            o.seed = std::strtoull(value(), nullptr, 0);
+            o.seed = numValue();
         else if (a == "--stats")
             o.stats = true;
         else if (a == "--no-coalescing")
             o.noCoalescing = true;
+        else if (a == "--trace")
+            o.traceFile = value();
+        else if (a == "--stats-json")
+            o.statsJsonFile = value();
         else if (a == "--list") {
             for (const auto &n : extendedWorkloadNames())
                 std::printf("%s\n", n.c_str());
@@ -136,12 +166,48 @@ parse(int argc, char **argv)
     return o;
 }
 
+/** Write the run metrics + full stat tree as one JSON document. */
+void
+writeStatsJson(std::ostream &os, const System &sys, const RunResult &res)
+{
+    os << "{\"run\":{"
+       << "\"workload\":\"" << res.workload << "\""
+       << ",\"mode\":\"" << securityModeName(res.mode) << "\""
+       << ",\"transactions\":" << res.transactions
+       << ",\"runCycles\":" << res.runCycles
+       << ",\"instructions\":" << res.instructions
+       << ",\"cyclesPerTx\":" << res.cyclesPerTx()
+       << ",\"cpi\":" << res.cpi
+       << ",\"retriesPerKwr\":" << res.retriesPerKwr
+       << ",\"retryEvents\":" << res.retryEvents
+       << ",\"writeRequests\":" << res.writeRequests
+       << ",\"fenceStallCycles\":" << res.fenceStallCycles
+       << ",\"wpqReadHits\":" << res.wpqReadHits
+       << ",\"coalesces\":" << res.coalesces
+       << ",\"crashed\":" << (res.crashed ? "true" : "false")
+       << ",\"verified\":" << (res.verified ? "true" : "false")
+       << "},\"stats\":";
+    sys.dumpStatsJson(os);
+    os << "}\n";
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     const Options o = parse(argc, argv);
+
+    if (!o.traceFile.empty()) {
+#if DOLOS_TRACING
+        trace::Tracer::instance().enable();
+#else
+        std::fprintf(stderr,
+                     "--trace requested but tracing was compiled out "
+                     "(rebuild with -DDOLOS_TRACING=ON)\n");
+        return 1;
+#endif
+    }
 
     auto cfg = SystemConfig::paperDefault();
     cfg.mode = parseMode(o.mode);
@@ -173,28 +239,58 @@ main(int argc, char **argv)
     std::printf("workload            : %s\n", res.workload.c_str());
     std::printf("mode                : %s\n",
                 securityModeName(res.mode));
-    std::printf("transactions        : %llu%s\n",
-                (unsigned long long)res.transactions,
+    std::printf("transactions        : %" PRIu64 "%s\n",
+                std::uint64_t(res.transactions),
                 res.crashed ? " (power failure injected)" : "");
     std::printf("cycles/transaction  : %.0f\n", res.cyclesPerTx());
     std::printf("CPI                 : %.3f\n", res.cpi);
     std::printf("retry events / KWR  : %.2f\n", res.retriesPerKwr);
-    std::printf("fence stall cycles  : %llu\n",
-                (unsigned long long)res.fenceStallCycles);
-    std::printf("WPQ read hits       : %llu\n",
-                (unsigned long long)res.wpqReadHits);
-    std::printf("coalesced writes    : %llu\n",
-                (unsigned long long)res.coalesces);
+    std::printf("fence stall cycles  : %" PRIu64 "\n",
+                std::uint64_t(res.fenceStallCycles));
+    std::printf("WPQ read hits       : %" PRIu64 "\n",
+                std::uint64_t(res.wpqReadHits));
+    std::printf("coalesced writes    : %" PRIu64 "\n",
+                std::uint64_t(res.coalesces));
     std::printf("verified            : %s\n",
                 res.verified ? "yes" : "NO");
     if (!res.verified)
         std::printf("  diagnostic: %s\n", res.verifyDiagnostic.c_str());
-    std::printf("attacks detected    : %llu\n",
-                (unsigned long long)sys.engine().attacksDetected());
+    std::printf("attacks detected    : %" PRIu64 "\n",
+                std::uint64_t(sys.engine().attacksDetected()));
 
     if (o.stats) {
         std::printf("\n");
         sys.dumpStats(std::cout);
     }
+
+    if (!o.statsJsonFile.empty()) {
+        std::ofstream out(o.statsJsonFile);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         o.statsJsonFile.c_str());
+            return 1;
+        }
+        writeStatsJson(out, sys, res);
+        std::printf("stats json          : %s\n",
+                    o.statsJsonFile.c_str());
+    }
+
+#if DOLOS_TRACING
+    if (!o.traceFile.empty()) {
+        auto &tracer = trace::Tracer::instance();
+        tracer.disable();
+        std::ofstream out(o.traceFile);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         o.traceFile.c_str());
+            return 1;
+        }
+        tracer.dump(out);
+        std::printf("trace               : %s (%zu events, %" PRIu64
+                    " dropped)\n",
+                    o.traceFile.c_str(), tracer.size(),
+                    tracer.dropped());
+    }
+#endif
     return res.verified ? 0 : 1;
 }
