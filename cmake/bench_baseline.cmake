@@ -1,0 +1,69 @@
+# Recorded-baseline performance gate (ctest tier2).
+#
+# Re-runs the intro_overhead experiment driver with the exact
+# parameters its committed baseline artifact was recorded with
+# (tests/baselines/BENCH_intro_overhead.json), then diffs the fresh
+# artifact against the baseline with dolos_report. The simulator is
+# deterministic, so any drift is a real modeling change: regressions
+# beyond the threshold fail the gate, and an intentional change is
+# blessed by re-recording the baseline:
+#
+#   bench/intro_overhead --txns 120 --keys 64 --seed 7 \
+#       --json tests/baselines/BENCH_intro_overhead.json
+#
+# Invoked as:
+#   cmake -DBENCH=<intro_overhead> -DREPORT=<dolos_report>
+#         -DBASELINE=<BENCH_intro_overhead.json> -DWORKDIR=<dir>
+#         -P bench_baseline.cmake
+
+foreach(var BENCH REPORT BASELINE WORKDIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "bench_baseline: ${var} not set")
+    endif()
+endforeach()
+
+if(NOT EXISTS "${BASELINE}")
+    message(FATAL_ERROR "bench_baseline: baseline ${BASELINE} missing")
+endif()
+
+file(MAKE_DIRECTORY "${WORKDIR}")
+set(candidate "${WORKDIR}/BENCH_intro_overhead.json")
+
+# Must match the parameters recorded in the baseline artifact.
+execute_process(
+    COMMAND "${BENCH}" --txns 120 --keys 64 --seed 7
+            --json "${candidate}"
+    RESULT_VARIABLE bench_rc
+    OUTPUT_VARIABLE bench_out
+    ERROR_VARIABLE bench_err)
+if(NOT bench_rc EQUAL 0)
+    message(FATAL_ERROR
+        "bench_baseline: driver failed (rc=${bench_rc})\n"
+        "${bench_out}\n${bench_err}")
+endif()
+
+execute_process(
+    COMMAND "${REPORT}" --check "${candidate}"
+    RESULT_VARIABLE check_rc
+    OUTPUT_VARIABLE check_out
+    ERROR_VARIABLE check_err)
+if(NOT check_rc EQUAL 0)
+    message(FATAL_ERROR
+        "bench_baseline: invalid artifact (rc=${check_rc})\n"
+        "${check_out}\n${check_err}")
+endif()
+
+execute_process(
+    COMMAND "${REPORT}" "${BASELINE}" "${candidate}" --threshold 2
+    RESULT_VARIABLE diff_rc
+    OUTPUT_VARIABLE diff_out
+    ERROR_VARIABLE diff_err)
+if(NOT diff_rc EQUAL 0)
+    message(FATAL_ERROR
+        "bench_baseline: regression vs recorded baseline "
+        "(rc=${diff_rc})\n${diff_out}\n${diff_err}\n"
+        "If the change is intentional, re-record the baseline (see "
+        "header of bench_baseline.cmake).")
+endif()
+
+message(STATUS "bench_baseline: OK\n${diff_out}")

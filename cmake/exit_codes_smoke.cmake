@@ -1,0 +1,84 @@
+# Exit-code contract smoke test (ctest tier2).
+#
+# The documented dolos_sim / dolos_torture exit codes (see
+# src/sim/exit_codes.hh and docs/verification.md):
+#
+#   0  clean, verified run
+#   1  verification / oracle failure
+#   2  usage or configuration error
+#   3  integrity attack detected
+#   4  unrecoverable media fault (quarantine)
+#
+# This script drives each path end to end and also validates the
+# --damage-json artifact with dolos_report --check.
+#
+# Invoked as:
+#   cmake -DSIM=<dolos-sim> -DTORTURE=<dolos_torture>
+#         -DREPORT=<dolos_report> -DWORKDIR=<dir>
+#         -P exit_codes_smoke.cmake
+
+foreach(var SIM TORTURE REPORT WORKDIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "exit_codes_smoke: ${var} not set")
+    endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+function(expect_rc expected)
+    execute_process(
+        COMMAND ${ARGN}
+        RESULT_VARIABLE rc
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err)
+    if(NOT rc EQUAL ${expected})
+        message(FATAL_ERROR
+            "exit_codes_smoke: expected rc=${expected}, got rc=${rc} "
+            "for: ${ARGN}\n${out}\n${err}")
+    endif()
+endfunction()
+
+# 0: clean verified run.
+expect_rc(0 "${SIM}" --workload hashmap --mode dolos-partial
+            --txns 40 --keys 64)
+
+# 2: usage error (unknown mode) — rejected, not defaulted.
+expect_rc(2 "${SIM}" --mode not-a-mode)
+
+# 2: invalid configuration (degenerate WPQ) — rejected, not clamped.
+expect_rc(2 "${SIM}" --wpq 1 --txns 10)
+
+# 3: injected integrity attack raises the alarm.
+expect_rc(3 "${SIM}" --workload hashmap --mode dolos-partial
+            --txns 40 --keys 64 --inject-fault data-flip)
+
+# 4: unhealable media fault degrades gracefully (quarantine, no
+#    abort) and emits a structured damage report.
+set(damage "${WORKDIR}/damage.json")
+expect_rc(4 "${SIM}" --workload hashmap --mode dolos-partial
+            --txns 40 --keys 64 --media-fault stuck
+            --damage-json "${damage}")
+if(NOT EXISTS "${damage}")
+    message(FATAL_ERROR "exit_codes_smoke: damage report not written")
+endif()
+expect_rc(0 "${REPORT}" --check "${damage}")
+file(READ "${damage}" damage_text)
+if(NOT damage_text MATCHES "\"unrecoverableMedia\":true")
+    message(FATAL_ERROR
+        "exit_codes_smoke: damage report lacks the quarantine flag:\n"
+        "${damage_text}")
+endif()
+
+# 0: a transient fault heals through retry — clean exit, no report.
+expect_rc(0 "${SIM}" --workload hashmap --mode dolos-partial
+            --txns 40 --keys 64 --media-fault transient)
+
+# Torture driver speaks the same contract.
+expect_rc(0 "${TORTURE}" --replay w:1:7,f:1,s,c)
+expect_rc(2 "${TORTURE}" --mode not-a-mode)
+expect_rc(2 "${TORTURE}" --replay zz:1)
+expect_rc(4 "${TORTURE}" --replay w:3:7,x:3:9,f:3,s,c)
+expect_rc(1 "${TORTURE}" --mode dolos-partial --plant-bug drop-clwb:0
+            --replay w:5:9,f:5,s,c)
+
+message(STATUS "exit_codes_smoke: OK")

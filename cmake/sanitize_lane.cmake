@@ -1,0 +1,74 @@
+# ASan+UBSan lane (ctest tier2).
+#
+# Configures a separate build tree with -DDOLOS_SANITIZE=ON, builds
+# the two compound-failure drivers, and runs them through the paths
+# most likely to hide memory bugs: an arbitrary-cycle crash sweep with
+# a mid-recovery crash armed, and a short randomized torture campaign.
+# Any ASan/UBSan report aborts the binary (-fno-sanitize-recover),
+# which fails the expected-exit-code checks below.
+#
+# Invoked as:
+#   cmake -DSOURCE_DIR=<repo root> -DWORKDIR=<dir>
+#         -P sanitize_lane.cmake
+
+foreach(var SOURCE_DIR WORKDIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "sanitize_lane: ${var} not set")
+    endif()
+endforeach()
+
+set(build "${WORKDIR}/asan-build")
+file(MAKE_DIRECTORY "${build}")
+
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" -S "${SOURCE_DIR}" -B "${build}"
+            -DDOLOS_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "sanitize_lane: configure failed (rc=${rc})\n${out}\n${err}")
+endif()
+
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" --build "${build}" -j
+            --target dolos_torture_cli dolos_sim_cli
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "sanitize_lane: build failed (rc=${rc})\n${out}\n${err}")
+endif()
+
+set(torture "${build}/tools/dolos_torture")
+set(sim "${build}/tools/dolos-sim")
+
+function(expect_rc expected)
+    execute_process(
+        COMMAND ${ARGN}
+        RESULT_VARIABLE rc
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err)
+    if(NOT rc EQUAL ${expected})
+        message(FATAL_ERROR
+            "sanitize_lane: expected rc=${expected}, got rc=${rc} "
+            "for: ${ARGN}\n${out}\n${err}")
+    endif()
+endfunction()
+
+# Crash sweep with a mid-recovery crash armed at every point.
+expect_rc(0 "${torture}" --sweep --recovery-crash 2 --budget 2
+            --txns 2)
+
+# Randomized compound-failure campaign (crashes + media faults).
+expect_rc(0 "${torture}" --campaign 4 --seed 11 --ops 60)
+
+# Media quarantine path through the full CLI, including the damage
+# report writer.
+expect_rc(4 "${sim}" --workload hashmap --mode dolos-partial
+            --txns 30 --keys 64 --media-fault stuck
+            --damage-json "${WORKDIR}/damage.json")
+
+message(STATUS "sanitize_lane: OK")

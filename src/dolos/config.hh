@@ -6,6 +6,7 @@
 #ifndef DOLOS_DOLOS_CONFIG_HH
 #define DOLOS_DOLOS_CONFIG_HH
 
+#include <optional>
 #include <string>
 
 #include "mem/hierarchy.hh"
@@ -56,6 +57,14 @@ const char *securityModeName(SecurityMode mode);
 
 /** True for the three Dolos Mi-SU modes. */
 bool isDolosMode(SecurityMode mode);
+
+/**
+ * Parse a CLI mode name (ideal|baseline|post-unprotected|dolos-full|
+ * dolos-partial|dolos-post, plus the full_wpq/partial_wpq/post_wpq
+ * aliases). Unknown strings yield nullopt — callers must reject them,
+ * never clamp to a default.
+ */
+std::optional<SecurityMode> parseSecurityMode(const std::string &name);
 
 /** WPQ and ADR parameters. */
 struct WpqParams
@@ -125,6 +134,15 @@ struct SystemConfig
         return cfg;
     }
 };
+
+/**
+ * Validate a configuration before building a System from it.
+ * Returns a human-readable description of the first problem found,
+ * or an empty string if the config is usable. System's constructor
+ * calls this and throws std::invalid_argument on failure, so a bad
+ * config is a loud error, never a silently-clamped value.
+ */
+std::string validateConfig(const SystemConfig &cfg);
 
 } // namespace dolos
 

@@ -14,6 +14,7 @@ namespace dolos
 namespace
 {
 constexpr std::uint64_t dumpMarker = 0x57505144554D5031ULL; // "WPQDUMP1"
+constexpr std::uint64_t journalMarker = 0x5245434A524E4C31ULL; // "RECJRNL1"
 } // namespace
 
 const char *
@@ -42,6 +43,55 @@ isDolosMode(SecurityMode mode)
     return mode == SecurityMode::DolosFullWpq ||
            mode == SecurityMode::DolosPartialWpq ||
            mode == SecurityMode::DolosPostWpq;
+}
+
+std::optional<SecurityMode>
+parseSecurityMode(const std::string &name)
+{
+    if (name == "ideal")
+        return SecurityMode::NonSecureIdeal;
+    if (name == "baseline")
+        return SecurityMode::PreWpqSecure;
+    if (name == "post-unprotected")
+        return SecurityMode::PostWpqUnprotected;
+    if (name == "dolos-full" || name == "full_wpq")
+        return SecurityMode::DolosFullWpq;
+    if (name == "dolos-partial" || name == "partial_wpq")
+        return SecurityMode::DolosPartialWpq;
+    if (name == "dolos-post" || name == "post_wpq")
+        return SecurityMode::DolosPostWpq;
+    return std::nullopt;
+}
+
+std::string
+validateConfig(const SystemConfig &cfg)
+{
+    const auto &w = cfg.wpq;
+    if (w.adrBudgetEntries == 0)
+        return "wpq.adrBudgetEntries must be nonzero";
+    if (w.entriesFor(cfg.mode) == 0)
+        return std::string("WPQ for mode ") +
+               securityModeName(cfg.mode) + " has zero usable entries";
+    if (w.partialEntries > w.adrBudgetEntries)
+        return "wpq.partialEntries exceeds the ADR budget";
+    if (w.postEntries > w.adrBudgetEntries)
+        return "wpq.postEntries exceeds the ADR budget";
+    if (w.retryInterval == 0)
+        return "wpq.retryInterval must be nonzero (insertion retries "
+               "would not advance time)";
+    if (cfg.nvm.numBanks == 0)
+        return "nvm.numBanks must be nonzero";
+    if (cfg.secure.functionalLeaves == 0)
+        return "secure.functionalLeaves must be nonzero";
+    if (cfg.secure.map.protectedBytes == 0)
+        return "secure.map.protectedBytes must be nonzero";
+    if (cfg.secure.crashScheme == CrashScheme::Osiris &&
+        cfg.secure.osirisStopLoss == 0)
+        return "secure.osirisStopLoss must be nonzero under Osiris";
+    if (cfg.secure.macOpsEagerWrite == 0 ||
+        cfg.secure.macOpsLazyWrite == 0)
+        return "secure.macOps per write must be nonzero";
+    return "";
 }
 
 SecureMemController::SecureMemController(const SystemConfig &cfg,
@@ -103,6 +153,46 @@ SecureMemController::liveEntry(Addr addr)
     return &wpq[idx];
 }
 
+ReadResult
+SecureMemController::readRetried(Addr addr, Tick now)
+{
+    if (nvm.isQuarantined(addr))
+        return {zeroBlock(), now + cfg.nvm.readLatency};
+    ReadResult r = nvm.read(addr, now);
+    unsigned attempts = 0;
+    while (nvm.lastReadMediaError() &&
+           attempts < cfg.secure.mediaRetryLimit) {
+        ++attempts;
+        r = nvm.read(addr, r.completeTick +
+                               (cfg.secure.mediaRetryBackoff
+                                << (attempts - 1)));
+    }
+    if (nvm.lastReadMediaError()) {
+        nvm.quarantine(addr, "uncorrectable media fault (raw read)",
+                       attempts);
+        return {zeroBlock(), r.completeTick};
+    }
+    return r;
+}
+
+Tick
+SecureMemController::writeRetried(Addr addr, const Block &data, Tick now)
+{
+    Tick done = nvm.write(addr, data, now);
+    unsigned attempts = 0;
+    while (nvm.lastWriteMediaError() &&
+           attempts < cfg.secure.mediaRetryLimit) {
+        ++attempts;
+        done = nvm.write(addr, data,
+                         done + (cfg.secure.mediaRetryBackoff
+                                 << (attempts - 1)));
+    }
+    if (nvm.lastWriteMediaError())
+        nvm.quarantine(addr, "write failure persisted through retries",
+                       attempts);
+    return done;
+}
+
 void
 SecureMemController::drainEntry(WpqEntry &e)
 {
@@ -111,14 +201,14 @@ SecureMemController::drainEntry(WpqEntry &e)
     switch (cfg.mode) {
       case SecurityMode::NonSecureIdeal:
         // Plain NVM write of the buffered data.
-        done = nvm.write(e.addr, e.plaintext,
-                         std::max(start, lastDrainIssue));
+        done = writeRetried(e.addr, e.plaintext,
+                            std::max(start, lastDrainIssue));
         lastDrainIssue = std::max(lastDrainIssue, start);
         break;
       case SecurityMode::PreWpqSecure:
         // Already secured before insertion: just the NVM write.
-        done = nvm.write(e.addr, e.ciphertext,
-                         std::max(start, lastDrainIssue));
+        done = writeRetried(e.addr, e.ciphertext,
+                            std::max(start, lastDrainIssue));
         lastDrainIssue = std::max(lastDrainIssue, start);
         break;
       default: {
@@ -335,7 +425,7 @@ SecureMemController::readBlock(Addr addr, Tick now)
     }
 
     if (cfg.mode == SecurityMode::NonSecureIdeal)
-        return nvm.read(blockAlign(addr), t);
+        return readRetried(blockAlign(addr), t);
     return engine.secureRead(blockAlign(addr), t);
 }
 
@@ -345,11 +435,76 @@ SecureMemController::drainTo(Tick t)
     processDrainsUntil(t);
 }
 
+std::optional<SecureMemController::RecoveryJournal>
+SecureMemController::readJournal() const
+{
+    const Block j = nvm.readFunctional(AddressMap::recoveryJournalAddr());
+    if (loadWord(j, 0) != journalMarker)
+        return std::nullopt;
+    RecoveryJournal journal;
+    journal.drained = loadWord(j, 8);
+    journal.phase = RecoveryPhase(loadWord(j, 16));
+    return journal;
+}
+
+void
+SecureMemController::writeJournal(std::uint64_t drained,
+                                  RecoveryPhase phase)
+{
+    Block j{};
+    storeWord(j, 0, journalMarker);
+    storeWord(j, 8, drained);
+    storeWord(j, 16, std::uint64_t(phase));
+    nvm.writeFunctional(AddressMap::recoveryJournalAddr(), j);
+}
+
+void
+SecureMemController::clearJournal()
+{
+    nvm.writeFunctional(AddressMap::recoveryJournalAddr(), zeroBlock());
+}
+
+bool
+SecureMemController::recoveryStep()
+{
+    if (!recoveryCrashArm)
+        return false;
+    if (*recoveryCrashArm == 0) {
+        recoveryCrashArm.reset();
+        return true;
+    }
+    --*recoveryCrashArm;
+    return false;
+}
+
+void
+SecureMemController::finishDump()
+{
+    // Pads are never reused after being exposed by a dump. Replaying
+    // this epilogue after an interruption merely skips an epoch.
+    misu_->advanceEpoch();
+    nvm.writeFunctional(AddressMap::wpqDumpBase, zeroBlock());
+    clearJournal();
+}
+
 CrashDumpReport
 SecureMemController::crash(Tick at)
 {
     processDrainsUntil(at);
     CrashDumpReport report;
+
+    // A power failure while recovery is still consuming an ADR dump:
+    // the WPQ holds no new writes, and rewriting the dump header
+    // below would orphan the undrained entries. Preserve the dump
+    // and the journal; the restarted recovery resumes from them.
+    if (isDolosMode(cfg.mode) && readJournal()) {
+        adrTear.reset();
+        wpq.clear();
+        tagArray.clear();
+        drainCursor = nextId;
+        engine.crash();
+        return report;
+    }
 
     // Entries whose drain started are covered by the redo log.
     for (const auto &e : wpq)
@@ -451,23 +606,59 @@ SecureMemController::recover()
 {
     ControllerRecoveryReport report;
 
+    // Dolos: open (or re-open) the persistent recovery journal before
+    // the first interruptible step, so a power failure at ANY point
+    // below leaves crash() evidence that a dump is being consumed.
+    std::optional<RecoveryJournal> journal;
+    bool have_dump = false;
+    Block header{};
+    if (isDolosMode(cfg.mode)) {
+        journal = readJournal();
+        report.resumed = journal.has_value();
+        header = nvm.readFunctional(AddressMap::wpqDumpBase);
+        have_dump = loadWord(header, 0) == dumpMarker;
+        if (have_dump && !journal)
+            writeJournal(0, RecoveryPhase::Draining);
+    }
+
     // Replay a ready redo-log record first (paper §4.4 recovery).
     if (redoLog.ready()) {
         const auto &rec = redoLog.record();
         nvm.writeFunctional(rec.addr, rec.ciphertext);
         redoLog.clear();
     }
+    if (recoveryStep()) {
+        report.interrupted = true;
+        return report;
+    }
 
     if (cfg.mode != SecurityMode::NonSecureIdeal)
         report.engine = engine.recover();
+    if (recoveryStep()) {
+        report.interrupted = true;
+        return report;
+    }
 
     if (!isDolosMode(cfg.mode))
         return report;
 
-    // Read back and authenticate the dump.
-    const Block header = nvm.readFunctional(AddressMap::wpqDumpBase);
-    if (loadWord(header, 0) != dumpMarker)
-        return report; // clean shutdown: nothing dumped
+    if (!have_dump) {
+        // Clean shutdown — or an interruption that had already wiped
+        // the dump; either way only the journal needs clearing.
+        if (journal)
+            clearJournal();
+        return report;
+    }
+
+    if (journal && journal->phase == RecoveryPhase::Epilogue) {
+        // Every entry was drained by the interrupted attempt; only
+        // the pad-retirement epilogue remains.
+        report.entriesSkipped = journal->drained;
+        finishDump();
+        report.modeledRecoveryCycles =
+            Cycles(capacity) * cfg.secure.aesLatency;
+        return report;
+    }
 
     const std::uint64_t count = loadWord(header, 8);
     std::vector<std::pair<unsigned, MisuEntryImage>> images;
@@ -491,20 +682,41 @@ SecureMemController::recover()
         engine.noteAttack("Mi-SU WPQ dump failed authentication");
 
     if (report.misuVerified) {
-        // Drain the recovered entries through Ma-SU in FIFO order.
+        // Drain the recovered entries through Ma-SU in FIFO order,
+        // checkpointing the journal after each entry. Entries a
+        // previous (interrupted) attempt already drained are skipped:
+        // their ciphertext and metadata are persistent, and replaying
+        // them would be wasted work, not a correctness problem — the
+        // pads stay valid until the epoch advances in the epilogue.
+        std::uint64_t already = journal ? journal->drained : 0;
+        if (already > count)
+            already = count;
         Tick t = 0;
-        for (const auto &[slot, img] : images) {
+        for (std::uint64_t i = 0; i < count; ++i) {
+            if (i < already) {
+                ++report.entriesSkipped;
+                continue;
+            }
+            const auto &[slot, img] = images[i];
             const auto [addr, data] = misu_->unprotect(slot, img);
             const auto res = engine.secureWrite(addr, data, t);
             engine.writeCiphertext(addr, res.ciphertext, res.doneTick);
             t = res.doneTick;
             ++report.entriesRecovered;
+            writeJournal(i + 1, RecoveryPhase::Draining);
+            if (recoveryStep()) {
+                report.interrupted = true;
+                return report;
+            }
         }
     }
 
-    // Pads are never reused after being exposed by a dump.
-    misu_->advanceEpoch();
-    nvm.writeFunctional(AddressMap::wpqDumpBase, zeroBlock());
+    writeJournal(count, RecoveryPhase::Epilogue);
+    if (recoveryStep()) {
+        report.interrupted = true;
+        return report;
+    }
+    finishDump();
 
     // Paper §5.5 recovery-latency model: read back the dump, re-
     // generate pads, drain each entry (2100 cycles incl. NVM write

@@ -54,6 +54,9 @@ struct ControllerRecoveryReport
     std::size_t entriesRecovered = 0;
     SecureRecoveryResult engine;   ///< Ma-SU metadata recovery
     Cycles modeledRecoveryCycles = 0; ///< paper §5.5 latency model
+    bool interrupted = false;  ///< power died mid-recovery (armed)
+    bool resumed = false;      ///< continued an interrupted recovery
+    std::size_t entriesSkipped = 0; ///< already drained earlier
 };
 
 /**
@@ -92,6 +95,22 @@ class SecureMemController : public PersistController
     {
         adrTear = surviving_entries;
     }
+
+    /**
+     * Fault injection: power dies again *during* the next recovery,
+     * after @p after_steps interruptible recovery steps (redo replay,
+     * Ma-SU metadata recovery, then one step per dump entry drained).
+     * One-shot; the caller is expected to crash() + recover() again —
+     * recovery resumes from the persistent journal.
+     */
+    void armRecoveryCrash(unsigned after_steps)
+    {
+        recoveryCrashArm = after_steps;
+    }
+
+    /** True while a persistent recovery journal is open (i.e. an ADR
+     *  dump is still being consumed). */
+    bool recoveryInProgress() const { return readJournal().has_value(); }
 
     SecurityMode mode() const { return cfg.mode; }
     unsigned wpqCapacity() const { return capacity; }
@@ -140,6 +159,34 @@ class SecureMemController : public PersistController
     /** Common write path (persists and evictions). */
     PersistTicket enqueueWrite(Addr addr, const Block &data, Tick now);
 
+    /**
+     * Raw NVM access with bounded media-error retry (modes that skip
+     * the security engine still honor the device's fault flag).
+     */
+    ReadResult readRetried(Addr addr, Tick now);
+    Tick writeRetried(Addr addr, const Block &data, Tick now);
+
+    /** Persistent recovery-journal state (see recover()). */
+    enum class RecoveryPhase : std::uint64_t
+    {
+        Draining = 0, ///< dump entries still being drained
+        Epilogue = 1, ///< all drained; epoch/dump cleanup pending
+    };
+    struct RecoveryJournal
+    {
+        std::uint64_t drained = 0;
+        RecoveryPhase phase = RecoveryPhase::Draining;
+    };
+    std::optional<RecoveryJournal> readJournal() const;
+    void writeJournal(std::uint64_t drained, RecoveryPhase phase);
+    void clearJournal();
+
+    /** Consume one armed recovery step; true = power dies here. */
+    bool recoveryStep();
+
+    /** Recovery epilogue: retire pads, clear dump + journal. */
+    void finishDump();
+
     /** Find the live WPQ entry currently mapping @p addr, if any. */
     WpqEntry *liveEntry(Addr addr);
 
@@ -156,6 +203,7 @@ class SecureMemController : public PersistController
 
     unsigned capacity;
     std::optional<unsigned> adrTear; ///< armed torn-ADR-drain fault
+    std::optional<unsigned> recoveryCrashArm; ///< crash-mid-recovery
     std::deque<WpqEntry> wpq;
     std::uint64_t nextId = 0;
     std::uint64_t drainCursor = 0; ///< id of next entry to drain

@@ -5,13 +5,19 @@
 
 #include "dolos/system.hh"
 
+#include <stdexcept>
+
 #include "sim/json.hh"
+#include "sim/logging.hh"
 
 namespace dolos
 {
 
 System::System(const SystemConfig &config) : cfg(config)
 {
+    const std::string err = validateConfig(cfg);
+    if (!err.empty())
+        throw std::invalid_argument("invalid SystemConfig: " + err);
     nvm = std::make_unique<NvmDevice>(cfg.nvm);
     eng = std::make_unique<SecurityEngine>(cfg.secure, *nvm);
     mc = std::make_unique<SecureMemController>(cfg, *nvm, *eng);
@@ -32,6 +38,28 @@ ControllerRecoveryReport
 System::recover()
 {
     return mc->recover();
+}
+
+ControllerRecoveryReport
+System::recoverToCompletion(unsigned *attempts_out,
+                            unsigned max_attempts)
+{
+    auto rec = mc->recover();
+    unsigned attempts = 1;
+    while (rec.interrupted && attempts < max_attempts) {
+        // The armed fault killed power mid-recovery: model the second
+        // outage and reboot. The journal makes the retry resume, not
+        // restart.
+        crash();
+        rec = mc->recover();
+        ++attempts;
+    }
+    DOLOS_ASSERT(!rec.interrupted,
+                 "recovery still interrupted after %u attempts",
+                 attempts);
+    if (attempts_out)
+        *attempts_out = attempts;
+    return rec;
 }
 
 void
@@ -74,6 +102,34 @@ System::dumpStatsJson(std::ostream &os) const
         first = false;
     }
     os << "]}";
+}
+
+void
+System::dumpDamageJson(std::ostream &os) const
+{
+    os << "{\"name\":\"" << json::escape(cfg.name) << "\",\"mode\":\""
+       << securityModeName(cfg.mode) << "\""
+       << ",\"attackDetected\":"
+       << (attackDetected() ? "true" : "false")
+       << ",\"unrecoverableMedia\":"
+       << (unrecoverableMedia() ? "true" : "false")
+       << ",\"media\":{"
+       << "\"errorReads\":" << nvm->mediaErrorReads()
+       << ",\"errorWrites\":" << nvm->mediaErrorWrites()
+       << ",\"retries\":" << eng->mediaRetries()
+       << ",\"healed\":" << eng->mediaHealed()
+       << ",\"quarantineReads\":" << eng->quarantineReads() << "}"
+       << ",\"quarantined\":[";
+    bool first = true;
+    for (const auto &[addr, rec] : nvm->quarantineLog()) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"addr\":" << addr << ",\"reason\":\""
+           << json::escape(rec.reason)
+           << "\",\"retries\":" << rec.retries << "}";
+    }
+    os << "]}\n";
 }
 
 } // namespace dolos

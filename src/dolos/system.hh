@@ -48,8 +48,23 @@ class System
     /** Boot after a crash: authenticate, drain, rebuild metadata. */
     ControllerRecoveryReport recover();
 
+    /**
+     * Boot and, if an armed fault interrupts recovery, keep power-
+     * cycling until recovery completes. Returns the final attempt's
+     * report; @p attempts_out (if given) receives the boot count.
+     */
+    ControllerRecoveryReport
+    recoverToCompletion(unsigned *attempts_out = nullptr,
+                        unsigned max_attempts = 16);
+
     /** True if any integrity check has ever failed. */
     bool attackDetected() const { return eng->attackDetected(); }
+
+    /** True if any block was retired as unrecoverable (media). */
+    bool unrecoverableMedia() const
+    {
+        return nvm->quarantineCount() != 0;
+    }
 
     /** Dump all statistics. */
     void dumpStats(std::ostream &os) const;
@@ -60,6 +75,13 @@ class System
      * fence stalls) plus the full stat-group tree under "groups".
      */
     void dumpStatsJson(std::ostream &os) const;
+
+    /**
+     * Structured damage report: quarantined blocks with reasons and
+     * retry counts, media-error/heal counters, and the attack flag.
+     * Written by the CLI drivers when degrading instead of aborting.
+     */
+    void dumpDamageJson(std::ostream &os) const;
 
   private:
     SystemConfig cfg;

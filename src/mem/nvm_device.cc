@@ -16,6 +16,12 @@ NvmDevice::NvmDevice(const NvmParams &p)
 {
     stats_.addScalar(&statReads, "reads", "block reads");
     stats_.addScalar(&statWrites, "writes", "block writes");
+    stats_.addScalar(&statMediaErrorReads, "mediaErrorReads",
+                     "timed reads the device flagged as faulty");
+    stats_.addScalar(&statMediaErrorWrites, "mediaErrorWrites",
+                     "timed writes that failed to commit");
+    stats_.addScalar(&statQuarantines, "quarantines",
+                     "blocks retired as unrecoverable");
     stats_.addScalar(&statBankConflicts, "bankConflicts",
                      "accesses that found their bank busy");
     stats_.addAverage(&statReadQueueing, "readQueueing",
@@ -45,7 +51,9 @@ NvmDevice::read(Addr addr, Tick now)
         ++statBankConflicts;
     bank = start + params.readLatency;
     DOLOS_TRACE(trace::Stage::NvmRead, now, bank, addr, 0);
-    return {data_.read(blockAlign(addr)), bank};
+    Block block = data_.read(blockAlign(addr));
+    applyReadFaults(blockAlign(addr), block);
+    return {block, bank};
 }
 
 Tick
@@ -59,7 +67,19 @@ NvmDevice::write(Addr addr, const Block &block, Tick now)
     if (start > now)
         ++statBankConflicts;
     bank = start + params.writeLatency;
-    data_.write(blockAlign(addr), block);
+    const Addr aligned = blockAlign(addr);
+    const auto fail = writeFailures_.find(aligned);
+    if (fail != writeFailures_.end() && fail->second > 0) {
+        // The cell array rejected the program pulse: the old contents
+        // survive and the device reports the failed commit.
+        if (--fail->second == 0)
+            writeFailures_.erase(fail);
+        lastWriteMediaError_ = true;
+        ++statMediaErrorWrites;
+    } else {
+        lastWriteMediaError_ = false;
+        data_.write(aligned, block);
+    }
     DOLOS_TRACE(trace::Stage::NvmWrite, now, bank, addr, 0);
     return bank;
 }
@@ -80,6 +100,84 @@ Tick
 NvmDevice::bankFreeAt(Addr addr) const
 {
     return bankBusyUntil[bankIndex(addr)];
+}
+
+void
+NvmDevice::applyReadFaults(Addr addr, Block &data)
+{
+    bool faulted = false;
+    const auto stuck = stuckBits_.find(addr);
+    if (stuck != stuckBits_.end()) {
+        for (const auto &[bit, value] : stuck->second) {
+            std::uint8_t &byte = data[(bit / 8) % blockSize];
+            const std::uint8_t mask = std::uint8_t(1u << (bit % 8));
+            const bool current = byte & mask;
+            if (current != value) {
+                byte = value ? (byte | mask)
+                             : std::uint8_t(byte & ~mask);
+                faulted = true;
+            }
+        }
+        // A stuck cell is flagged even on reads where the stored value
+        // happens to match: the device's scrubber knows the cell is
+        // worn and keeps reporting it.
+        faulted = true;
+    }
+    const auto flip = transientFlips_.find(addr);
+    if (flip != transientFlips_.end()) {
+        data[(flip->second / 8) % blockSize] ^=
+            std::uint8_t(1u << (flip->second % 8));
+        transientFlips_.erase(flip);
+        faulted = true;
+    }
+    lastReadMediaError_ = faulted;
+    if (faulted)
+        ++statMediaErrorReads;
+}
+
+void
+NvmDevice::injectTransientFlip(Addr addr, unsigned bit)
+{
+    transientFlips_.emplace(blockAlign(addr), bit % (blockSize * 8));
+}
+
+void
+NvmDevice::injectStuckBit(Addr addr, unsigned bit, bool value)
+{
+    stuckBits_[blockAlign(addr)].emplace_back(bit % (blockSize * 8),
+                                              value);
+}
+
+void
+NvmDevice::injectWriteFail(Addr addr, unsigned count)
+{
+    if (count > 0)
+        writeFailures_[blockAlign(addr)] += count;
+}
+
+void
+NvmDevice::quarantine(Addr addr, std::string reason, unsigned retries)
+{
+    const Addr aligned = blockAlign(addr);
+    if (quarantined_.count(aligned))
+        return;
+    quarantined_.emplace(
+        aligned, QuarantineRecord{aligned, std::move(reason), retries});
+    ++statQuarantines;
+}
+
+bool
+NvmDevice::isQuarantined(Addr addr) const
+{
+    return quarantined_.count(blockAlign(addr)) != 0;
+}
+
+bool
+NvmDevice::hasUnhealableFault(Addr addr) const
+{
+    const Addr aligned = blockAlign(addr);
+    return stuckBits_.count(aligned) || writeFailures_.count(aligned) ||
+           quarantined_.count(aligned);
 }
 
 } // namespace dolos

@@ -14,6 +14,9 @@
 #ifndef DOLOS_MEM_NVM_DEVICE_HH
 #define DOLOS_MEM_NVM_DEVICE_HH
 
+#include <map>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "mem/backing_store.hh"
@@ -42,8 +45,28 @@ struct NvmParams
     bool readPriority = true;
 };
 
+/** One quarantined (unrecoverable) block and why it was retired. */
+struct QuarantineRecord
+{
+    Addr addr = 0;
+    std::string reason;
+    unsigned retries = 0; ///< correction attempts before giving up
+};
+
 /**
  * The NVM module: functional persistent store + bank timing.
+ *
+ * The device also models *media* faults — cell wear and disturb
+ * errors the DIMM's own ECC detects but cannot always correct:
+ * one-shot transient read flips, persistent stuck-at cells, and
+ * dropped writes. Faults perturb only the timed demand paths
+ * (read()/write()); functional accesses see the raw array, which is
+ * what the crash-dump drain and test fixtures rely on. After each
+ * timed access lastReadMediaError()/lastWriteMediaError() reports
+ * whether the device detected a fault — the controller uses that flag
+ * to tell a correctable media error (retry) from tamper (alarm),
+ * because an adversary mutating the array functionally leaves no
+ * such trace.
  */
 class NvmDevice
 {
@@ -84,17 +107,76 @@ class NvmDevice
     std::uint64_t reads() const { return statReads.value(); }
     std::uint64_t writes() const { return statWrites.value(); }
 
+    // --- media-fault model -------------------------------------------
+
+    /** Arm a one-shot bit flip on the next timed read of @p addr. */
+    void injectTransientFlip(Addr addr, unsigned bit);
+
+    /**
+     * Pin bit @p bit of @p addr to @p value on every timed read (a
+     * worn-out cell). Persists until the block is quarantined.
+     */
+    void injectStuckBit(Addr addr, unsigned bit, bool value);
+
+    /** Make the next @p count timed writes to @p addr fail silently
+     *  (the array keeps its old contents; the device flags it). */
+    void injectWriteFail(Addr addr, unsigned count);
+
+    /** Device-detected fault on the most recent timed read/write. */
+    bool lastReadMediaError() const { return lastReadMediaError_; }
+    bool lastWriteMediaError() const { return lastWriteMediaError_; }
+
+    /** Retire @p addr: timed reads of it are known-bad from now on. */
+    void quarantine(Addr addr, std::string reason, unsigned retries);
+
+    bool isQuarantined(Addr addr) const;
+    std::size_t quarantineCount() const { return quarantined_.size(); }
+    const std::map<Addr, QuarantineRecord> &
+    quarantineLog() const
+    {
+        return quarantined_;
+    }
+
+    /**
+     * True if @p addr has a fault retries cannot heal (stuck cell,
+     * pending write failures, or already quarantined). Oracles use
+     * this to exclude deliberately-destroyed blocks from sweeps.
+     */
+    bool hasUnhealableFault(Addr addr) const;
+
+    std::uint64_t mediaErrorReads() const
+    {
+        return statMediaErrorReads.value();
+    }
+    std::uint64_t mediaErrorWrites() const
+    {
+        return statMediaErrorWrites.value();
+    }
+
   private:
     std::size_t bankIndex(Addr addr) const;
+    void applyReadFaults(Addr addr, Block &data);
 
     NvmParams params;
     BackingStore data_;
     std::vector<Tick> bankBusyUntil;     ///< write track
     std::vector<Tick> bankReadBusyUntil; ///< read track (readPriority)
 
+    // Media-fault state. Transient flips are one-shot; stuck bits
+    // override the stored value on every read until quarantined.
+    std::multimap<Addr, unsigned> transientFlips_;
+    std::map<Addr, std::vector<std::pair<unsigned, bool>>> stuckBits_;
+    std::map<Addr, unsigned> writeFailures_;
+    std::map<Addr, QuarantineRecord> quarantined_;
+    bool lastReadMediaError_ = false;
+    bool lastWriteMediaError_ = false;
+
     stats::StatGroup stats_;
     stats::Scalar statReads;
     stats::Scalar statWrites;
+    stats::Scalar statMediaErrorReads;
+    stats::Scalar statMediaErrorWrites;
+    stats::Scalar statQuarantines;
     stats::Scalar statBankConflicts;
     stats::Average statReadQueueing;
     stats::Average statWriteQueueing;

@@ -42,6 +42,7 @@ struct AddressMap
     static constexpr Addr shadowBase = Addr(1) << 43;
     static constexpr Addr wpqDumpBase = Addr(1) << 44;
     static constexpr Addr eccBase = Addr(1) << 45;
+    static constexpr Addr recoveryBase = Addr(1) << 46;
 
     /** Number of 4KB pages (== integrity-tree leaves). */
     Addr
@@ -122,6 +123,17 @@ struct AddressMap
     wpqDumpAddr(Addr idx)
     {
         return wpqDumpBase + idx * 2 * blockSize;
+    }
+
+    /**
+     * NVM address of the persistent recovery journal — one block the
+     * controller checkpoints while replaying an ADR dump, so a power
+     * failure *during* recovery resumes instead of restarting blind.
+     */
+    static constexpr Addr
+    recoveryJournalAddr()
+    {
+        return recoveryBase;
     }
 
     /** 16-bit ECC codes pack 32 per block (Osiris). */

@@ -35,6 +35,12 @@ SecurityEngine::SecurityEngine(const SecureParams &p, NvmDevice &nvm)
                      "minor-counter overflow page re-encryptions");
     stats_.addScalar(&statColdReads, "coldReads",
                      "reads of never-written blocks");
+    stats_.addScalar(&statMediaRetries, "mediaRetries",
+                     "device accesses retried after a media error");
+    stats_.addScalar(&statMediaHealed, "mediaHealed",
+                     "media errors corrected by retrying");
+    stats_.addScalar(&statQuarantineReads, "quarantineReads",
+                     "reads served zeros from quarantined blocks");
     stats_.addScalar(&statCtrFetchCycles, "ctrFetchCycles",
                      "write-path cycles fetching/verifying counters");
     stats_.addScalar(&statAesCycles, "aesCycles",
@@ -362,6 +368,16 @@ SecurityEngine::secureRead(Addr addr, Tick arrival)
                  (unsigned long long)addr);
     ++statReads;
 
+    if (nvm_.isQuarantined(addr)) {
+        // Known-destroyed block: degrade to poison (zeros) without
+        // touching the media or re-raising an alarm.
+        ++statQuarantineReads;
+        const Tick t = arrival + nvm_.config().readLatency;
+        statReadLatency.sample(double(t - arrival));
+        statReadLatencyHist.sample(double(t - arrival));
+        return {zeroBlock(), t};
+    }
+
     if (!nvm_.store().contains(addr)) {
         // Never written: cold memory reads as zeros, no MAC yet.
         ++statColdReads;
@@ -374,13 +390,46 @@ SecurityEngine::secureRead(Addr addr, Tick arrival)
     // Data fetch and counter fetch overlap; the pad is generated
     // while the data is in flight (counter-mode advantage), so only
     // the MAC verification and the XOR trail the data.
-    const ReadResult data = nvm_.read(addr, arrival);
+    ReadResult data = nvm_.read(addr, arrival);
+    bool media_error = nvm_.lastReadMediaError();
     const Tick ctr_ready = fetchCounter(addr, arrival, false);
     Tick t = std::max(data.completeTick, ctr_ready);
     t += params.macLatency + 1;
 
     const std::uint64_t counter = counters.counterOf(addr);
-    if (dataMac(addr, data.data, counter) != loadDataMac(addr)) {
+    bool mac_ok = dataMac(addr, data.data, counter) == loadDataMac(addr);
+
+    // A failed MAC check has two very different causes. When the
+    // device itself flagged the access, the cells are suspect: retry
+    // with doubling backoff (a transient disturb error heals; a stuck
+    // cell keeps failing and the block is retired). Only a mismatch
+    // on a clean device read is attributed to an adversary.
+    unsigned attempts = 0;
+    while (!mac_ok && media_error && attempts < params.mediaRetryLimit) {
+        ++attempts;
+        ++statMediaRetries;
+        const Cycles backoff = params.mediaRetryBackoff
+                               << (attempts - 1);
+        data = nvm_.read(addr, t + backoff);
+        media_error = nvm_.lastReadMediaError();
+        t = data.completeTick + params.macLatency + 1;
+        mac_ok = dataMac(addr, data.data, counter) == loadDataMac(addr);
+    }
+    if (mac_ok && attempts) {
+        ++statMediaHealed;
+    } else if (!mac_ok) {
+        if (media_error || attempts) {
+            nvm_.quarantine(addr,
+                            "uncorrectable media fault (read retries "
+                            "exhausted)",
+                            attempts);
+            warn("data block 0x%llx quarantined after %u media "
+                 "retries",
+                 (unsigned long long)addr, attempts);
+            statReadLatency.sample(double(t - arrival));
+            statReadLatencyHist.sample(double(t - arrival));
+            return {zeroBlock(), t};
+        }
         ++statAttacks;
         warn("data block 0x%llx failed MAC verification",
              (unsigned long long)addr);
@@ -399,7 +448,27 @@ Tick
 SecurityEngine::writeCiphertext(Addr addr, const Block &ciphertext,
                                 Tick now)
 {
-    return nvm_.write(addr, ciphertext, now);
+    Tick done = nvm_.write(addr, ciphertext, now);
+    unsigned attempts = 0;
+    while (nvm_.lastWriteMediaError() &&
+           attempts < params.mediaRetryLimit) {
+        ++attempts;
+        ++statMediaRetries;
+        const Cycles backoff = params.mediaRetryBackoff
+                               << (attempts - 1);
+        done = nvm_.write(addr, ciphertext, done + backoff);
+    }
+    if (nvm_.lastWriteMediaError()) {
+        nvm_.quarantine(addr,
+                        "write failure persisted through retries",
+                        attempts);
+        warn("data block 0x%llx quarantined after %u failed write "
+             "retries",
+             (unsigned long long)addr, attempts);
+    } else if (attempts) {
+        ++statMediaHealed;
+    }
+    return done;
 }
 
 void

@@ -85,6 +85,17 @@ struct SecureParams
 
     /** Osiris stop-loss: counter write-through every K updates. */
     unsigned osirisStopLoss = 4;
+
+    /**
+     * Media-error handling: when the NVM device flags a demand access
+     * as faulty (see NvmDevice's media-fault model) the engine
+     * retries up to mediaRetryLimit times, doubling the backoff each
+     * attempt. Only then is the block quarantined. A MAC mismatch
+     * *without* a device media flag is tamper and alarms immediately.
+     */
+    unsigned mediaRetryLimit = 3;
+    Cycles mediaRetryBackoff = 300; ///< first retry delay; doubles
+
     TreeUpdatePolicy treePolicy = TreeUpdatePolicy::EagerMerkle;
     TagCacheParams counterCache{"counterCache", 128 * 1024, 4};
     TagCacheParams mtCache{"mtCache", 256 * 1024, 8};
@@ -199,6 +210,14 @@ class SecurityEngine
     std::uint64_t counterCacheHits() const { return ctrCache.hits(); }
     std::uint64_t counterCacheMisses() const { return ctrCache.misses(); }
 
+    /** Media-error handling outcomes (damage-report breakdown). */
+    std::uint64_t mediaRetries() const { return statMediaRetries.value(); }
+    std::uint64_t mediaHealed() const { return statMediaHealed.value(); }
+    std::uint64_t quarantineReads() const
+    {
+        return statQuarantineReads.value();
+    }
+
     /** Per-stage write-path cycle attribution (stats JSON breakdown). */
     std::uint64_t ctrFetchCycles() const { return statCtrFetchCycles.value(); }
     std::uint64_t aesCycles() const { return statAesCycles.value(); }
@@ -270,6 +289,9 @@ class SecurityEngine
     stats::Scalar statAttacks;
     stats::Scalar statOverflows;
     stats::Scalar statColdReads;
+    stats::Scalar statMediaRetries;
+    stats::Scalar statMediaHealed;
+    stats::Scalar statQuarantineReads;
     stats::Scalar statCtrFetchCycles;
     stats::Scalar statAesCycles;
     stats::Scalar statMacCycles;

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Documented process exit codes shared by the CLI drivers.
+ *
+ * `dolos_sim` and `dolos_torture` distinguish *why* a run failed so
+ * scripts (and the smoke tests) can branch on the cause instead of
+ * parsing stdout:
+ *
+ *   0  ExitOk                  run clean, verification passed
+ *   1  ExitViolation           oracle/verification mismatch (a bug)
+ *   2  ExitUsage               bad CLI arguments or invalid config
+ *   3  ExitAttack              integrity violation flagged as tamper
+ *   4  ExitUnrecoverableMedia  block(s) quarantined after media faults
+ *
+ * When several causes apply the most specific wins: an attack alarm
+ * outranks a media quarantine, which outranks a plain verification
+ * mismatch — a tampered run usually also fails the oracle, and the
+ * caller cares about the alarm, not the side effect.
+ */
+
+#ifndef DOLOS_SIM_EXIT_CODES_HH
+#define DOLOS_SIM_EXIT_CODES_HH
+
+namespace dolos
+{
+
+enum ExitCode : int
+{
+    ExitOk = 0,
+    ExitViolation = 1,
+    ExitUsage = 2,
+    ExitAttack = 3,
+    ExitUnrecoverableMedia = 4,
+};
+
+/** Fold run outcome flags into the documented exit code. */
+inline int
+exitCodeFor(bool verified, bool attack_detected, bool unrecoverable_media)
+{
+    if (attack_detected)
+        return ExitAttack;
+    if (unrecoverable_media)
+        return ExitUnrecoverableMedia;
+    return verified ? ExitOk : ExitViolation;
+}
+
+} // namespace dolos
+
+#endif // DOLOS_SIM_EXIT_CODES_HH

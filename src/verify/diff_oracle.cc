@@ -31,10 +31,22 @@ OracleReport::summary() const
 OracleReport
 checkAgainstGolden(System &sys, GoldenModel &golden)
 {
+    return checkAgainstGolden(sys, golden, {});
+}
+
+OracleReport
+checkAgainstGolden(System &sys, GoldenModel &golden,
+                   const std::set<Addr> &skip)
+{
     OracleReport report;
 
     // Classify before the sweep: reading resolves in-flight bytes.
-    const auto tracked = golden.trackedBlocks();
+    auto tracked = golden.trackedBlocks();
+    if (!skip.empty()) {
+        std::erase_if(tracked, [&](Addr block) {
+            return skip.count(blockAlign(block)) != 0;
+        });
+    }
     for (const Addr block : tracked) {
         for (unsigned i = 0; i < blockSize; ++i) {
             switch (golden.classify(block + i)) {

@@ -16,6 +16,8 @@
 #ifndef DOLOS_VERIFY_DIFF_ORACLE_HH
 #define DOLOS_VERIFY_DIFF_ORACLE_HH
 
+#include <set>
+
 #include "dolos/system.hh"
 #include "verify/golden_model.hh"
 
@@ -46,6 +48,15 @@ struct OracleReport
  * observer path, resolving any still-ambiguous post-crash bytes).
  */
 OracleReport checkAgainstGolden(System &sys, GoldenModel &golden);
+
+/**
+ * As above, but skip blocks in @p skip — the ones a media-fault
+ * campaign deliberately destroyed (stuck cells, failed writes,
+ * quarantined). Their contents are *expected* to diverge; the oracle
+ * still covers every healthy block.
+ */
+OracleReport checkAgainstGolden(System &sys, GoldenModel &golden,
+                                const std::set<Addr> &skip);
 
 } // namespace dolos::verify
 

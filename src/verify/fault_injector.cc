@@ -32,6 +32,12 @@ faultKindName(FaultKind kind)
         return "torn-adr-dump";
       case FaultKind::DroppedClwb:
         return "dropped-clwb";
+      case FaultKind::MediaTransient:
+        return "media-transient";
+      case FaultKind::MediaStuck:
+        return "media-stuck";
+      case FaultKind::MediaWriteFail:
+        return "media-write-fail";
     }
     return "unknown";
 }
@@ -110,6 +116,92 @@ FaultInjector::armDroppedClwb(std::uint64_t nth)
     std::snprintf(buf, sizeof(buf),
                   "CLWB %llu from now will be silently dropped",
                   (unsigned long long)nth);
+    rec.detail = buf;
+    return rec;
+}
+
+InjectionRecord
+FaultInjector::armRecoveryCrash(unsigned after_steps)
+{
+    InjectionRecord rec;
+    rec.kind = FaultKind::None;
+    rec.injected = true;
+    sys.controller().armRecoveryCrash(after_steps);
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "power armed to die after %u recovery steps",
+                  after_steps);
+    rec.detail = buf;
+    return rec;
+}
+
+InjectionRecord
+FaultInjector::injectMediaTransient()
+{
+    InjectionRecord rec;
+    rec.kind = FaultKind::MediaTransient;
+    const auto victim = pickVictimDataBlock();
+    if (!victim) {
+        rec.detail = "no protected data block stored yet";
+        return rec;
+    }
+    rec.victim = rec.target = *victim;
+    rec.bit = unsigned(rng.below(blockSize * 8));
+    sys.nvmDevice().injectTransientFlip(*victim, rec.bit);
+    rec.injected = true;
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "armed transient flip of bit %u on next read of "
+                  "0x%llx",
+                  rec.bit, (unsigned long long)*victim);
+    rec.detail = buf;
+    return rec;
+}
+
+InjectionRecord
+FaultInjector::injectMediaStuck()
+{
+    InjectionRecord rec;
+    rec.kind = FaultKind::MediaStuck;
+    const auto victim = pickVictimDataBlock();
+    if (!victim) {
+        rec.detail = "no protected data block stored yet";
+        return rec;
+    }
+    // Stick the cell at the complement of its stored value so the
+    // fault is visible on the very next read.
+    rec.victim = rec.target = *victim;
+    rec.bit = unsigned(rng.below(blockSize * 8));
+    const Block stored = sys.nvmDevice().readFunctional(*victim);
+    const bool current =
+        stored[rec.bit / 8] & std::uint8_t(1u << (rec.bit % 8));
+    sys.nvmDevice().injectStuckBit(*victim, rec.bit, !current);
+    rec.injected = true;
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "stuck bit %u of 0x%llx at %d", rec.bit,
+                  (unsigned long long)*victim, int(!current));
+    rec.detail = buf;
+    return rec;
+}
+
+InjectionRecord
+FaultInjector::armMediaWriteFail(unsigned failures)
+{
+    InjectionRecord rec;
+    rec.kind = FaultKind::MediaWriteFail;
+    const auto victim = pickVictimDataBlock();
+    if (!victim) {
+        rec.detail = "no protected data block stored yet";
+        return rec;
+    }
+    rec.victim = rec.target = *victim;
+    sys.nvmDevice().injectWriteFail(*victim, failures);
+    rec.injected = true;
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "next %u writes to 0x%llx will fail", failures,
+                  (unsigned long long)*victim);
     rec.detail = buf;
     return rec;
 }
@@ -289,6 +381,12 @@ FaultInjector::inject(FaultKind kind)
         return injectCounterRollback();
       case FaultKind::BmtFlip:
         return injectBmtFlip();
+      case FaultKind::MediaTransient:
+        return injectMediaTransient();
+      case FaultKind::MediaStuck:
+        return injectMediaStuck();
+      case FaultKind::MediaWriteFail:
+        return armMediaWriteFail(16); // beyond any retry budget
       default:
         break;
     }

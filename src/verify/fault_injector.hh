@@ -49,6 +49,9 @@ enum class FaultKind
     BmtFlip,
     TornAdrDump,
     DroppedClwb,
+    MediaTransient, ///< one-shot device read flip (should heal)
+    MediaStuck,     ///< stuck-at cell (should quarantine, no alarm)
+    MediaWriteFail, ///< dropped write pulses (retry, then quarantine)
 };
 
 /** Stable CLI name of a fault kind (and its inverse). */
@@ -60,6 +63,8 @@ inline constexpr FaultKind allFaultKinds[] = {
     FaultKind::DataFlip,       FaultKind::MacFlip,
     FaultKind::CounterRollback, FaultKind::BmtFlip,
     FaultKind::TornAdrDump,    FaultKind::DroppedClwb,
+    FaultKind::MediaTransient, FaultKind::MediaStuck,
+    FaultKind::MediaWriteFail,
 };
 
 /** What an injection actually did (repro + assertions). */
@@ -87,6 +92,14 @@ class FaultInjector
     /** @{ Crash-path faults: armed now, fire inside the machine. */
     InjectionRecord armTornAdrDump(unsigned surviving_entries);
     InjectionRecord armDroppedClwb(std::uint64_t nth);
+    InjectionRecord armRecoveryCrash(unsigned after_steps);
+    /** @} */
+
+    /** @{ Media faults: armed on a seeded stored victim block; they
+     *  fire on the device's timed demand paths. */
+    InjectionRecord injectMediaTransient();
+    InjectionRecord injectMediaStuck();
+    InjectionRecord armMediaWriteFail(unsigned failures);
     /** @} */
 
     /** @{ NVM image mutations (apply at a quiesced point). */

@@ -43,6 +43,27 @@ SweepResult::firstFailure() const
     return {};
 }
 
+std::string
+describeSweep(const SweepOptions &opt)
+{
+    char buf[256];
+    std::snprintf(
+        buf, sizeof(buf),
+        "mode=%s workload=%s numTx=%llu seed=%llu sampleSeed=%llu "
+        "points=%s%s recoveryCrashStep=%s",
+        securityModeName(opt.mode), opt.workload.c_str(),
+        (unsigned long long)opt.numTx,
+        (unsigned long long)opt.params.seed,
+        (unsigned long long)opt.sampleSeed,
+        opt.pointSet == CrashPoints::EveryOp ? "every-op"
+                                             : "wpq-boundaries",
+        opt.budget ? "" : " (exhaustive)",
+        opt.recoveryCrashStep
+            ? std::to_string(*opt.recoveryCrashStep).c_str()
+            : "none");
+    return buf;
+}
+
 std::vector<std::uint64_t>
 enumerateWpqBoundaries(const SweepOptions &opt)
 {
@@ -69,6 +90,30 @@ enumerateWpqBoundaries(const SweepOptions &opt)
     return boundaries;
 }
 
+std::vector<std::uint64_t>
+enumerateCrashPoints(const SweepOptions &opt)
+{
+    if (opt.pointSet == CrashPoints::WpqBoundaries)
+        return enumerateWpqBoundaries(opt);
+
+    // Every-op sweep: probe run counts the measured run's operations;
+    // a crash can then land after any one of them.
+    System sys(configFor(opt));
+    const auto workload = workloads::makeWorkload(opt.workload, opt.params);
+    workloads::PmemEnv env(sys);
+    workload->setup(env);
+    const std::uint64_t ops0 = env.opCount();
+    for (std::uint64_t i = 0; i < opt.numTx; ++i)
+        workload->transaction(env, i);
+    const std::uint64_t total = env.opCount() - ops0;
+
+    std::vector<std::uint64_t> points;
+    points.reserve(std::size_t(total));
+    for (std::uint64_t op = 1; op <= total; ++op)
+        points.push_back(op);
+    return points;
+}
+
 CrashPointResult
 runCrashPoint(const SweepOptions &opt, std::uint64_t crash_op)
 {
@@ -79,6 +124,7 @@ runCrashPoint(const SweepOptions &opt, std::uint64_t crash_op)
     const auto workload = workloads::makeWorkload(opt.workload, opt.params);
     workloads::CrashPlan plan;
     plan.atOp = crash_op;
+    plan.recoveryCrashStep = opt.recoveryCrashStep;
     const auto res =
         workloads::runWorkload(sys, *workload, opt.numTx, plan);
 
@@ -86,6 +132,7 @@ runCrashPoint(const SweepOptions &opt, std::uint64_t crash_op)
     out.crashOp = crash_op;
     out.structureVerified = res.verified;
     out.attackDetected = sys.attackDetected();
+    out.recoveryAttempts = res.recoveryAttempts;
     out.oracle = checkAgainstGolden(sys, golden);
     sys.core().setObserver(nullptr);
     return out;
@@ -95,7 +142,7 @@ SweepResult
 sweepCrashPoints(const SweepOptions &opt)
 {
     SweepResult result;
-    result.boundaries = enumerateWpqBoundaries(opt);
+    result.boundaries = enumerateCrashPoints(opt);
     if (result.boundaries.empty())
         return result;
 

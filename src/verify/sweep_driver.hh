@@ -30,6 +30,20 @@
 namespace dolos::verify
 {
 
+/** Which operation indices qualify as crash candidates. */
+enum class CrashPoints
+{
+    /** WPQ-insertion boundaries (the persistent state changed). */
+    WpqBoundaries,
+
+    /**
+     * Every environment operation — the arbitrary-cycle sweep. More
+     * points than WpqBoundaries buys, but catches bugs in paths that
+     * never touch the WPQ (fences, loads, recovery bookkeeping).
+     */
+    EveryOp,
+};
+
 /** One (mode, workload) sweep configuration. */
 struct SweepOptions
 {
@@ -46,6 +60,16 @@ struct SweepOptions
      */
     std::size_t budget = 0;
     std::uint64_t sampleSeed = 1;
+
+    /** Candidate-point enumeration strategy. */
+    CrashPoints pointSet = CrashPoints::WpqBoundaries;
+
+    /**
+     * Compound failure: arm a second power failure after this many
+     * recovery steps at every crash point, forcing the restartable
+     * recovery path (see CrashPlan::recoveryCrashStep).
+     */
+    std::optional<unsigned> recoveryCrashStep;
 };
 
 /** Outcome of one crash point. */
@@ -54,6 +78,7 @@ struct CrashPointResult
     std::uint64_t crashOp = 0;
     bool structureVerified = false; ///< workload's own verifier
     bool attackDetected = false;    ///< must stay false (no faults)
+    unsigned recoveryAttempts = 0;  ///< boots until recovery done
     OracleReport oracle;
 
     bool
@@ -90,6 +115,16 @@ struct SweepResult
  * write requests), in increasing order.
  */
 std::vector<std::uint64_t> enumerateWpqBoundaries(const SweepOptions &opt);
+
+/**
+ * Candidate crash points under opt.pointSet: WPQ boundaries, or
+ * every environment-operation index of the measured run (1..total).
+ */
+std::vector<std::uint64_t> enumerateCrashPoints(const SweepOptions &opt);
+
+/** One-line repro description for failure messages: the options a
+ *  command needs to replay this sweep (mode, workload, seeds). */
+std::string describeSweep(const SweepOptions &opt);
 
 /**
  * Run one crash point from scratch: fresh machine with an attached

@@ -46,7 +46,10 @@ runWorkload(System &sys, Workload &workload, std::uint64_t num_tx,
             sys.crash();
             if (crash->atPowerOff)
                 crash->atPowerOff(sys);
-            sys.recover();
+            if (crash->recoveryCrashStep)
+                sys.controller().armRecoveryCrash(
+                    *crash->recoveryCrashStep);
+            sys.recoverToCompletion(&res.recoveryAttempts);
             env.reattach();
             TxContext::recover(env);
             break;

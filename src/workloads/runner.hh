@@ -33,6 +33,7 @@ struct RunResult
     std::uint64_t wpqReadHits = 0;
     std::uint64_t coalesces = 0;
     bool crashed = false;             ///< crash was injected
+    unsigned recoveryAttempts = 0;    ///< boots until recovery done
     bool verified = false;            ///< structure consistent after run
     std::string verifyDiagnostic;
 
@@ -57,6 +58,14 @@ struct CrashPlan
      * injectors use it to tamper with the powered-off NVM image.
      */
     std::function<void(System &)> atPowerOff;
+
+    /**
+     * Compound failure: power dies *again* during recovery, after
+     * this many interruptible recovery steps. The runner then keeps
+     * power-cycling until recovery completes (see
+     * SecureMemController::armRecoveryCrash).
+     */
+    std::optional<unsigned> recoveryCrashStep;
 };
 
 /**

@@ -8,9 +8,11 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <stdexcept>
 #include <string>
 
 #include "dolos/config.hh"
+#include "dolos/system.hh"
 
 namespace
 {
@@ -90,6 +92,127 @@ TEST(SecurityModeConfig, DolosFamilyClassification)
     EXPECT_TRUE(isDolosMode(SecurityMode::DolosFullWpq));
     EXPECT_TRUE(isDolosMode(SecurityMode::DolosPartialWpq));
     EXPECT_TRUE(isDolosMode(SecurityMode::DolosPostWpq));
+}
+
+TEST(SecurityModeConfig, ParseAcceptsEveryCliNameAndAlias)
+{
+    EXPECT_EQ(parseSecurityMode("ideal"), SecurityMode::NonSecureIdeal);
+    EXPECT_EQ(parseSecurityMode("baseline"),
+              SecurityMode::PreWpqSecure);
+    EXPECT_EQ(parseSecurityMode("post-unprotected"),
+              SecurityMode::PostWpqUnprotected);
+    EXPECT_EQ(parseSecurityMode("dolos-full"),
+              SecurityMode::DolosFullWpq);
+    EXPECT_EQ(parseSecurityMode("full_wpq"),
+              SecurityMode::DolosFullWpq);
+    EXPECT_EQ(parseSecurityMode("dolos-partial"),
+              SecurityMode::DolosPartialWpq);
+    EXPECT_EQ(parseSecurityMode("partial_wpq"),
+              SecurityMode::DolosPartialWpq);
+    EXPECT_EQ(parseSecurityMode("dolos-post"),
+              SecurityMode::DolosPostWpq);
+    EXPECT_EQ(parseSecurityMode("post_wpq"),
+              SecurityMode::DolosPostWpq);
+}
+
+TEST(SecurityModeConfig, ParseRejectsUnknownNames)
+{
+    // Rejected loudly as "no value" — never clamped to some default.
+    EXPECT_EQ(parseSecurityMode(""), std::nullopt);
+    EXPECT_EQ(parseSecurityMode("dolos"), std::nullopt);
+    EXPECT_EQ(parseSecurityMode("IDEAL"), std::nullopt);
+    EXPECT_EQ(parseSecurityMode("full-wpq"), std::nullopt);
+}
+
+TEST(ConfigValidation, PaperDefaultsAreValidForEveryMode)
+{
+    for (const auto mode : allModes) {
+        auto cfg = SystemConfig::paperDefault();
+        cfg.mode = mode;
+        EXPECT_EQ(validateConfig(cfg), "") << securityModeName(mode);
+    }
+}
+
+TEST(ConfigValidation, ZeroAdrBudgetIsRejected)
+{
+    auto cfg = SystemConfig::paperDefault();
+    cfg.wpq.adrBudgetEntries = 0;
+    EXPECT_NE(validateConfig(cfg).find("adrBudgetEntries"),
+              std::string::npos)
+        << validateConfig(cfg);
+}
+
+TEST(ConfigValidation, ZeroEntryQueueForActiveModeIsRejected)
+{
+    auto cfg = SystemConfig::paperDefault();
+    cfg.mode = SecurityMode::DolosPartialWpq;
+    cfg.wpq.partialEntries = 0;
+    EXPECT_FALSE(validateConfig(cfg).empty());
+
+    // The same zero is fine when another mode is selected — only the
+    // active queue is constrained.
+    cfg.mode = SecurityMode::DolosFullWpq;
+    EXPECT_EQ(validateConfig(cfg), "");
+}
+
+TEST(ConfigValidation, OversizedModeQueuesAreRejected)
+{
+    auto cfg = SystemConfig::paperDefault();
+    cfg.mode = SecurityMode::DolosPartialWpq;
+    cfg.wpq.partialEntries = cfg.wpq.adrBudgetEntries + 1;
+    EXPECT_NE(validateConfig(cfg).find("exceeds"), std::string::npos)
+        << validateConfig(cfg);
+
+    cfg = SystemConfig::paperDefault();
+    cfg.mode = SecurityMode::DolosPostWpq;
+    cfg.wpq.postEntries = cfg.wpq.adrBudgetEntries + 1;
+    EXPECT_FALSE(validateConfig(cfg).empty());
+}
+
+TEST(ConfigValidation, DegenerateTimingAndGeometryAreRejected)
+{
+    auto cfg = SystemConfig::paperDefault();
+    cfg.wpq.retryInterval = 0;
+    EXPECT_FALSE(validateConfig(cfg).empty());
+
+    cfg = SystemConfig::paperDefault();
+    cfg.nvm.numBanks = 0;
+    EXPECT_FALSE(validateConfig(cfg).empty());
+
+    cfg = SystemConfig::paperDefault();
+    cfg.secure.functionalLeaves = 0;
+    EXPECT_FALSE(validateConfig(cfg).empty());
+
+    cfg = SystemConfig::paperDefault();
+    cfg.secure.map.protectedBytes = 0;
+    EXPECT_FALSE(validateConfig(cfg).empty());
+}
+
+TEST(ConfigValidation, SystemCtorThrowsInsteadOfClamping)
+{
+    auto cfg = SystemConfig::paperDefault();
+    cfg.wpq.adrBudgetEntries = 0;
+    EXPECT_THROW({ System sys(cfg); }, std::invalid_argument);
+
+    // The thrown message carries the validator's diagnostic.
+    cfg = SystemConfig::paperDefault();
+    cfg.mode = SecurityMode::DolosPartialWpq;
+    cfg.wpq.partialEntries = cfg.wpq.adrBudgetEntries + 1;
+    try {
+        System sys(cfg);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("partialEntries"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(ConfigValidation, ValidConfigConstructs)
+{
+    auto cfg = SystemConfig::paperDefault();
+    cfg.mode = SecurityMode::DolosPostWpq;
+    EXPECT_NO_THROW({ System sys(cfg); });
 }
 
 } // namespace

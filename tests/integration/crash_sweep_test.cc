@@ -136,4 +136,94 @@ TEST(CrashEpochs, CrashDuringSetupTimeWindowIsSafe)
     EXPECT_TRUE(point.passed()) << point.oracle.summary();
 }
 
+TEST(CrashSweep, EveryOpEnumeratesMorePointsThanWpqBoundaries)
+{
+    auto opt = sweepFor(SecurityMode::DolosPartialWpq, "hashmap", 13);
+    const auto wpq = verify::enumerateCrashPoints(opt).size();
+    opt.pointSet = verify::CrashPoints::EveryOp;
+    const auto every = verify::enumerateCrashPoints(opt).size();
+    EXPECT_GT(every, wpq);
+    EXPECT_GT(every, 0u);
+}
+
+class ArbitraryCycleCrashSweep
+    : public ::testing::TestWithParam<SecurityMode>
+{
+};
+
+TEST_P(ArbitraryCycleCrashSweep, EveryOpSampleRecoversConsistently)
+{
+    // Acceptance sweep: crashes at arbitrary environment operations
+    // (not just WPQ boundaries) must recover to the committed prefix.
+    auto opt = sweepFor(GetParam(), "hashmap", 41);
+    opt.pointSet = verify::CrashPoints::EveryOp;
+    opt.budget = 5;
+    const auto result = verify::sweepCrashPoints(opt);
+    ASSERT_FALSE(result.points.empty());
+    EXPECT_TRUE(result.allPassed())
+        << result.firstFailure()
+        << "\n  repro: " << verify::describeSweep(opt);
+}
+
+TEST_P(ArbitraryCycleCrashSweep, MidRecoveryCrashIsRestartable)
+{
+    // Compound failure: at every sampled crash point, power dies
+    // again two steps into the recovery. The journaled recovery must
+    // restart, finish on the second boot, and still satisfy the
+    // committed-prefix oracle.
+    auto opt = sweepFor(GetParam(), "hashmap", 57);
+    opt.pointSet = verify::CrashPoints::EveryOp;
+    opt.budget = 4;
+    opt.recoveryCrashStep = 2;
+    const auto result = verify::sweepCrashPoints(opt);
+    ASSERT_FALSE(result.points.empty());
+    EXPECT_TRUE(result.allPassed())
+        << result.firstFailure()
+        << "\n  repro: " << verify::describeSweep(opt);
+    for (const auto &p : result.points)
+        EXPECT_GE(p.recoveryAttempts, 2u)
+            << "crash op " << p.crashOp
+            << ": the armed mid-recovery crash never fired ("
+            << verify::describeSweep(opt) << ")";
+}
+
+TEST_P(ArbitraryCycleCrashSweep, EarlyRecoveryCrashIsRestartable)
+{
+    // Die at the very first recovery checkpoint (right after the
+    // redo-log replay) — the journal must already exist by then.
+    auto opt = sweepFor(GetParam(), "btree", 71);
+    opt.budget = 2;
+    opt.recoveryCrashStep = 0;
+    const auto result = verify::sweepCrashPoints(opt);
+    ASSERT_FALSE(result.points.empty());
+    EXPECT_TRUE(result.allPassed())
+        << result.firstFailure()
+        << "\n  repro: " << verify::describeSweep(opt);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DolosModes, ArbitraryCycleCrashSweep,
+    ::testing::Values(SecurityMode::DolosFullWpq,
+                      SecurityMode::DolosPartialWpq,
+                      SecurityMode::DolosPostWpq),
+    [](const auto &info) {
+        return dolos::test::modeLabel(info.param);
+    });
+
+TEST(MidRecoveryCrash, DirectRepeatedCrashesDuringOneRecovery)
+{
+    // Belt-and-braces outside the sweep machinery: crash mid-run,
+    // then kill recovery at successive checkpoints on one machine.
+    System sys(cfgFor(SecurityMode::DolosPartialWpq));
+    auto wl = makeWorkload("hashmap", smallParams(17));
+    CrashPlan plan;
+    plan.atOp = 400;
+    plan.recoveryCrashStep = 3;
+    const auto res = runWorkload(sys, *wl, 20, plan);
+    ASSERT_TRUE(res.verified) << res.verifyDiagnostic;
+    EXPECT_GE(res.recoveryAttempts, 2u);
+    EXPECT_FALSE(sys.attackDetected());
+    EXPECT_FALSE(sys.controller().recoveryInProgress());
+}
+
 } // namespace

@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <sstream>
 
 #include "dolos/system.hh"
 #include "sim/random.hh"
@@ -26,6 +27,18 @@ namespace
 using namespace dolos;
 using dolos::test::smallCacheCfgFor;
 
+/** Tag every assertion with the episode's RNG seed so a red run is
+ *  reproducible from the log alone (satellites of the torture/fuzz
+ *  repro policy: no failure without its seed). */
+std::string
+seedTrace(const char *test, std::uint64_t seed)
+{
+    std::ostringstream os;
+    os << test << " seed=0x" << std::hex << seed
+       << " (rerun: --gtest_filter=*" << test << "*)";
+    return os.str();
+}
+
 class FuzzReference : public ::testing::TestWithParam<SecurityMode>
 {
 };
@@ -36,7 +49,9 @@ TEST_P(FuzzReference, RandomTrafficMatchesReferenceMemory)
     verify::GoldenModel golden;
     sys.core().setObserver(&golden);
     auto &core = sys.core();
-    Random rng(0xF00D + unsigned(GetParam()));
+    const std::uint64_t seed = 0xF00D + unsigned(GetParam());
+    SCOPED_TRACE(seedTrace("RandomTrafficMatchesReferenceMemory", seed));
+    Random rng(seed);
     std::map<Addr, std::uint64_t> reference;
 
     constexpr Addr span = 128 * 1024; // working set >> cache sizes
@@ -82,7 +97,9 @@ TEST_P(FuzzReference, FlushedStateSurvivesRandomCrashPoints)
     verify::GoldenModel golden;
     sys.core().setObserver(&golden);
     auto &core = sys.core();
-    Random rng(0xBEEF + unsigned(GetParam()));
+    const std::uint64_t seed = 0xBEEF + unsigned(GetParam());
+    SCOPED_TRACE(seedTrace("FlushedStateSurvivesRandomCrashPoints", seed));
+    Random rng(seed);
     std::map<Addr, std::uint64_t> fenced;
 
     for (int round = 0; round < 4; ++round) {
@@ -130,7 +147,9 @@ TEST(FuzzOsiris, RandomTrafficAndCrashesUnderOsiris)
     verify::GoldenModel golden;
     sys.core().setObserver(&golden);
     auto &core = sys.core();
-    Random rng(0xCAFE);
+    const std::uint64_t seed = 0xCAFE;
+    SCOPED_TRACE(seedTrace("RandomTrafficAndCrashesUnderOsiris", seed));
+    Random rng(seed);
     std::map<Addr, std::uint64_t> fenced;
     for (int round = 0; round < 3; ++round) {
         for (int i = 0; i < 120; ++i) {

@@ -118,4 +118,107 @@ TEST(NvmDevice, StatsCount)
     EXPECT_EQ(nvm.reads(), 2u);
 }
 
+TEST(NvmMediaFaults, TransientFlipFiresOnceThenHeals)
+{
+    NvmDevice nvm(paperParams());
+    Block b{};
+    b[2] = 0xA5;
+    nvm.write(0x1000, b, 0);
+
+    nvm.injectTransientFlip(0x1000, 16); // bit 0 of byte 2
+    const auto faulty = nvm.read(0x1000, 5000);
+    EXPECT_TRUE(nvm.lastReadMediaError());
+    EXPECT_EQ(faulty.data[2], 0xA5 ^ 0x01);
+
+    // One-shot: the retry sees pristine data and a clean flag.
+    const auto retry = nvm.read(0x1000, 9000);
+    EXPECT_FALSE(nvm.lastReadMediaError());
+    EXPECT_EQ(retry.data[2], 0xA5);
+    EXPECT_EQ(nvm.mediaErrorReads(), 1u);
+}
+
+TEST(NvmMediaFaults, StuckBitPersistsAndAlwaysFlags)
+{
+    NvmDevice nvm(paperParams());
+    Block b{};
+    nvm.write(0x2000, b, 0);
+
+    nvm.injectStuckBit(0x2000, 9, true); // bit 1 of byte 1 pinned high
+    for (int i = 0; i < 3; ++i) {
+        const auto r = nvm.read(0x2000, 5000 + i * 1000);
+        EXPECT_TRUE(nvm.lastReadMediaError()) << "read " << i;
+        EXPECT_EQ(r.data[1], 0x02) << "read " << i;
+    }
+    // Rewriting does not repair a worn cell.
+    Block fresh{};
+    nvm.write(0x2000, fresh, 20000);
+    EXPECT_EQ(nvm.read(0x2000, 30000).data[1], 0x02);
+    EXPECT_TRUE(nvm.hasUnhealableFault(0x2000));
+    EXPECT_FALSE(nvm.hasUnhealableFault(0x1000));
+}
+
+TEST(NvmMediaFaults, WriteFailSuppressesCommitThenRecovers)
+{
+    NvmDevice nvm(paperParams());
+    Block before{};
+    before[0] = 0x11;
+    nvm.write(0x3000, before, 0);
+
+    nvm.injectWriteFail(0x3000, 2);
+    Block after{};
+    after[0] = 0x22;
+    nvm.write(0x3000, after, 5000);
+    EXPECT_TRUE(nvm.lastWriteMediaError());
+    EXPECT_EQ(nvm.readFunctional(0x3000)[0], 0x11) << "write committed";
+    nvm.write(0x3000, after, 9000);
+    EXPECT_TRUE(nvm.lastWriteMediaError());
+
+    // Budget exhausted: the third attempt lands.
+    nvm.write(0x3000, after, 13000);
+    EXPECT_FALSE(nvm.lastWriteMediaError());
+    EXPECT_EQ(nvm.readFunctional(0x3000)[0], 0x22);
+    EXPECT_EQ(nvm.mediaErrorWrites(), 2u);
+}
+
+TEST(NvmMediaFaults, FunctionalAccessesBypassTheFaultModel)
+{
+    NvmDevice nvm(paperParams());
+    Block b{};
+    b[0] = 0x3C;
+    nvm.write(0x4000, b, 0);
+    nvm.injectTransientFlip(0x4000, 0);
+    nvm.injectStuckBit(0x4000, 8, true);
+
+    // Functional (debug/recovery) reads see raw stored bytes and do
+    // not consume the one-shot flip or raise flags.
+    EXPECT_EQ(nvm.readFunctional(0x4000)[0], 0x3C);
+    EXPECT_EQ(nvm.readFunctional(0x4000)[1], 0x00);
+    EXPECT_FALSE(nvm.lastReadMediaError());
+
+    // The timed path still sees both faults afterwards: the one-shot
+    // flip on bit 0 of byte 0, the stuck cell at bit 0 of byte 1.
+    const auto r = nvm.read(0x4000, 5000);
+    EXPECT_TRUE(nvm.lastReadMediaError());
+    EXPECT_EQ(r.data[0], 0x3C ^ 0x01);
+    EXPECT_EQ(r.data[1], 0x01);
+}
+
+TEST(NvmMediaFaults, QuarantineRegistryDeduplicatesByBlock)
+{
+    NvmDevice nvm(paperParams());
+    EXPECT_EQ(nvm.quarantineCount(), 0u);
+    nvm.quarantine(0x5008, "read retries exhausted", 3);
+    nvm.quarantine(0x5030, "same block, different byte", 5);
+    nvm.quarantine(0x6000, "write retries exhausted", 3);
+    EXPECT_EQ(nvm.quarantineCount(), 2u);
+    EXPECT_TRUE(nvm.isQuarantined(0x5000));
+    EXPECT_TRUE(nvm.isQuarantined(0x503F));
+    EXPECT_FALSE(nvm.isQuarantined(0x5040));
+    EXPECT_TRUE(nvm.hasUnhealableFault(0x6000));
+    const auto &log = nvm.quarantineLog();
+    ASSERT_EQ(log.count(0x5000), 1u);
+    EXPECT_EQ(log.at(0x5000).reason, "read retries exhausted");
+    EXPECT_EQ(log.at(0x5000).retries, 3u);
+}
+
 } // namespace

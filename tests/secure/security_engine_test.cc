@@ -305,4 +305,78 @@ TEST_F(SecurityEngineTest, ReissueCiphertextKeepsBlockReadable)
     EXPECT_FALSE(eng.attackDetected());
 }
 
+TEST_F(SecurityEngineTest, TransientMediaFaultHealsWithoutAlarm)
+{
+    const Block pt = pattern(13);
+    writeThrough(0x1000, pt, 0);
+    nvm.injectTransientFlip(0x1000, 5);
+
+    const auto rd = eng.secureRead(0x1000, 100000);
+    // Device-flagged corruption is a media problem: retried, healed,
+    // and never escalated to the tamper alarm.
+    EXPECT_EQ(rd.data, pt);
+    EXPECT_FALSE(eng.attackDetected());
+    EXPECT_EQ(eng.mediaRetries(), 1u);
+    EXPECT_EQ(eng.mediaHealed(), 1u);
+    EXPECT_EQ(nvm.quarantineCount(), 0u);
+}
+
+TEST_F(SecurityEngineTest, StuckCellQuarantinesWithoutAlarm)
+{
+    const Block pt = pattern(14);
+    writeThrough(0x2000, pt, 0);
+    const Block stored = nvm.readFunctional(0x2000);
+    const bool bit3 = stored[0] & 0x08;
+    nvm.injectStuckBit(0x2000, 3, !bit3);
+
+    const auto rd = eng.secureRead(0x2000, 100000);
+    // Unhealable, device-flagged: graceful degradation, not tamper.
+    EXPECT_FALSE(eng.attackDetected());
+    EXPECT_TRUE(nvm.isQuarantined(0x2000));
+    EXPECT_EQ(eng.mediaRetries(), testParams().mediaRetryLimit);
+    EXPECT_EQ(eng.mediaHealed(), 0u);
+    EXPECT_EQ(rd.data, zeroBlock());
+
+    // Later reads of the quarantined block short-circuit to zeros.
+    const auto again = eng.secureRead(0x2000, 500000);
+    EXPECT_EQ(again.data, zeroBlock());
+    EXPECT_EQ(eng.quarantineReads(), 1u);
+    EXPECT_FALSE(eng.attackDetected());
+}
+
+TEST_F(SecurityEngineTest, TamperWithoutMediaFlagStillAlarms)
+{
+    // The disambiguation must not weaken the threat model: a MAC
+    // mismatch on a *clean* device read is an integrity attack.
+    const Block pt = pattern(15);
+    writeThrough(0x3000, pt, 0);
+    Block ct = nvm.readFunctional(0x3000);
+    ct[7] ^= 0x10; // adversarial mutation leaves no device trace
+    nvm.writeFunctional(0x3000, ct);
+
+    eng.secureRead(0x3000, 100000);
+    EXPECT_TRUE(eng.attackDetected());
+    EXPECT_EQ(eng.mediaRetries(), 0u);
+    EXPECT_EQ(nvm.quarantineCount(), 0u);
+}
+
+TEST_F(SecurityEngineTest, WriteFailuresRetryThenQuarantine)
+{
+    const Block pt = pattern(16);
+    // Fewer failures than the retry budget: the write heals.
+    nvm.injectWriteFail(0x4000, 2);
+    writeThrough(0x4000, pt, 0);
+    EXPECT_EQ(eng.mediaHealed(), 1u);
+    EXPECT_FALSE(nvm.isQuarantined(0x4000));
+    const auto rd = eng.secureRead(0x4000, 1000000);
+    EXPECT_EQ(rd.data, pt);
+
+    // More failures than the budget: the block is quarantined, and
+    // the alarm still stays silent (worn cells, not an adversary).
+    nvm.injectWriteFail(0x5000, 16);
+    writeThrough(0x5000, pattern(17), 2000000);
+    EXPECT_TRUE(nvm.isQuarantined(0x5000));
+    EXPECT_FALSE(eng.attackDetected());
+}
+
 } // namespace

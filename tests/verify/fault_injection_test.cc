@@ -16,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <sstream>
 
 #include "secure/address_map.hh"
 #include "tests/integration/integration_common.hh"
@@ -178,6 +179,106 @@ INSTANTIATE_TEST_SUITE_P(DolosModes, TornDump,
                          [](const auto &info) {
                              return dolos::test::modeLabel(info.param);
                          });
+
+class MediaFaults : public ::testing::TestWithParam<SecurityMode>
+{
+};
+
+TEST_P(MediaFaults, TransientFlipHealsSilently)
+{
+    System sys(dolos::test::cfgFor(GetParam()));
+    FaultInjector inj(sys, 301);
+    populateAndCycle(sys);
+
+    const auto rec = inj.injectMediaTransient();
+    ASSERT_TRUE(rec.injected) << rec.detail;
+    Block buf;
+    sys.core().load(rec.victim, buf.data(), blockSize);
+
+    // The device flagged the corruption, so the engine retried
+    // instead of alarming — and the data came back intact.
+    Block expect;
+    for (unsigned off = 0; off < blockSize; off += 8) {
+        const std::uint64_t v = patternFor(rec.victim + off);
+        std::memcpy(expect.data() + off, &v, sizeof(v));
+    }
+    EXPECT_EQ(0, std::memcmp(buf.data(), expect.data(), blockSize))
+        << rec.detail;
+    EXPECT_FALSE(sys.attackDetected()) << rec.detail;
+    EXPECT_FALSE(sys.unrecoverableMedia());
+    EXPECT_GE(sys.engine().mediaHealed(), 1u);
+}
+
+TEST_P(MediaFaults, StuckCellQuarantinesNotAlarms)
+{
+    System sys(dolos::test::cfgFor(GetParam()));
+    FaultInjector inj(sys, 302);
+    populateAndCycle(sys);
+
+    const auto rec = inj.injectMediaStuck();
+    ASSERT_TRUE(rec.injected) << rec.detail;
+    Block buf;
+    sys.core().load(rec.victim, buf.data(), blockSize);
+
+    // Unhealable wear is graceful degradation, never tamper.
+    EXPECT_FALSE(sys.attackDetected()) << rec.detail;
+    EXPECT_TRUE(sys.unrecoverableMedia()) << rec.detail;
+    EXPECT_TRUE(sys.nvmDevice().isQuarantined(rec.victim));
+    EXPECT_EQ(buf, zeroBlock());
+}
+
+TEST_P(MediaFaults, WriteFailureQuarantinesNotAlarms)
+{
+    System sys(dolos::test::cfgFor(GetParam()));
+    FaultInjector inj(sys, 303);
+    populateAndCycle(sys);
+
+    const auto rec = inj.inject(FaultKind::MediaWriteFail);
+    ASSERT_TRUE(rec.injected) << rec.detail;
+    // Rewrite the victim: every program pulse fails, the controller
+    // retries, gives up and quarantines.
+    const std::uint64_t v = ~patternFor(rec.victim);
+    sys.core().store(rec.victim, &v, sizeof(v));
+    sys.core().clwb(rec.victim);
+    sys.core().sfence();
+    sys.controller().drainTo(sys.core().now() + 1'000'000);
+    sys.core().compute(1'000'000);
+
+    EXPECT_FALSE(sys.attackDetected()) << rec.detail;
+    EXPECT_TRUE(sys.unrecoverableMedia()) << rec.detail;
+    EXPECT_TRUE(sys.nvmDevice().isQuarantined(rec.victim));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SecureModes, MediaFaults,
+    ::testing::ValuesIn(dolos::test::secureModes()),
+    [](const auto &info) {
+        return dolos::test::modeLabel(info.param);
+    });
+
+TEST(MediaFaultsControl, DamageReportListsQuarantinedBlocks)
+{
+    System sys(dolos::test::cfgFor(SecurityMode::DolosPartialWpq));
+    FaultInjector inj(sys, 304);
+    populateAndCycle(sys);
+
+    const auto rec = inj.injectMediaStuck();
+    ASSERT_TRUE(rec.injected);
+    Block buf;
+    sys.core().load(rec.victim, buf.data(), blockSize);
+    ASSERT_TRUE(sys.unrecoverableMedia());
+
+    std::ostringstream os;
+    sys.dumpDamageJson(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"unrecoverableMedia\":true"),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"quarantined\":[{"), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"attackDetected\":false"), std::string::npos)
+        << json;
+}
 
 TEST(TornDumpControl, UntornDumpRecoversCleanly)
 {

@@ -27,9 +27,11 @@
 
 #include <cstdio>
 #include <cstring>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "sim/exit_codes.hh"
 #include "verify/diff_oracle.hh"
 #include "verify/fault_injector.hh"
 #include "workloads/runner.hh"
@@ -71,28 +73,11 @@ usage(int code)
         "  --workload NAME  hashmap|ctree|btree|rbtree|nstore-ycsb|"
         "redis\n"
         "  --fault F        none|data-flip|mac-flip|counter-rollback|"
-        "bmt-flip|torn-adr-dump|dropped-clwb\n"
+        "bmt-flip|torn-adr-dump|dropped-clwb|\n"
+        "                   media-transient|media-stuck|"
+        "media-write-fail\n"
         "  --seed N | --crash-op N | --txns N | --help\n");
     std::exit(code);
-}
-
-SecurityMode
-parseMode(const std::string &m)
-{
-    if (m == "ideal")
-        return SecurityMode::NonSecureIdeal;
-    if (m == "baseline")
-        return SecurityMode::PreWpqSecure;
-    if (m == "post-unprotected")
-        return SecurityMode::PostWpqUnprotected;
-    if (m == "dolos-full")
-        return SecurityMode::DolosFullWpq;
-    if (m == "dolos-partial")
-        return SecurityMode::DolosPartialWpq;
-    if (m == "dolos-post")
-        return SecurityMode::DolosPostWpq;
-    std::fprintf(stderr, "unknown mode '%s'\n", m.c_str());
-    usage(1);
 }
 
 const char *
@@ -147,11 +132,14 @@ std::vector<FaultKind>
 applicableFaults(SecurityMode mode)
 {
     if (mode == SecurityMode::NonSecureIdeal)
-        return {FaultKind::None, FaultKind::DroppedClwb};
+        return {FaultKind::None, FaultKind::DroppedClwb,
+                FaultKind::MediaTransient};
     std::vector<FaultKind> kinds = {
         FaultKind::None,           FaultKind::DataFlip,
         FaultKind::MacFlip,        FaultKind::CounterRollback,
         FaultKind::BmtFlip,        FaultKind::DroppedClwb,
+        FaultKind::MediaTransient, FaultKind::MediaStuck,
+        FaultKind::MediaWriteFail,
     };
     if (isDolosMode(mode))
         kinds.push_back(FaultKind::TornAdrDump);
@@ -186,7 +174,43 @@ runEpisode(const EpisodeSpec &spec)
                              spec.fault == FaultKind::MacFlip ||
                              spec.fault == FaultKind::CounterRollback ||
                              spec.fault == FaultKind::BmtFlip;
-    if (image_fault) {
+    const bool media_fault = spec.fault == FaultKind::MediaTransient ||
+                             spec.fault == FaultKind::MediaStuck ||
+                             spec.fault == FaultKind::MediaWriteFail;
+    if (media_fault) {
+        // Power-cycle to cold caches so the provoking access is a
+        // real NVM demand read/write, then wound the device.
+        sys.crash();
+        sys.recoverToCompletion();
+        rec = inj.inject(spec.fault);
+        if (rec.injected) {
+            if (spec.fault == FaultKind::MediaWriteFail) {
+                // Rewrite the victim so the failing write path has
+                // to retry and eventually quarantine.
+                const Block cur =
+                    sys.nvmDevice().readFunctional(rec.victim);
+                sys.core().store(rec.victim, cur.data(), blockSize);
+                sys.core().clwb(rec.victim);
+                sys.core().sfence();
+                sys.core().compute(1'000'000);
+                sys.controller().drainTo(sys.core().now());
+            } else {
+                // A stuck cell is *expected* to read back as
+                // quarantined zeros — that is the graceful-degradation
+                // contract, not a violation, so the provoking load
+                // bypasses the oracle. A transient flip must heal, so
+                // its load stays adjudicated.
+                const bool expect_zeros =
+                    spec.fault == FaultKind::MediaStuck;
+                if (expect_zeros)
+                    sys.core().setObserver(nullptr);
+                Block buf;
+                sys.core().load(rec.victim, buf.data(), blockSize);
+                if (expect_zeros)
+                    sys.core().setObserver(&golden);
+            }
+        }
+    } else if (image_fault) {
         // Second power cycle: quiesce the caches and the ADR dump,
         // then attack the powered-off (rollback) or recovered (flip)
         // image and provoke the relevant check.
@@ -208,7 +232,14 @@ runEpisode(const EpisodeSpec &spec)
         sys.recover();
     }
 
-    const auto report = checkAgainstGolden(sys, golden);
+    // Blocks a media fault rendered unrecoverable are expected to
+    // diverge (they read back as quarantined zeros); the oracle must
+    // still hold on every healthy block.
+    std::set<Addr> skip;
+    for (const Addr block : golden.trackedBlocks())
+        if (sys.nvmDevice().hasUnhealableFault(block))
+            skip.insert(blockAlign(block));
+    const auto report = checkAgainstGolden(sys, golden, skip);
     sys.core().setObserver(nullptr);
 
     out.attackDetected = sys.attackDetected();
@@ -231,6 +262,27 @@ runEpisode(const EpisodeSpec &spec)
         out.passed = !out.attackDetected;
         if (report.violations > 0 || !res.verified)
             out.note = "oracle caught the dropped flush";
+        break;
+      case FaultKind::MediaTransient:
+        // A one-shot device flip must be healed by the bounded retry:
+        // no alarm, no quarantine, no divergence.
+        out.passed = clean && !sys.unrecoverableMedia();
+        if (!out.passed)
+            out.note = "transient media fault not healed: " +
+                       report.summary();
+        break;
+      case FaultKind::MediaStuck:
+      case FaultKind::MediaWriteFail:
+        // An unhealable cell must be disambiguated from tamper: the
+        // block is quarantined (unrecoverable-media, NOT an attack
+        // alarm) and every healthy block still verifies.
+        out.passed = !out.attackDetected && report.clean() &&
+                     (!rec.injected || sys.unrecoverableMedia());
+        if (!out.passed)
+            out.note = out.attackDetected
+                           ? "media fault misreported as attack"
+                           : "quarantine missing or collateral "
+                             "damage: " + report.summary();
         break;
       default:
         // An injected attack must be detected — or fully absorbed
@@ -269,7 +321,7 @@ runCampaign(const std::string &name, std::uint64_t base_seed)
         episodes_per_combo = 8;
     } else {
         std::fprintf(stderr, "unknown campaign '%s'\n", name.c_str());
-        usage(1);
+        usage(ExitUsage);
     }
 
     const SecurityMode modes[] = {
@@ -280,6 +332,13 @@ runCampaign(const std::string &name, std::uint64_t base_seed)
         SecurityMode::DolosPartialWpq,
         SecurityMode::DolosPostWpq,
     };
+
+    // Always announce the base seed: a red campaign must be
+    // re-runnable from the log alone.
+    std::printf("campaign %s: base seed %llu (replay: dolos_fuzz "
+                "--campaign %s --seed %llu)\n",
+                name.c_str(), (unsigned long long)base_seed,
+                name.c_str(), (unsigned long long)base_seed);
 
     unsigned total = 0, failed = 0, detected = 0, oracle_catches = 0;
     for (const auto mode : modes) {
@@ -316,7 +375,7 @@ runCampaign(const std::string &name, std::uint64_t base_seed)
     std::printf("campaign %s: %u episodes, %u failed, %u attack "
                 "detections, %u oracle catches\n",
                 name.c_str(), total, failed, detected, oracle_catches);
-    return failed ? 1 : 0;
+    return failed ? ExitViolation : ExitOk;
 }
 
 } // namespace
@@ -335,14 +394,19 @@ main(int argc, char **argv)
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "missing value for %s\n",
                              a.c_str());
-                usage(1);
+                usage(ExitUsage);
             }
             return argv[++i];
         };
         if (a == "--campaign") {
             campaign = value();
         } else if (a == "--mode") {
-            spec.mode = parseMode(value());
+            const auto m = parseSecurityMode(value());
+            if (!m) {
+                std::fprintf(stderr, "unknown mode '%s'\n", argv[i]);
+                usage(ExitUsage);
+            }
+            spec.mode = *m;
             single = true;
         } else if (a == "--workload") {
             spec.workload = value();
@@ -358,15 +422,15 @@ main(int argc, char **argv)
             const auto kind = parseFaultKind(value());
             if (!kind) {
                 std::fprintf(stderr, "unknown fault '%s'\n", argv[i]);
-                usage(1);
+                usage(ExitUsage);
             }
             spec.fault = *kind;
             single = true;
         } else if (a == "--help" || a == "-h") {
-            usage(0);
+            usage(ExitOk);
         } else {
             std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
-            usage(1);
+            usage(ExitUsage);
         }
     }
 
@@ -374,7 +438,7 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "--campaign and single-episode options are "
                      "mutually exclusive\n");
-        usage(1);
+        usage(ExitUsage);
     }
     if (campaign.empty() && !single)
         campaign = "smoke";

@@ -19,8 +19,11 @@
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <stdexcept>
 
+#include "sim/exit_codes.hh"
 #include "sim/trace.hh"
+#include "verify/fault_injector.hh"
 #include "workloads/runner.hh"
 
 using namespace dolos;
@@ -46,6 +49,8 @@ struct Options
     bool noCoalescing = false;
     std::string traceFile;     ///< --trace: Chrome trace_event JSON
     std::string statsJsonFile; ///< --stats-json: machine-readable stats
+    std::string injectFault;   ///< --inject-fault: post-run fault kind
+    std::string damageJsonFile; ///< --damage-json: media damage report
 };
 
 [[noreturn]] void
@@ -70,27 +75,19 @@ usage(int code)
         "  --trace FILE        write a Chrome trace_event JSON of the\n"
         "                      persist critical path (chrome://tracing)\n"
         "  --stats-json FILE   write run metrics + stat tree as JSON\n"
-        "  --seed N | --stats | --list | --help\n");
+        "  --inject-fault KIND inject one fault after the run: "
+        "data-flip|mac-flip|\n"
+        "                      counter-rollback|bmt-flip|"
+        "media-transient|media-stuck|\n"
+        "                      media-write-fail\n"
+        "  --media-fault K     alias: transient|stuck|write-fail\n"
+        "  --damage-json FILE  write the media damage report "
+        "('-' = stdout)\n"
+        "  --seed N | --stats | --list | --help\n"
+        "exit codes: 0 ok, 1 verification failure, 2 usage, "
+        "3 attack alarm,\n"
+        "            4 unrecoverable media fault\n");
     std::exit(code);
-}
-
-SecurityMode
-parseMode(const std::string &m)
-{
-    if (m == "ideal")
-        return SecurityMode::NonSecureIdeal;
-    if (m == "baseline")
-        return SecurityMode::PreWpqSecure;
-    if (m == "post-unprotected")
-        return SecurityMode::PostWpqUnprotected;
-    if (m == "dolos-full" || m == "full_wpq")
-        return SecurityMode::DolosFullWpq;
-    if (m == "dolos-partial" || m == "partial_wpq")
-        return SecurityMode::DolosPartialWpq;
-    if (m == "dolos-post" || m == "post_wpq")
-        return SecurityMode::DolosPostWpq;
-    std::fprintf(stderr, "unknown mode '%s'\n", m.c_str());
-    usage(1);
 }
 
 /** Strict base-0 integer parse: the whole token must be a number. */
@@ -102,7 +99,7 @@ parseNum(const char *opt, const char *text)
     if (end == text || *end != '\0') {
         std::fprintf(stderr, "bad numeric value '%s' for %s\n", text,
                      opt);
-        usage(1);
+        usage(ExitUsage);
     }
     return v;
 }
@@ -117,7 +114,7 @@ parse(int argc, char **argv)
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "missing value for %s\n",
                              a.c_str());
-                usage(1);
+                usage(ExitUsage);
             }
             return argv[++i];
         };
@@ -152,15 +149,21 @@ parse(int argc, char **argv)
             o.traceFile = value();
         else if (a == "--stats-json")
             o.statsJsonFile = value();
+        else if (a == "--inject-fault")
+            o.injectFault = value();
+        else if (a == "--media-fault")
+            o.injectFault = std::string("media-") + value();
+        else if (a == "--damage-json")
+            o.damageJsonFile = value();
         else if (a == "--list") {
             for (const auto &n : extendedWorkloadNames())
                 std::printf("%s\n", n.c_str());
             std::exit(0);
         } else if (a == "--help" || a == "-h")
-            usage(0);
+            usage(ExitOk);
         else {
             std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
-            usage(1);
+            usage(ExitUsage);
         }
     }
     return o;
@@ -209,8 +212,23 @@ main(int argc, char **argv)
 #endif
     }
 
+    std::optional<verify::FaultKind> injectKind;
+    if (!o.injectFault.empty()) {
+        injectKind = verify::parseFaultKind(o.injectFault);
+        if (!injectKind) {
+            std::fprintf(stderr, "unknown fault kind '%s'\n",
+                         o.injectFault.c_str());
+            usage(ExitUsage);
+        }
+    }
+
     auto cfg = SystemConfig::paperDefault();
-    cfg.mode = parseMode(o.mode);
+    const auto mode = parseSecurityMode(o.mode);
+    if (!mode) {
+        std::fprintf(stderr, "unknown mode '%s'\n", o.mode.c_str());
+        usage(ExitUsage);
+    }
+    cfg.mode = *mode;
     cfg.secure.treePolicy = o.tree == "lazy" ? TreeUpdatePolicy::LazyToc
                                              : TreeUpdatePolicy::EagerMerkle;
     cfg.secure.crashScheme = o.crashScheme == "osiris"
@@ -221,7 +239,14 @@ main(int argc, char **argv)
     cfg.wpq.postEntries =
         o.wpqBudget > 6 ? o.wpqBudget * 8 / 9 - 4 : o.wpqBudget / 2;
     cfg.wpq.coalescing = !o.noCoalescing;
-    System sys(cfg);
+    std::optional<System> sys_storage;
+    try {
+        sys_storage.emplace(cfg);
+    } catch (const std::invalid_argument &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return ExitUsage;
+    }
+    System &sys = *sys_storage;
 
     WorkloadParams params;
     params.txSize = o.txSize;
@@ -231,8 +256,10 @@ main(int argc, char **argv)
     auto wl = makeWorkload(o.workload, params);
 
     std::optional<CrashPlan> crash;
-    if (o.crashAt)
-        crash = CrashPlan{*o.crashAt};
+    if (o.crashAt) {
+        crash.emplace();
+        crash->atOp = *o.crashAt;
+    }
 
     const auto res = runWorkload(sys, *wl, o.txns, crash);
 
@@ -257,6 +284,68 @@ main(int argc, char **argv)
         std::printf("  diagnostic: %s\n", res.verifyDiagnostic.c_str());
     std::printf("attacks detected    : %" PRIu64 "\n",
                 std::uint64_t(sys.engine().attacksDetected()));
+
+    if (injectKind) {
+        // Post-run fault phase, mirroring the fuzz episodes: power-
+        // cycle to a cold machine, inject, then provoke the detector
+        // with a demand access to the victim block.
+        using verify::FaultKind;
+        verify::FaultInjector inj(sys, o.seed);
+        verify::InjectionRecord rec;
+        if (*injectKind == FaultKind::CounterRollback) {
+            sys.crash();
+            rec = inj.inject(*injectKind);
+            sys.recoverToCompletion();
+        } else if (*injectKind == FaultKind::MediaWriteFail) {
+            rec = inj.inject(*injectKind);
+            if (rec.injected) {
+                // Provoke: rewrite the victim so the failing write
+                // path has to retry and eventually quarantine.
+                const Block cur =
+                    sys.nvmDevice().readFunctional(rec.victim);
+                sys.core().store(rec.victim, cur.data(), blockSize);
+                sys.core().clwb(rec.victim);
+                sys.core().sfence();
+                sys.core().compute(1'000'000);
+                sys.controller().drainTo(sys.core().now());
+            }
+        } else {
+            sys.crash();
+            sys.recoverToCompletion();
+            rec = inj.inject(*injectKind);
+            if (rec.injected) {
+                Block buf;
+                sys.core().load(rec.victim, buf.data(), blockSize);
+            }
+        }
+        std::printf("fault injected      : %s%s (%s)\n",
+                    verify::faultKindName(*injectKind),
+                    rec.injected ? "" : " [no target found]",
+                    rec.detail.c_str());
+        std::printf("post-fault alarms   : %" PRIu64 "\n",
+                    std::uint64_t(sys.engine().attacksDetected()));
+        std::printf("media: retries %llu, healed %llu, quarantined "
+                    "%zu blocks\n",
+                    (unsigned long long)sys.engine().mediaRetries(),
+                    (unsigned long long)sys.engine().mediaHealed(),
+                    sys.nvmDevice().quarantineCount());
+    }
+
+    if (!o.damageJsonFile.empty()) {
+        if (o.damageJsonFile == "-") {
+            sys.dumpDamageJson(std::cout);
+        } else {
+            std::ofstream out(o.damageJsonFile);
+            if (!out) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             o.damageJsonFile.c_str());
+                return 1;
+            }
+            sys.dumpDamageJson(out);
+            std::printf("damage json         : %s\n",
+                        o.damageJsonFile.c_str());
+        }
+    }
 
     if (o.stats) {
         std::printf("\n");
@@ -292,5 +381,6 @@ main(int argc, char **argv)
                     tracer.dropped());
     }
 #endif
-    return res.verified ? 0 : 1;
+    return exitCodeFor(res.verified, sys.attackDetected(),
+                       sys.unrecoverableMedia());
 }

@@ -1,0 +1,615 @@
+/**
+ * @file
+ * dolos_torture — randomized compound-failure campaigns with
+ * automatic trace minimization.
+ *
+ * Where dolos_fuzz injects ONE fault per episode, torture episodes
+ * interleave many: stores, flushes, fences, repeated power failures,
+ * power failures *during recovery*, and NVM media faults (transient
+ * flips, stuck cells, failed writes), all driven from a seeded op
+ * program against the GoldenModel committed-prefix oracle. Blocks a
+ * schedule deliberately destroys (stuck cells / failed writes) are
+ * excluded from the oracle sweep; everything else must hold.
+ *
+ * On failure the driver delta-debugs (ddmin) the op program down to a
+ * minimal schedule that still fails and prints a one-line repro:
+ *
+ *   REPRO: dolos_torture --mode M --replay w:3:42,f:3,s,c
+ *
+ * Ops: w:SLOT:VAL store | f:SLOT clwb | s sfence | c crash+recover |
+ *      r:K crash, then power dies K steps into recovery |
+ *      t:SLOT:BIT transient read flip | k:SLOT:BIT stuck-at cell |
+ *      x:SLOT:N next N writes to the block fail
+ *
+ * Modes of use:
+ *   dolos_torture --campaign 20 --seed 7 [--mode dolos-full]
+ *   dolos_torture --replay SPEC [--plant-bug drop-clwb:K]
+ *   dolos_torture --expect-bug 20      (meta-test: plant a CLWB drop,
+ *                                       require a ≤20-op minimized repro)
+ *   dolos_torture --sweep --points every-op [--recovery-crash K]
+ *
+ * Exit codes follow sim/exit_codes.hh: 0 ok, 1 oracle violation,
+ * 2 usage, 3 attack alarm, 4 unrecoverable media.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/exit_codes.hh"
+#include "sim/random.hh"
+#include "verify/diff_oracle.hh"
+#include "verify/fault_injector.hh"
+#include "verify/sweep_driver.hh"
+#include "workloads/runner.hh"
+
+using namespace dolos;
+using namespace dolos::verify;
+
+namespace
+{
+
+constexpr unsigned numSlots = 24;
+constexpr Addr slotBase = 0x20000; // inside the workload heap region
+
+Addr
+slotAddr(unsigned slot)
+{
+    return slotBase + Addr(slot % numSlots) * blockSize;
+}
+
+/** One schedule operation (see file header for the grammar). */
+struct Op
+{
+    char kind = 'w';
+    unsigned a = 0;      ///< slot / recovery step
+    std::uint64_t b = 0; ///< value / bit / count
+};
+
+struct Outcome
+{
+    bool failed = false;
+    bool attack = false;
+    std::uint64_t violations = 0;
+    std::size_t quarantined = 0;
+    unsigned recoveryBoots = 0; ///< extra boots forced by r: ops
+    std::string note;
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::printf(
+        "usage: dolos_torture [--campaign N] [--ops N] [--seed N]"
+        " [--mode MODE]\n"
+        "       dolos_torture --replay SPEC [--plant-bug drop-clwb:K]\n"
+        "       dolos_torture --expect-bug MAXOPS [--seed N]\n"
+        "       dolos_torture --sweep [--workload W] [--budget N]"
+        " [--txns N]\n"
+        "                     [--points every-op|wpq] "
+        "[--recovery-crash K]\n"
+        "  --mode MODE   ideal|baseline|post-unprotected|dolos-full|"
+        "dolos-partial|dolos-post\n"
+        "  SPEC          comma-separated ops: w:SLOT:VAL f:SLOT s c"
+        " r:K t:SLOT:BIT k:SLOT:BIT x:SLOT:N\n");
+    std::exit(code);
+}
+
+SystemConfig
+tortureConfig(SecurityMode mode)
+{
+    auto cfg = SystemConfig::paperDefault();
+    cfg.mode = mode;
+    cfg.secure.functionalLeaves = 2048;
+    cfg.secure.map.protectedBytes = Addr(2048) * pageBytes;
+    cfg.hierarchy.l1 = {"l1", 1024, 2, 2};
+    cfg.hierarchy.l2 = {"l2", 4096, 4, 20};
+    cfg.hierarchy.llc = {"llc", 16384, 8, 32};
+    return cfg;
+}
+
+std::string
+formatOps(const std::vector<Op> &ops)
+{
+    std::string out;
+    char buf[48];
+    for (const Op &op : ops) {
+        if (!out.empty())
+            out += ",";
+        switch (op.kind) {
+          case 'w':
+            std::snprintf(buf, sizeof(buf), "w:%u:%llu", op.a,
+                          (unsigned long long)op.b);
+            break;
+          case 'f':
+            std::snprintf(buf, sizeof(buf), "f:%u", op.a);
+            break;
+          case 's':
+            std::snprintf(buf, sizeof(buf), "s");
+            break;
+          case 'c':
+            std::snprintf(buf, sizeof(buf), "c");
+            break;
+          case 'r':
+            std::snprintf(buf, sizeof(buf), "r:%u", op.a);
+            break;
+          default:
+            std::snprintf(buf, sizeof(buf), "%c:%u:%llu", op.kind,
+                          op.a, (unsigned long long)op.b);
+            break;
+        }
+        out += buf;
+    }
+    return out;
+}
+
+std::optional<std::vector<Op>>
+parseOps(const std::string &spec)
+{
+    std::vector<Op> ops;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t end = spec.find(',', pos);
+        if (end == std::string::npos)
+            end = spec.size();
+        const std::string tok = spec.substr(pos, end - pos);
+        pos = end + 1;
+        if (tok.empty())
+            continue;
+        Op op;
+        op.kind = tok[0];
+        unsigned a = 0;
+        unsigned long long b = 0;
+        const int fields =
+            std::sscanf(tok.c_str() + 1, ":%u:%llu", &a, &b);
+        op.a = a;
+        op.b = b;
+        switch (op.kind) {
+          case 's':
+          case 'c':
+            if (fields > 0)
+                return std::nullopt;
+            break;
+          case 'f':
+          case 'r':
+            if (fields < 1)
+                return std::nullopt;
+            break;
+          case 'w':
+          case 't':
+          case 'k':
+          case 'x':
+            if (fields < 2)
+                return std::nullopt;
+            break;
+          default:
+            return std::nullopt;
+        }
+        ops.push_back(op);
+    }
+    return ops;
+}
+
+/** Seeded op-program generator (weights favor stores + crashes). */
+std::vector<Op>
+genProgram(std::uint64_t seed, unsigned len)
+{
+    Random rng(seed ^ 0x7047'7042ULL);
+    std::vector<Op> ops;
+    ops.reserve(len);
+    for (unsigned i = 0; i < len; ++i) {
+        const std::uint64_t r = rng.below(100);
+        Op op;
+        if (r < 46) {
+            op = {'w', unsigned(rng.below(numSlots)), rng.below(256)};
+        } else if (r < 64) {
+            op = {'f', unsigned(rng.below(numSlots)), 0};
+        } else if (r < 76) {
+            op = {'s', 0, 0};
+        } else if (r < 84) {
+            op = {'c', 0, 0};
+        } else if (r < 90) {
+            op = {'r', unsigned(rng.below(4)), 0};
+        } else if (r < 94) {
+            op = {'t', unsigned(rng.below(numSlots)),
+                  rng.below(blockSize * 8)};
+        } else if (r < 97) {
+            op = {'k', unsigned(rng.below(numSlots)),
+                  rng.below(blockSize * 8)};
+        } else {
+            op = {'x', unsigned(rng.below(numSlots)),
+                  1 + rng.below(5)};
+        }
+        ops.push_back(op);
+    }
+    return ops;
+}
+
+/**
+ * Execute one op program on a fresh machine and adjudicate it against
+ * the golden model. Fully deterministic: the schedule *is* the
+ * episode; no randomness is consumed at execution time.
+ */
+Outcome
+runProgram(SecurityMode mode, const std::vector<Op> &ops,
+           std::optional<std::uint64_t> plant_clwb_drop)
+{
+    Outcome out;
+    System sys(tortureConfig(mode));
+    GoldenModel golden;
+    sys.core().setObserver(&golden);
+    if (plant_clwb_drop)
+        sys.core().armClwbDrop(*plant_clwb_drop);
+
+    for (const Op &op : ops) {
+        switch (op.kind) {
+          case 'w': {
+            Block data;
+            for (unsigned i = 0; i < blockSize; ++i)
+                data[i] = std::uint8_t(op.b ^ (i * 37) ^ op.a);
+            sys.core().store(slotAddr(op.a), data.data(), blockSize);
+            break;
+          }
+          case 'f':
+            sys.core().clwb(slotAddr(op.a));
+            break;
+          case 's':
+            sys.core().sfence();
+            break;
+          case 'c': {
+            sys.crash();
+            unsigned boots = 0;
+            sys.recoverToCompletion(&boots);
+            out.recoveryBoots += boots - 1;
+            break;
+          }
+          case 'r': {
+            // Compound failure: power dies again op.a steps into the
+            // recovery; recoverToCompletion keeps power-cycling.
+            sys.controller().armRecoveryCrash(op.a);
+            sys.crash();
+            unsigned boots = 0;
+            sys.recoverToCompletion(&boots);
+            out.recoveryBoots += boots - 1;
+            break;
+          }
+          case 't':
+            sys.nvmDevice().injectTransientFlip(slotAddr(op.a),
+                                                unsigned(op.b));
+            break;
+          case 'k': {
+            const Addr victim = slotAddr(op.a);
+            const unsigned bit = unsigned(op.b) % (blockSize * 8);
+            const Block stored = sys.nvmDevice().readFunctional(victim);
+            const bool current =
+                stored[bit / 8] & std::uint8_t(1u << (bit % 8));
+            sys.nvmDevice().injectStuckBit(victim, bit, !current);
+            break;
+          }
+          case 'x':
+            sys.nvmDevice().injectWriteFail(slotAddr(op.a),
+                                            unsigned(op.b));
+            break;
+          default:
+            break;
+        }
+    }
+    // Let background drains settle before the sweep.
+    sys.core().compute(1'000'000);
+    sys.controller().drainTo(sys.core().now());
+
+    // Blocks this schedule deliberately destroyed are expected to
+    // diverge; the oracle must hold on every other block.
+    std::set<Addr> skip;
+    for (const Addr block : golden.trackedBlocks())
+        if (sys.nvmDevice().hasUnhealableFault(block))
+            skip.insert(blockAlign(block));
+    const auto report = checkAgainstGolden(sys, golden, skip);
+    sys.core().setObserver(nullptr);
+
+    out.attack = sys.attackDetected();
+    out.violations = report.violations;
+    out.quarantined = sys.nvmDevice().quarantineCount();
+    out.failed = out.attack || report.violations > 0;
+    if (out.failed)
+        out.note = out.attack ? "attack alarm on a fault-free adversary"
+                              : report.summary();
+    return out;
+}
+
+/**
+ * ddmin: shrink @p ops to a (1-minimal-ish) schedule that still
+ * satisfies @p failing. Deterministic; bounded by @p max_runs
+ * predicate evaluations.
+ */
+std::vector<Op>
+minimizeOps(std::vector<Op> ops,
+            const std::function<bool(const std::vector<Op> &)> &failing,
+            unsigned max_runs = 600)
+{
+    unsigned runs = 0;
+    std::size_t n = 2;
+    while (ops.size() >= 2 && runs < max_runs) {
+        const std::size_t chunk = (ops.size() + n - 1) / n;
+        bool reduced = false;
+        for (std::size_t i = 0; i < n && runs < max_runs; ++i) {
+            // Try the complement of chunk i.
+            std::vector<Op> cand;
+            cand.reserve(ops.size());
+            for (std::size_t j = 0; j < ops.size(); ++j)
+                if (j / chunk != i)
+                    cand.push_back(ops[j]);
+            if (cand.size() == ops.size())
+                continue;
+            ++runs;
+            if (failing(cand)) {
+                ops = std::move(cand);
+                n = std::max<std::size_t>(2, n - 1);
+                reduced = true;
+                break;
+            }
+        }
+        if (!reduced) {
+            if (n >= ops.size())
+                break;
+            n = std::min(ops.size(), n * 2);
+        }
+    }
+    return ops;
+}
+
+const char *
+modeCliName(SecurityMode mode)
+{
+    switch (mode) {
+      case SecurityMode::NonSecureIdeal:
+        return "ideal";
+      case SecurityMode::PreWpqSecure:
+        return "baseline";
+      case SecurityMode::PostWpqUnprotected:
+        return "post-unprotected";
+      case SecurityMode::DolosFullWpq:
+        return "dolos-full";
+      case SecurityMode::DolosPartialWpq:
+        return "dolos-partial";
+      case SecurityMode::DolosPostWpq:
+        return "dolos-post";
+    }
+    return "?";
+}
+
+void
+printRepro(SecurityMode mode, const std::vector<Op> &ops,
+           std::optional<std::uint64_t> planted)
+{
+    std::printf("REPRO: dolos_torture --mode %s%s%s --replay %s\n",
+                modeCliName(mode),
+                planted ? " --plant-bug drop-clwb:" : "",
+                planted ? std::to_string(*planted).c_str() : "",
+                formatOps(ops).c_str());
+}
+
+/** Minimize a failing schedule and print the one-line repro. */
+std::vector<Op>
+minimizeAndReport(SecurityMode mode, const std::vector<Op> &ops,
+                  std::optional<std::uint64_t> planted)
+{
+    const auto minimized = minimizeOps(ops, [&](const auto &cand) {
+        return runProgram(mode, cand, planted).failed;
+    });
+    std::printf("minimized %zu ops -> %zu ops\n", ops.size(),
+                minimized.size());
+    printRepro(mode, minimized, planted);
+    return minimized;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t seed = 1;
+    unsigned campaign = 0;
+    unsigned opsPerEpisode = 80;
+    SecurityMode mode = SecurityMode::DolosPartialWpq;
+    std::string replaySpec;
+    std::optional<std::uint64_t> plantClwbDrop;
+    std::optional<unsigned> expectBug;
+    bool sweep = false;
+    std::string sweepWorkload = "hashmap";
+    std::string sweepPoints = "every-op";
+    std::size_t sweepBudget = 4;
+    std::uint64_t sweepTxns = 3;
+    std::optional<unsigned> recoveryCrash;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             a.c_str());
+                usage(ExitUsage);
+            }
+            return argv[++i];
+        };
+        if (a == "--seed") {
+            seed = std::strtoull(value(), nullptr, 0);
+        } else if (a == "--campaign") {
+            campaign = unsigned(std::strtoull(value(), nullptr, 0));
+        } else if (a == "--ops") {
+            opsPerEpisode =
+                unsigned(std::strtoull(value(), nullptr, 0));
+        } else if (a == "--mode") {
+            const auto m = parseSecurityMode(value());
+            if (!m) {
+                std::fprintf(stderr, "unknown mode '%s'\n", argv[i]);
+                usage(ExitUsage);
+            }
+            mode = *m;
+        } else if (a == "--replay") {
+            replaySpec = value();
+        } else if (a == "--plant-bug") {
+            const std::string spec = value();
+            unsigned long long k = 0;
+            if (std::sscanf(spec.c_str(), "drop-clwb:%llu", &k) != 1) {
+                std::fprintf(stderr, "unknown bug spec '%s'\n",
+                             spec.c_str());
+                usage(ExitUsage);
+            }
+            plantClwbDrop = k;
+        } else if (a == "--expect-bug") {
+            expectBug = unsigned(std::strtoull(value(), nullptr, 0));
+        } else if (a == "--sweep") {
+            sweep = true;
+        } else if (a == "--workload") {
+            sweepWorkload = value();
+        } else if (a == "--points") {
+            sweepPoints = value();
+        } else if (a == "--budget") {
+            sweepBudget = std::strtoull(value(), nullptr, 0);
+        } else if (a == "--txns") {
+            sweepTxns = std::strtoull(value(), nullptr, 0);
+        } else if (a == "--recovery-crash") {
+            recoveryCrash =
+                unsigned(std::strtoull(value(), nullptr, 0));
+        } else if (a == "--help" || a == "-h") {
+            usage(ExitOk);
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+            usage(ExitUsage);
+        }
+    }
+
+    if (sweep) {
+        // Arbitrary-cycle crash sweep (optionally with a compound
+        // mid-recovery crash at every point) — the sanitizer lane's
+        // entry into the sweep machinery without needing gtest.
+        SweepOptions opt;
+        opt.mode = mode;
+        opt.workload = sweepWorkload;
+        opt.numTx = sweepTxns;
+        opt.base = tortureConfig(mode);
+        opt.params.txSize = 256;
+        opt.params.numKeys = 48;
+        opt.params.seed = seed;
+        opt.params.thinkTime = 400;
+        opt.params.readsPerTx = 1;
+        opt.budget = sweepBudget;
+        opt.sampleSeed = seed;
+        opt.pointSet = sweepPoints == "wpq" ? CrashPoints::WpqBoundaries
+                                            : CrashPoints::EveryOp;
+        opt.recoveryCrashStep = recoveryCrash;
+        const auto result = sweepCrashPoints(opt);
+        std::printf("sweep [%s]: %zu candidate points, %zu run, "
+                    "%zu failures\n",
+                    describeSweep(opt).c_str(),
+                    result.boundaries.size(), result.points.size(),
+                    result.failures());
+        if (!result.allPassed()) {
+            std::printf("FAIL: %s\n", result.firstFailure().c_str());
+            std::printf("REPRO: dolos_torture --sweep --mode %s "
+                        "--workload %s --txns %llu --budget %zu "
+                        "--seed %llu --points %s%s%u\n",
+                        modeCliName(mode), sweepWorkload.c_str(),
+                        (unsigned long long)sweepTxns, sweepBudget,
+                        (unsigned long long)seed, sweepPoints.c_str(),
+                        recoveryCrash ? " --recovery-crash " : "",
+                        recoveryCrash ? *recoveryCrash : 0);
+            return ExitViolation;
+        }
+        return ExitOk;
+    }
+
+    if (!replaySpec.empty()) {
+        const auto ops = parseOps(replaySpec);
+        if (!ops) {
+            std::fprintf(stderr, "bad replay spec '%s'\n",
+                         replaySpec.c_str());
+            usage(ExitUsage);
+        }
+        const auto out = runProgram(mode, *ops, plantClwbDrop);
+        std::printf("replay %zu ops on %s: %s (attack=%d "
+                    "violations=%llu quarantined=%zu extra-boots=%u)"
+                    "%s%s\n",
+                    ops->size(), securityModeName(mode),
+                    out.failed ? "FAIL" : "PASS", int(out.attack),
+                    (unsigned long long)out.violations,
+                    out.quarantined, out.recoveryBoots,
+                    out.note.empty() ? "" : " — ", out.note.c_str());
+        if (out.failed)
+            minimizeAndReport(mode, *ops, plantClwbDrop);
+        return exitCodeFor(!out.failed, out.attack,
+                           out.quarantined != 0 && !out.failed);
+    }
+
+    if (expectBug) {
+        // Meta-test: plant a known bug (the CLWB drop the oracle
+        // exists to catch), require the campaign to find it, minimize
+        // the schedule to --expect-bug ops or fewer, and prove the
+        // minimized repro replays deterministically.
+        const std::uint64_t planted_k = 0; // drop the first CLWB
+        for (unsigned ep = 0; ep < 50; ++ep) {
+            const auto ops =
+                genProgram(seed + ep, opsPerEpisode);
+            const auto out = runProgram(mode, ops, planted_k);
+            if (!out.failed)
+                continue;
+            std::printf("planted bug tripped at episode %u "
+                        "(seed %llu): %s\n",
+                        ep, (unsigned long long)(seed + ep),
+                        out.note.c_str());
+            const auto minimized =
+                minimizeAndReport(mode, ops, planted_k);
+            if (minimized.size() > *expectBug) {
+                std::printf("FAIL: minimized to %zu ops, wanted "
+                            "<= %u\n",
+                            minimized.size(), *expectBug);
+                return ExitViolation;
+            }
+            const auto r1 = runProgram(mode, minimized, planted_k);
+            const auto r2 = runProgram(mode, minimized, planted_k);
+            if (!r1.failed || !r2.failed ||
+                r1.violations != r2.violations) {
+                std::printf("FAIL: minimized repro is not "
+                            "deterministic\n");
+                return ExitViolation;
+            }
+            std::printf("minimized repro replays deterministically "
+                        "(%llu violations)\n",
+                        (unsigned long long)r1.violations);
+            return ExitOk;
+        }
+        std::printf("FAIL: planted bug never tripped in 50 episodes\n");
+        return ExitViolation;
+    }
+
+    if (campaign == 0)
+        campaign = 20;
+    unsigned failed = 0;
+    bool any_attack = false;
+    std::printf("torture campaign: %u episodes x %u ops, mode %s, "
+                "base seed %llu\n",
+                campaign, opsPerEpisode, securityModeName(mode),
+                (unsigned long long)seed);
+    for (unsigned ep = 0; ep < campaign; ++ep) {
+        const std::uint64_t ep_seed = seed + ep;
+        const auto ops = genProgram(ep_seed, opsPerEpisode);
+        const auto out = runProgram(mode, ops, std::nullopt);
+        if (!out.failed)
+            continue;
+        ++failed;
+        any_attack |= out.attack;
+        std::printf("FAIL episode %u (seed %llu): %s\n", ep,
+                    (unsigned long long)ep_seed, out.note.c_str());
+        minimizeAndReport(mode, ops, std::nullopt);
+    }
+    std::printf("campaign done: %u/%u episodes failed\n", failed,
+                campaign);
+    if (failed)
+        return any_attack ? ExitAttack : ExitViolation;
+    return ExitOk;
+}
