@@ -1,19 +1,22 @@
 # Recorded-baseline performance gate (ctest tier2).
 #
-# Re-runs the intro_overhead experiment driver with the exact
-# parameters its committed baseline artifact was recorded with
-# (tests/baselines/BENCH_intro_overhead.json), then diffs the fresh
-# artifact against the baseline with dolos_report. The simulator is
+# Re-runs an experiment driver with the exact parameters its committed
+# baseline artifact was recorded with, then diffs the fresh artifact
+# against the baseline with dolos_report. The simulator is
 # deterministic, so any drift is a real modeling change: regressions
 # beyond the threshold fail the gate, and an intentional change is
-# blessed by re-recording the baseline:
+# blessed by re-recording the baseline with the same driver flags,
+# e.g.:
 #
 #   bench/intro_overhead --txns 120 --keys 64 --seed 7 \
 #       --json tests/baselines/BENCH_intro_overhead.json
+#   bench/fig12_speedup_eager --txns 40 --keys 64 --seed 7 \
+#       --json tests/baselines/BENCH_fig12_speedup_eager.json
 #
 # Invoked as:
-#   cmake -DBENCH=<intro_overhead> -DREPORT=<dolos_report>
-#         -DBASELINE=<BENCH_intro_overhead.json> -DWORKDIR=<dir>
+#   cmake -DBENCH=<driver> -DREPORT=<dolos_report>
+#         -DBASELINE=<BENCH_*.json> -DWORKDIR=<dir>
+#         [-DTXNS=N] [-DKEYS=N] [-DSEED=N]
 #         -P bench_baseline.cmake
 
 foreach(var BENCH REPORT BASELINE WORKDIR)
@@ -22,16 +25,29 @@ foreach(var BENCH REPORT BASELINE WORKDIR)
     endif()
 endforeach()
 
+# Driver parameters default to the original intro_overhead recording;
+# each gate overrides what its baseline was recorded with.
+if(NOT DEFINED TXNS)
+    set(TXNS 120)
+endif()
+if(NOT DEFINED KEYS)
+    set(KEYS 64)
+endif()
+if(NOT DEFINED SEED)
+    set(SEED 7)
+endif()
+
 if(NOT EXISTS "${BASELINE}")
     message(FATAL_ERROR "bench_baseline: baseline ${BASELINE} missing")
 endif()
 
 file(MAKE_DIRECTORY "${WORKDIR}")
-set(candidate "${WORKDIR}/BENCH_intro_overhead.json")
+get_filename_component(artifact "${BASELINE}" NAME)
+set(candidate "${WORKDIR}/${artifact}")
 
 # Must match the parameters recorded in the baseline artifact.
 execute_process(
-    COMMAND "${BENCH}" --txns 120 --keys 64 --seed 7
+    COMMAND "${BENCH}" --txns ${TXNS} --keys ${KEYS} --seed ${SEED}
             --json "${candidate}"
     RESULT_VARIABLE bench_rc
     OUTPUT_VARIABLE bench_out

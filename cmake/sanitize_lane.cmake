@@ -65,6 +65,12 @@ expect_rc(0 "${torture}" --sweep --recovery-crash 2 --budget 2
 # Randomized compound-failure campaign (crashes + media faults).
 expect_rc(0 "${torture}" --campaign 4 --seed 11 --ops 60)
 
+# Metadata-fault crash sweep: stuck-at faults on counter / tree / MAC
+# frames after every sampled power-off, exercising the repair and
+# cascade paths under the sanitizers.
+expect_rc(0 "${torture}" --sweep --points every-op --meta-faults
+            --budget 2 --txns 2)
+
 # Media quarantine path through the full CLI, including the damage
 # report writer.
 expect_rc(4 "${sim}" --workload hashmap --mode dolos-partial

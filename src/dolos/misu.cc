@@ -31,6 +31,12 @@ MiSu::MiSu(SecurityMode mode, unsigned capacity, Cycles mac_latency,
     DOLOS_ASSERT(isDolosMode(mode), "MiSu requires a Dolos mode");
     regeneratePads();
 
+    // The Full-WPQ root must cover the *initial* (empty) register
+    // file too: a crash before the first insertion dumps zero entries
+    // and recovery still authenticates the dump against this root.
+    rootRegister = macEngine.compute(
+        entryMacs.data(), entryMacs.size() * sizeof(crypto::MacTag));
+
     stats_.addScalar(&statProtects, "entriesProtected",
                      "WPQ entries pad-encrypted and MACed");
     stats_.addScalar(&statMacOps, "macOps", "MAC computations run");

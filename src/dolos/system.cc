@@ -118,16 +118,30 @@ System::dumpDamageJson(std::ostream &os) const
        << ",\"errorWrites\":" << nvm->mediaErrorWrites()
        << ",\"retries\":" << eng->mediaRetries()
        << ",\"healed\":" << eng->mediaHealed()
-       << ",\"quarantineReads\":" << eng->quarantineReads() << "}"
+       << ",\"quarantineReads\":" << eng->quarantineReads()
+       << ",\"spareRemaps\":" << nvm->remapLog().size()
+       << ",\"sparesLeft\":" << nvm->sparesLeft() << "}"
+       << ",\"repairs\":{"
+       << "\"metaMediaFaults\":" << eng->metaMediaFaults()
+       << ",\"counterBlocksRebuilt\":" << eng->counterBlocksRebuilt()
+       << ",\"treeNodesRepaired\":" << eng->treeNodesRepaired()
+       << ",\"macBlocksRebuilt\":" << eng->macBlocksRebuilt()
+       << ",\"cascadedBlocks\":" << eng->cascadedBlocks()
+       << ",\"shadowSlotsSkipped\":" << eng->shadowSlotsSkipped()
+       << ",\"rootReanchored\":" << eng->rootReanchors()
+       << ",\"scrubPasses\":" << eng->scrubPasses()
+       << ",\"scrubRepairs\":" << eng->scrubRepairs() << "}"
        << ",\"quarantined\":[";
     bool first = true;
     for (const auto &[addr, rec] : nvm->quarantineLog()) {
         if (!first)
             os << ",";
         first = false;
-        os << "{\"addr\":" << addr << ",\"reason\":\""
-           << json::escape(rec.reason)
-           << "\",\"retries\":" << rec.retries << "}";
+        os << "{\"addr\":" << addr << ",\"region\":\""
+           << nvmRegionName(cfg.secure.map.regionOf(addr))
+           << "\",\"reason\":\"" << json::escape(rec.reason)
+           << "\",\"retries\":" << rec.retries << ",\"cause\":\""
+           << json::escape(rec.cause) << "\"}";
     }
     os << "]}\n";
 }

@@ -22,6 +22,8 @@ NvmDevice::NvmDevice(const NvmParams &p)
                      "timed writes that failed to commit");
     stats_.addScalar(&statQuarantines, "quarantines",
                      "blocks retired as unrecoverable");
+    stats_.addScalar(&statRemaps, "spareRemaps",
+                     "worn frames remapped onto spare rows");
     stats_.addScalar(&statBankConflicts, "bankConflicts",
                      "accesses that found their bank busy");
     stats_.addAverage(&statReadQueueing, "readQueueing",
@@ -96,6 +98,14 @@ NvmDevice::readFunctional(Addr addr) const
     return data_.read(blockAlign(addr));
 }
 
+Block
+NvmDevice::readFunctionalChecked(Addr addr)
+{
+    Block block = data_.read(blockAlign(addr));
+    applyReadFaults(blockAlign(addr), block);
+    return block;
+}
+
 Tick
 NvmDevice::bankFreeAt(Addr addr) const
 {
@@ -156,14 +166,32 @@ NvmDevice::injectWriteFail(Addr addr, unsigned count)
 }
 
 void
-NvmDevice::quarantine(Addr addr, std::string reason, unsigned retries)
+NvmDevice::quarantine(Addr addr, std::string reason, unsigned retries,
+                      std::string cause)
 {
     const Addr aligned = blockAlign(addr);
     if (quarantined_.count(aligned))
         return;
-    quarantined_.emplace(
-        aligned, QuarantineRecord{aligned, std::move(reason), retries});
+    quarantined_.emplace(aligned,
+                         QuarantineRecord{aligned, std::move(reason),
+                                          retries, std::move(cause)});
     ++statQuarantines;
+}
+
+bool
+NvmDevice::remapToSpare(Addr addr, std::string reason)
+{
+    if (remapped_.size() >= params.spareBlocks)
+        return false;
+    const Addr aligned = blockAlign(addr);
+    // The frame's pathologies stay with the old row; the spare row
+    // the address now resolves to is healthy.
+    stuckBits_.erase(aligned);
+    writeFailures_.erase(aligned);
+    transientFlips_.erase(aligned);
+    remapped_.push_back(RemapRecord{aligned, std::move(reason)});
+    ++statRemaps;
+    return true;
 }
 
 bool

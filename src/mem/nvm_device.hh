@@ -43,6 +43,15 @@ struct NvmParams
      * per-bank FIFO.
      */
     bool readPriority = true;
+
+    /**
+     * Spare rows the device can remap a worn block frame onto. A
+     * successful remap clears the frame's media faults (the
+     * controller then rewrites the repaired contents); once spares
+     * run out, an unhealable metadata fault must cascade into
+     * quarantine instead.
+     */
+    unsigned spareBlocks = 32;
 };
 
 /** One quarantined (unrecoverable) block and why it was retired. */
@@ -51,6 +60,19 @@ struct QuarantineRecord
     Addr addr = 0;
     std::string reason;
     unsigned retries = 0; ///< correction attempts before giving up
+
+    /**
+     * Cascade provenance: which metadata block's loss retired this
+     * block (e.g. "mac_block_0x..."), empty for a direct media fault.
+     */
+    std::string cause;
+};
+
+/** One block frame remapped onto a spare row. */
+struct RemapRecord
+{
+    Addr addr = 0;
+    std::string reason;
 };
 
 /**
@@ -94,6 +116,14 @@ class NvmDevice
     /** Functional-only read. */
     Block readFunctional(Addr addr) const;
 
+    /**
+     * Functional read that still passes through the media-fault model
+     * and sets lastReadMediaError(). Recovery and scrub paths use it:
+     * they are not timed, but must see (and get to disambiguate) the
+     * same cell wear a demand read would.
+     */
+    Block readFunctionalChecked(Addr addr);
+
     /** Earliest tick at which the bank holding @p addr is free. */
     Tick bankFreeAt(Addr addr) const;
 
@@ -127,7 +157,26 @@ class NvmDevice
     bool lastWriteMediaError() const { return lastWriteMediaError_; }
 
     /** Retire @p addr: timed reads of it are known-bad from now on. */
-    void quarantine(Addr addr, std::string reason, unsigned retries);
+    void quarantine(Addr addr, std::string reason, unsigned retries,
+                    std::string cause = {});
+
+    /**
+     * Remap the block frame at @p addr onto a spare row: its stuck
+     * cells, pending write failures and armed transient flips are
+     * gone (the new row is healthy). The caller must rewrite the
+     * block's correct contents. Fails (returns false) once spares
+     * are exhausted.
+     */
+    bool remapToSpare(Addr addr, std::string reason);
+
+    unsigned
+    sparesLeft() const
+    {
+        return params.spareBlocks > remapped_.size()
+                   ? unsigned(params.spareBlocks - remapped_.size())
+                   : 0;
+    }
+    const std::vector<RemapRecord> &remapLog() const { return remapped_; }
 
     bool isQuarantined(Addr addr) const;
     std::size_t quarantineCount() const { return quarantined_.size(); }
@@ -168,6 +217,7 @@ class NvmDevice
     std::map<Addr, std::vector<std::pair<unsigned, bool>>> stuckBits_;
     std::map<Addr, unsigned> writeFailures_;
     std::map<Addr, QuarantineRecord> quarantined_;
+    std::vector<RemapRecord> remapped_;
     bool lastReadMediaError_ = false;
     bool lastWriteMediaError_ = false;
 
@@ -177,6 +227,7 @@ class NvmDevice
     stats::Scalar statMediaErrorReads;
     stats::Scalar statMediaErrorWrites;
     stats::Scalar statQuarantines;
+    stats::Scalar statRemaps;
     stats::Scalar statBankConflicts;
     stats::Average statReadQueueing;
     stats::Average statWriteQueueing;

@@ -17,6 +17,7 @@
 #define DOLOS_SECURE_ADDRESS_MAP_HH
 
 #include <utility>
+#include <vector>
 
 #include "sim/logging.hh"
 #include "sim/types.hh"
@@ -29,6 +30,53 @@ constexpr Addr pageBytes = 4096;
 
 /** Data blocks whose MACs pack into one 64B MAC block. */
 constexpr unsigned macsPerBlock = 8;
+
+/**
+ * Classification of an NVM physical address by the region it falls
+ * in. Media faults on the security-metadata regions take repair paths
+ * that differ per region (counters are reconstructible from data
+ * MACs, tree nodes from their children, MAC blocks from ciphertext +
+ * counter), so every faulted address is classified first.
+ */
+enum class NvmRegion
+{
+    Data,            ///< protected data [0, protectedBytes)
+    Counter,         ///< split-counter blocks
+    Mac,             ///< packed per-block data MACs
+    Tree,            ///< integrity-tree nodes
+    Shadow,          ///< Anubis shadow-table slots
+    WpqDump,         ///< ADR crash-dump area
+    Ecc,             ///< Osiris per-block ECC codes
+    RecoveryJournal, ///< restartable-recovery journal block
+    Unknown,         ///< the hole between data and the metadata bases
+};
+
+/** Stable display name of a region (damage reports, diagnostics). */
+inline const char *
+nvmRegionName(NvmRegion r)
+{
+    switch (r) {
+      case NvmRegion::Data:
+        return "data";
+      case NvmRegion::Counter:
+        return "counter";
+      case NvmRegion::Mac:
+        return "mac";
+      case NvmRegion::Tree:
+        return "tree";
+      case NvmRegion::Shadow:
+        return "shadow";
+      case NvmRegion::WpqDump:
+        return "wpq-dump";
+      case NvmRegion::Ecc:
+        return "ecc";
+      case NvmRegion::RecoveryJournal:
+        return "recovery-journal";
+      case NvmRegion::Unknown:
+        break;
+    }
+    return "unknown";
+}
 
 /** Address-space map for one protected memory instance. */
 struct AddressMap
@@ -55,6 +103,29 @@ struct AddressMap
     isProtectedData(Addr a) const
     {
         return a < protectedBytes;
+    }
+
+    /** Region classification of any NVM physical address. */
+    NvmRegion
+    regionOf(Addr a) const
+    {
+        if (a < protectedBytes)
+            return NvmRegion::Data;
+        if (a >= counterBase && a < macBase)
+            return NvmRegion::Counter;
+        if (a >= macBase && a < treeBase)
+            return NvmRegion::Mac;
+        if (a >= treeBase && a < shadowBase)
+            return NvmRegion::Tree;
+        if (a >= shadowBase && a < wpqDumpBase)
+            return NvmRegion::Shadow;
+        if (a >= wpqDumpBase && a < eccBase)
+            return NvmRegion::WpqDump;
+        if (a >= eccBase && a < recoveryBase)
+            return NvmRegion::Ecc;
+        if (a >= recoveryBase)
+            return NvmRegion::RecoveryJournal;
+        return NvmRegion::Unknown;
     }
 
     /** Page index of a data address. */
@@ -134,6 +205,59 @@ struct AddressMap
     recoveryJournalAddr()
     {
         return recoveryBase;
+    }
+
+    /** Page index covered by a counter-region block address. */
+    static Addr
+    pageOfCounterBlock(Addr counter_block_addr)
+    {
+        return (counter_block_addr - counterBase) / blockSize;
+    }
+
+    /** First data address whose MAC lives in MAC-region block @p mb. */
+    static Addr
+    firstDataOfMacBlock(Addr mb)
+    {
+        return ((mb - macBase) / blockSize) * blockSize * macsPerBlock;
+    }
+
+    /**
+     * The exact data blocks covered by counter-region block
+     * @p counter_block_addr, clamped to the protected region. Losing
+     * that counter block unrecoverably loses exactly these blocks.
+     */
+    std::vector<Addr>
+    dataCoveredByCounterBlock(Addr counter_block_addr) const
+    {
+        std::vector<Addr> covered;
+        const Addr base = pageOfCounterBlock(counter_block_addr) *
+                          pageBytes;
+        for (unsigned i = 0; i < pageBytes / blockSize; ++i) {
+            const Addr a = base + Addr(i) * blockSize;
+            if (a >= protectedBytes)
+                break;
+            covered.push_back(a);
+        }
+        return covered;
+    }
+
+    /**
+     * The exact data blocks covered by MAC-region block @p mb,
+     * clamped to the protected region (the last MAC block of an
+     * unaligned protected region covers fewer than macsPerBlock).
+     */
+    std::vector<Addr>
+    dataCoveredByMacBlock(Addr mb) const
+    {
+        std::vector<Addr> covered;
+        const Addr base = firstDataOfMacBlock(mb);
+        for (unsigned i = 0; i < macsPerBlock; ++i) {
+            const Addr a = base + Addr(i) * blockSize;
+            if (a >= protectedBytes)
+                break;
+            covered.push_back(a);
+        }
+        return covered;
     }
 
     /** 16-bit ECC codes pack 32 per block (Osiris). */

@@ -54,26 +54,43 @@ AnubisShadow::recordUpdate(std::size_t slot, Addr page_idx,
 }
 
 ShadowScan
-AnubisShadow::scan() const
+AnubisShadow::scan(unsigned media_retry_limit)
 {
     ShadowScan result;
     for (std::size_t slot = 0; slot < slots; ++slot) {
         const Addr addr = AddressMap::shadowSlotAddr(Addr(slot) * 2);
-        const Block meta = nvm.readFunctional(addr + blockSize);
-        if (loadWord(meta, 0) != slotValidMarker)
-            continue; // never written
-        const Block packed = nvm.readFunctional(addr);
-        ShadowEntry e;
-        e.pageIdx = loadWord(meta, 8);
-        e.seq = loadWord(meta, 16);
-        crypto::MacTag stored;
-        std::memcpy(stored.data(), meta.data() + 24, stored.size());
-        if (entryMac(e.pageIdx, packed, e.seq) != stored) {
+        for (unsigned attempt = 0;; ++attempt) {
+            const Block meta = nvm.readFunctionalChecked(addr + blockSize);
+            bool media = nvm.lastReadMediaError();
+            if (loadWord(meta, 0) != slotValidMarker) {
+                if (!media)
+                    break; // never written
+                if (attempt < media_retry_limit)
+                    continue; // a transient flip may have hit the marker
+                ++result.mediaSkippedSlots;
+                break;
+            }
+            const Block packed = nvm.readFunctionalChecked(addr);
+            media |= nvm.lastReadMediaError();
+            ShadowEntry e;
+            e.pageIdx = loadWord(meta, 8);
+            e.seq = loadWord(meta, 16);
+            crypto::MacTag stored;
+            std::memcpy(stored.data(), meta.data() + 24, stored.size());
+            if (entryMac(e.pageIdx, packed, e.seq) == stored) {
+                e.page = CounterPage::unpack(packed);
+                result.entries.push_back(e);
+                break;
+            }
+            if (media && attempt < media_retry_limit)
+                continue; // retry: transient disturb errors heal
+            if (media) {
+                ++result.mediaSkippedSlots;
+                break; // worn slot: skip, never alarm
+            }
             result.tamperDetected = true;
-            continue;
+            break;
         }
-        e.page = CounterPage::unpack(packed);
-        result.entries.push_back(e);
     }
     return result;
 }

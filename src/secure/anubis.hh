@@ -41,7 +41,15 @@ struct ShadowEntry
 struct ShadowScan
 {
     std::vector<ShadowEntry> entries;
-    bool tamperDetected = false; ///< a slot failed MAC verification
+    bool tamperDetected = false; ///< a clean-read slot failed its MAC
+
+    /**
+     * Slots the device flagged as media-faulted through every retry.
+     * Wear is not tamper: the slot is skipped (its counter image may
+     * be stale, which the engine's root check + MAC-pinned repair
+     * sweep then handles), not alarmed on.
+     */
+    std::size_t mediaSkippedSlots = 0;
 };
 
 /**
@@ -68,8 +76,12 @@ class AnubisShadow
                       const CounterPage &page, std::uint64_t seq,
                       Tick now);
 
-    /** Scan all slots at recovery, verifying entry MACs. */
-    ShadowScan scan() const;
+    /**
+     * Scan all slots at recovery, verifying entry MACs. Reads pass
+     * through the device's media-fault model; a media-flagged slot
+     * is retried up to @p media_retry_limit times, then skipped.
+     */
+    ShadowScan scan(unsigned media_retry_limit = 3);
 
     std::size_t numSlots() const { return slots; }
     std::uint64_t writes() const { return statWrites.value(); }

@@ -60,6 +60,21 @@ class MerkleTree
     /** Current tag of (@p level, @p idx); default if untouched. */
     crypto::MacTag nodeTag(unsigned level, Addr idx) const;
 
+    /**
+     * Repair an interior node by re-hashing its children (root-ward
+     * re-hash, Triad-NVM style). Used when the NVM copy of the node
+     * is lost to a media fault: the children's current tags pin the
+     * node's only possible value. Returns the recomputed tag.
+     */
+    crypto::MacTag
+    repairNode(unsigned level, Addr idx)
+    {
+        DOLOS_ASSERT(level > 0 && level < numLevels(),
+                     "cannot repair level %u from children", level);
+        recomputeNode(level, idx);
+        return nodeTag(level, idx);
+    }
+
     /** The memoized default tag of an untouched node at @p level. */
     crypto::MacTag defaultTag(unsigned level) const
     {

@@ -6,6 +6,8 @@
 #include "secure/security_engine.hh"
 
 #include <algorithm>
+#include <cstdio>
+#include <unordered_set>
 
 #include "secure/osiris.hh"
 #include "sim/logging.hh"
@@ -41,6 +43,26 @@ SecurityEngine::SecurityEngine(const SecureParams &p, NvmDevice &nvm)
                      "media errors corrected by retrying");
     stats_.addScalar(&statQuarantineReads, "quarantineReads",
                      "reads served zeros from quarantined blocks");
+    stats_.addScalar(&statMetaMediaFaults, "metaMediaFaults",
+                     "persistent media faults on metadata frames");
+    stats_.addScalar(&statCounterBlocksRebuilt, "counterBlocksRebuilt",
+                     "counter blocks repaired (truth rewrite or "
+                     "trial-MAC reconstruction)");
+    stats_.addScalar(&statTreeNodesRepaired, "treeNodesRepaired",
+                     "tree nodes re-hashed from children and rewritten");
+    stats_.addScalar(&statMacBlocksRebuilt, "macBlocksRebuilt",
+                     "MAC blocks recomputed from ciphertext + counter");
+    stats_.addScalar(&statCascadedBlocks, "cascadedBlocks",
+                     "data blocks quarantined by metadata-loss cascade");
+    stats_.addScalar(&statShadowSlotsSkipped, "shadowSlotsSkipped",
+                     "worn shadow slots skipped during recovery scans");
+    stats_.addScalar(&statRootReanchored, "rootReanchored",
+                     "recoveries that re-anchored the root after "
+                     "MAC-pinned repair");
+    stats_.addScalar(&statScrubPasses, "scrubPasses",
+                     "background metadata scrub passes");
+    stats_.addScalar(&statScrubRepairs, "scrubRepairs",
+                     "metadata faults repaired by the scrubber");
     stats_.addScalar(&statCtrFetchCycles, "ctrFetchCycles",
                      "write-path cycles fetching/verifying counters");
     stats_.addScalar(&statAesCycles, "aesCycles",
@@ -115,6 +137,209 @@ SecurityEngine::loadDataMac(Addr addr) const
     return tag;
 }
 
+namespace
+{
+/** Cascade-provenance tag for a lost metadata block. */
+std::string
+causeTag(const char *kind, Addr addr)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%s_0x%llx", kind,
+                  (unsigned long long)addr);
+    return buf;
+}
+} // namespace
+
+void
+SecurityEngine::cascadeQuarantineCounterBlock(Addr cb_addr,
+                                              unsigned retries)
+{
+    const std::string cause = causeTag("counter_block", cb_addr);
+    nvm_.quarantine(cb_addr,
+                    "counter block media fault (reconstruction failed)",
+                    retries);
+    std::size_t lost = 0;
+    for (const Addr a : params.map.dataCoveredByCounterBlock(cb_addr)) {
+        if (!nvm_.store().contains(a) || nvm_.isQuarantined(a))
+            continue;
+        nvm_.quarantine(a, "covering counter block unrecoverable",
+                        retries, cause);
+        ++statCascadedBlocks;
+        ++lost;
+    }
+    warn("counter block 0x%llx unrecoverable: %zu data blocks "
+         "quarantined",
+         (unsigned long long)cb_addr, lost);
+}
+
+void
+SecurityEngine::cascadeQuarantineMacBlock(Addr mb_addr, unsigned retries)
+{
+    const std::string cause = causeTag("mac_block", mb_addr);
+    nvm_.quarantine(mb_addr,
+                    "MAC block media fault (no spare frame left)",
+                    retries);
+    std::size_t lost = 0;
+    for (const Addr a : params.map.dataCoveredByMacBlock(mb_addr)) {
+        if (!nvm_.store().contains(a) || nvm_.isQuarantined(a))
+            continue;
+        nvm_.quarantine(a, "covering MAC block unrecoverable", retries,
+                        cause);
+        ++statCascadedBlocks;
+        ++lost;
+    }
+    warn("MAC block 0x%llx unrecoverable: %zu data blocks quarantined",
+         (unsigned long long)mb_addr, lost);
+}
+
+std::optional<CounterPage>
+SecurityEngine::rebuildCounterPage(Addr page_idx)
+{
+    const Addr cb_addr = AddressMap::counterBase + page_idx * blockSize;
+    if (params.plantCounterRepairBug) {
+        // Planted bug (torture --expect-bug meta-test): adopt the
+        // faulted NVM image — stuck cells and all — instead of
+        // reconstructing from data MACs.
+        return CounterPage::unpack(nvm_.readFunctionalChecked(cb_addr));
+    }
+
+    // Each covered ciphertext's stored data MAC pins its counter: the
+    // MAC input is (addr, counter, ciphertext), so an ascending search
+    // over candidates finds the one value the engine would accept.
+    // MACs are keyed, so a match authenticates the reconstruction as
+    // strongly as a fetch verified against the tree would.
+    CounterPage page{};
+    std::optional<std::uint64_t> major;
+    bool pinned = false;
+    for (const Addr a : params.map.dataCoveredByCounterBlock(cb_addr)) {
+        if (!nvm_.store().contains(a) || nvm_.isQuarantined(a))
+            continue;
+        const Block ct = nvm_.readFunctional(a);
+        const crypto::MacTag stored = loadDataMac(a);
+        bool found = false;
+        for (std::uint64_t c = 0; c < params.counterSearchLimit; ++c) {
+            if (dataMac(a, ct, c) == stored) {
+                const std::uint64_t m = c / minorCounterLimit;
+                if (major && *major != m)
+                    return std::nullopt; // split-counter invariant broken
+                major = m;
+                page.minors[AddressMap::blockInPage(a)] =
+                    std::uint8_t(c % minorCounterLimit);
+                found = true;
+                pinned = true;
+                break;
+            }
+        }
+        if (!found)
+            return std::nullopt; // true counter beyond the search limit
+    }
+    if (!pinned)
+        return std::nullopt; // no stored block left to pin the page
+    page.major = *major;
+    return page;
+}
+
+bool
+SecurityEngine::repairCounterBlock(Addr cb_addr, Addr page_idx,
+                                   unsigned retries)
+{
+    ++statMetaMediaFaults;
+    if (counters.hasPage(page_idx)) {
+        // The volatile truth survives on-chip: remap the worn frame
+        // (when a spare row is left) and rewrite it.
+        nvm_.remapToSpare(cb_addr, "counter frame media fault");
+        nvm_.writeFunctional(cb_addr, counters.page(page_idx).pack());
+        ++statCounterBlocksRebuilt;
+        return true;
+    }
+    const auto rebuilt = rebuildCounterPage(page_idx);
+    if (rebuilt) {
+        counters.restorePage(page_idx, *rebuilt);
+        nvm_.remapToSpare(cb_addr, "counter frame media fault");
+        nvm_.writeFunctional(cb_addr, rebuilt->pack());
+        ++statCounterBlocksRebuilt;
+        return true;
+    }
+    cascadeQuarantineCounterBlock(cb_addr, retries);
+    return false;
+}
+
+void
+SecurityEngine::repairTreeNode(Addr node_addr, unsigned level, Addr idx,
+                               unsigned retries)
+{
+    ++statMetaMediaFaults;
+    // The children's current tags pin the node's only possible value;
+    // re-hash root-ward and rewrite. A lost node frame never cascades
+    // to data — worst case the frame itself is retired and the node
+    // lives only in the volatile tree until the next rewrite.
+    const crypto::MacTag tag = level == 0
+                                   ? tree.nodeTag(0, idx)
+                                   : tree.repairNode(level, idx);
+    if (!nvm_.remapToSpare(node_addr, "tree node media fault"))
+        nvm_.quarantine(node_addr, "tree node frame unrecoverable",
+                        retries);
+    Block b{};
+    std::memcpy(b.data(), tag.data(), tag.size());
+    nvm_.writeFunctional(node_addr, b);
+    ++statTreeNodesRepaired;
+}
+
+bool
+SecurityEngine::repairMacBlock(Addr mb_addr, unsigned retries)
+{
+    ++statMetaMediaFaults;
+    if (!nvm_.remapToSpare(mb_addr, "MAC block media fault")) {
+        cascadeQuarantineMacBlock(mb_addr, retries);
+        return false;
+    }
+    // Every lane is recomputable: the covered ciphertext and its
+    // current counter pin the only MAC the engine would accept. A
+    // device-flagged frame is wear, not tamper (an adversary leaves no
+    // media flag), so re-blessing the intact ciphertext loses nothing.
+    Block b{};
+    for (const Addr a : params.map.dataCoveredByMacBlock(mb_addr)) {
+        if (!nvm_.store().contains(a) || nvm_.isQuarantined(a))
+            continue;
+        const crypto::MacTag tag =
+            dataMac(a, nvm_.readFunctional(a), counters.counterOf(a));
+        std::memcpy(b.data() + AddressMap::macOffsetInBlock(a),
+                    tag.data(), tag.size());
+    }
+    nvm_.writeFunctional(mb_addr, b);
+    ++statMacBlocksRebuilt;
+    return true;
+}
+
+crypto::MacTag
+SecurityEngine::loadDataMacHealed(Addr addr)
+{
+    const Addr mb_addr = AddressMap::macBlockAddr(addr);
+    Block b = nvm_.readFunctionalChecked(mb_addr);
+    bool media = nvm_.lastReadMediaError();
+    unsigned attempts = 0;
+    while (media && attempts < params.mediaRetryLimit) {
+        ++attempts;
+        ++statMediaRetries;
+        b = nvm_.readFunctionalChecked(mb_addr);
+        media = nvm_.lastReadMediaError();
+    }
+    if (media) {
+        // Persistent fault on the MAC frame itself: rebuild it (or
+        // cascade). Either way the caller re-checks quarantine state.
+        if (repairMacBlock(mb_addr, attempts))
+            b = nvm_.readFunctional(mb_addr);
+        else
+            b = Block{};
+    } else if (attempts) {
+        ++statMediaHealed;
+    }
+    crypto::MacTag tag;
+    std::memcpy(tag.data(), b.data() + AddressMap::macOffsetInBlock(addr),
+                tag.size());
+    return tag;
+}
+
 void
 SecurityEngine::storeEcc(Addr addr, std::uint16_t code)
 {
@@ -174,25 +399,46 @@ SecurityEngine::fetchCounter(Addr addr, Tick start, bool for_write)
         return start;
     }
 
-    // Miss: fetch the counter block from NVM.
+    // Miss: fetch the counter block from NVM. A device-flagged read
+    // is suspect cells, not evidence of tamper: retry with doubling
+    // backoff, and if the fault persists take the repair path instead
+    // of comparing known-garbage against the truth.
     const Addr page_idx = AddressMap::pageOf(addr);
-    const ReadResult r = nvm_.read(cb_addr, start);
+    ReadResult r = nvm_.read(cb_addr, start);
+    bool cb_media = nvm_.lastReadMediaError();
     Tick t = r.completeTick;
-    const CounterPage fetched = CounterPage::unpack(r.data);
+    unsigned cb_attempts = 0;
+    while (cb_media && cb_attempts < params.mediaRetryLimit) {
+        ++cb_attempts;
+        ++statMediaRetries;
+        const Cycles backoff = params.mediaRetryBackoff
+                               << (cb_attempts - 1);
+        r = nvm_.read(cb_addr, t + backoff);
+        cb_media = nvm_.lastReadMediaError();
+        t = r.completeTick;
+    }
 
-    if (counters.hasPage(page_idx)) {
-        // Volatile truth exists (block was evicted earlier): the NVM
-        // copy must match it exactly, or someone tampered with NVM.
-        if (!(fetched == counters.page(page_idx))) {
-            ++statAttacks;
-            warn("counter block 0x%llx modified in NVM",
-                 (unsigned long long)cb_addr);
-        }
+    if (cb_media) {
+        repairCounterBlock(cb_addr, page_idx, cb_attempts);
     } else {
-        // First touch since boot: verify against the trusted tree,
-        // then adopt.
-        verifyFetchedPage(page_idx, fetched);
-        counters.restorePage(page_idx, fetched);
+        if (cb_attempts)
+            ++statMediaHealed;
+        const CounterPage fetched = CounterPage::unpack(r.data);
+        if (counters.hasPage(page_idx)) {
+            // Volatile truth exists (block was evicted earlier): the
+            // NVM copy must match it exactly, or someone tampered
+            // with NVM.
+            if (!(fetched == counters.page(page_idx))) {
+                ++statAttacks;
+                warn("counter block 0x%llx modified in NVM",
+                     (unsigned long long)cb_addr);
+            }
+        } else {
+            // First touch since boot: verify against the trusted
+            // tree, then adopt.
+            verifyFetchedPage(page_idx, fetched);
+            counters.restorePage(page_idx, fetched);
+        }
     }
 
     // Walk the tree upward until a cached (trusted) level; each
@@ -206,9 +452,23 @@ SecurityEngine::fetchCounter(Addr addr, Tick start, bool for_write)
         if (mtCache.lookup(node_addr))
             break;
         ++walked;
-        const ReadResult nr = nvm_.read(node_addr, t);
+        ReadResult nr = nvm_.read(node_addr, t);
+        bool node_media = nvm_.lastReadMediaError();
+        unsigned node_attempts = 0;
+        while (node_media && node_attempts < params.mediaRetryLimit) {
+            ++node_attempts;
+            ++statMediaRetries;
+            const Cycles backoff = params.mediaRetryBackoff
+                                   << (node_attempts - 1);
+            nr = nvm_.read(node_addr, nr.completeTick + backoff);
+            node_media = nvm_.lastReadMediaError();
+        }
         t = nr.completeTick + params.macLatency;
-        if (nvm_.store().contains(node_addr)) {
+        if (node_attempts && !node_media)
+            ++statMediaHealed;
+        if (node_media) {
+            repairTreeNode(node_addr, lvl, idx, node_attempts);
+        } else if (nvm_.store().contains(node_addr)) {
             crypto::MacTag stored;
             std::memcpy(stored.data(), nr.data.data(), stored.size());
             if (stored != tree.nodeTag(lvl, idx)) {
@@ -351,6 +611,15 @@ SecurityEngine::secureWrite(Addr addr, const Block &plaintext,
     const bool piped = params.pipelinedWrites ||
                        params.treePolicy == TreeUpdatePolicy::LazyToc;
     busyUntil_ = piped ? crypto_start + params.macLatency : t;
+
+    // Opt-in background scrub: walk the stored metadata every N
+    // secure writes, catching latent stuck-at cells while the
+    // volatile truth still exists. Functional only — the pass models
+    // an idle-cycle scrubber, not demand bandwidth.
+    if (params.scrubIntervalWrites != 0 &&
+        statWrites.value() % params.scrubIntervalWrites == 0)
+        scrubMetadata();
+
     res.doneTick = t;
     statWriteLatency.sample(double(t - arrival));
     statWriteLatencyHist.sample(double(t - arrival));
@@ -396,8 +665,25 @@ SecurityEngine::secureRead(Addr addr, Tick arrival)
     Tick t = std::max(data.completeTick, ctr_ready);
     t += params.macLatency + 1;
 
+    // The counter fetch or the MAC load below may just have
+    // discovered an unrecoverable metadata fault whose cascade covers
+    // this very block: degrade to poison, never alarm.
+    if (nvm_.isQuarantined(addr)) {
+        ++statQuarantineReads;
+        statReadLatency.sample(double(t - arrival));
+        statReadLatencyHist.sample(double(t - arrival));
+        return {zeroBlock(), t};
+    }
+
     const std::uint64_t counter = counters.counterOf(addr);
-    bool mac_ok = dataMac(addr, data.data, counter) == loadDataMac(addr);
+    const crypto::MacTag stored_mac = loadDataMacHealed(addr);
+    if (nvm_.isQuarantined(addr)) {
+        ++statQuarantineReads;
+        statReadLatency.sample(double(t - arrival));
+        statReadLatencyHist.sample(double(t - arrival));
+        return {zeroBlock(), t};
+    }
+    bool mac_ok = dataMac(addr, data.data, counter) == stored_mac;
 
     // A failed MAC check has two very different causes. When the
     // device itself flagged the access, the cells are suspect: retry
@@ -413,7 +699,7 @@ SecurityEngine::secureRead(Addr addr, Tick arrival)
         data = nvm_.read(addr, t + backoff);
         media_error = nvm_.lastReadMediaError();
         t = data.completeTick + params.macLatency + 1;
-        mac_ok = dataMac(addr, data.data, counter) == loadDataMac(addr);
+        mac_ok = dataMac(addr, data.data, counter) == stored_mac;
     }
     if (mac_ok && attempts) {
         ++statMediaHealed;
@@ -491,7 +777,8 @@ SecurityEngine::recoverCountersOsiris(SecureRecoveryResult &res)
     // checking the plaintext's ECC pins the true counter.
     std::vector<Addr> data_blocks;
     for (const auto &[addr, block] : nvm_.store().raw())
-        if (params.map.isProtectedData(addr))
+        if (params.map.isProtectedData(addr) &&
+            !nvm_.isQuarantined(addr))
             data_blocks.push_back(addr);
 
     for (const Addr addr : data_blocks) {
@@ -546,17 +833,84 @@ SecurityEngine::recover()
 {
     SecureRecoveryResult res;
 
-    // 1. Restore counters from the NVM counter region.
+    // 1. Restore counters from the NVM counter region. Reads pass
+    // through the media-fault model: a crash can land while metadata
+    // frames are worn, and trusting a garbage image would poison the
+    // tree rebuild. Persistent faults take the trial-MAC repair path.
     const Addr ctr_lo = AddressMap::counterBase;
     const Addr ctr_hi =
         ctr_lo + params.map.numPages() * blockSize;
-    for (const auto &[addr, block] : nvm_.store().raw()) {
-        if (addr < ctr_lo || addr >= ctr_hi)
-            continue;
+    std::vector<Addr> ctr_blocks;
+    for (const auto &[addr, block] : nvm_.store().raw())
+        if (addr >= ctr_lo && addr < ctr_hi)
+            ctr_blocks.push_back(addr);
+    std::sort(ctr_blocks.begin(), ctr_blocks.end());
+    struct FailedFrame
+    {
+        Addr addr;
+        Addr pageIdx;
+        unsigned retries;
+    };
+    std::vector<FailedFrame> failed_frames;
+    bool media_evidence = false;
+    for (const Addr addr : ctr_blocks) {
         const Addr page_idx = (addr - ctr_lo) / blockSize;
-        counters.restorePage(page_idx, CounterPage::unpack(block));
-        ++res.pagesRestored;
+        Block b = nvm_.readFunctionalChecked(addr);
+        bool media = nvm_.lastReadMediaError();
+        unsigned attempts = 0;
+        while (media && attempts < params.mediaRetryLimit) {
+            ++attempts;
+            ++statMediaRetries;
+            b = nvm_.readFunctionalChecked(addr);
+            media = nvm_.lastReadMediaError();
+        }
+        if (!media) {
+            if (attempts) {
+                ++statMediaHealed;
+                media_evidence = true;
+            }
+            counters.restorePage(page_idx, CounterPage::unpack(b));
+            ++res.pagesRestored;
+            continue;
+        }
+        media_evidence = true;
+        ++statMetaMediaFaults;
+        const auto rebuilt = rebuildCounterPage(page_idx);
+        if (rebuilt) {
+            counters.restorePage(page_idx, *rebuilt);
+            nvm_.remapToSpare(addr, "counter frame media fault "
+                                    "(recovery)");
+            nvm_.writeFunctional(addr, rebuilt->pack());
+            ++statCounterBlocksRebuilt;
+            ++res.counterBlocksRepaired;
+            ++res.pagesRestored;
+        } else {
+            // Don't cascade yet: the shadow table may still hold a
+            // valid image of this page. Resolve after the merge.
+            failed_frames.push_back({addr, page_idx, attempts});
+        }
     }
+
+    // A media-lost counter frame is only unrecoverable once every
+    // source is exhausted: NVM image (step 1), trial-MAC rebuild, and
+    // the crash-consistency scheme's own image (shadow merge below).
+    const auto resolveFailedFrames = [&] {
+        for (const auto &f : failed_frames) {
+            if (counters.hasPage(f.pageIdx)) {
+                nvm_.remapToSpare(f.addr, "counter frame media fault "
+                                          "(recovery)");
+                nvm_.writeFunctional(f.addr,
+                                     counters.page(f.pageIdx).pack());
+                ++statCounterBlocksRebuilt;
+                ++res.counterBlocksRepaired;
+                ++res.pagesRestored;
+            } else {
+                cascadeQuarantineCounterBlock(f.addr, f.retries);
+                ++res.counterBlocksCascaded;
+            }
+        }
+        failed_frames.clear();
+    };
 
     // 2. Recover the counters that were dirty in the (lost) counter
     // cache, via the configured scheme.
@@ -564,8 +918,13 @@ SecurityEngine::recover()
         // Merge Anubis shadow entries. Counters are monotonic, so
         // the componentwise-newest image wins; stale slots are
         // harmless.
-        const ShadowScan scan = shadow.scan();
+        const ShadowScan scan = shadow.scan(params.mediaRetryLimit);
         res.shadowTamper = scan.tamperDetected;
+        res.shadowMediaSkipped = scan.mediaSkippedSlots;
+        if (scan.mediaSkippedSlots) {
+            statShadowSlotsSkipped += scan.mediaSkippedSlots;
+            media_evidence = true;
+        }
         if (scan.tamperDetected)
             ++statAttacks;
         for (const auto &e : scan.entries) {
@@ -589,7 +948,9 @@ SecurityEngine::recover()
                 ++res.shadowApplied;
             }
         }
+        resolveFailedFrames();
     } else {
+        resolveFailedFrames();
         recoverCountersOsiris(res);
     }
 
@@ -597,6 +958,58 @@ SecurityEngine::recover()
     // eagerly-persisted on-chip root.
     tree.rebuild(counters.all());
     res.rootVerified = (tree.root() == rootRegister);
+
+    if (!res.rootVerified && media_evidence) {
+        // Media faults may have cost us the newest image of some
+        // pages (a worn shadow slot, a rebuilt frame whose shadow
+        // copy was newer). The data MACs pin each stored block's true
+        // counter: sweep, repair mismatching pages by trial MAC, and
+        // re-check. Without media evidence this path never runs — a
+        // clean-boot root mismatch stays tamper.
+        std::vector<Addr> data_blocks;
+        for (const auto &[addr, block] : nvm_.store().raw())
+            if (params.map.isProtectedData(addr) &&
+                !nvm_.isQuarantined(addr))
+                data_blocks.push_back(addr);
+        std::sort(data_blocks.begin(), data_blocks.end());
+        std::unordered_set<Addr> bad_pages;
+        for (const Addr a : data_blocks) {
+            const Block ct = nvm_.readFunctional(a);
+            if (dataMac(a, ct, counters.counterOf(a)) !=
+                loadDataMac(a))
+                bad_pages.insert(AddressMap::pageOf(a));
+        }
+        std::vector<Addr> pages(bad_pages.begin(), bad_pages.end());
+        std::sort(pages.begin(), pages.end());
+        for (const Addr p : pages) {
+            const auto rebuilt = rebuildCounterPage(p);
+            if (rebuilt) {
+                counters.restorePage(p, *rebuilt);
+                ++res.macPinnedRepairs;
+            } else {
+                cascadeQuarantineCounterBlock(ctr_lo + p * blockSize,
+                                              0);
+                ++res.counterBlocksCascaded;
+            }
+        }
+        tree.rebuild(counters.all());
+        res.rootVerified = (tree.root() == rootRegister);
+        if (!res.rootVerified) {
+            // Every surviving stored block is now MAC-consistent with
+            // its counter; the residual mismatch is the bounded,
+            // fully-reported wear loss (cascaded pages rebuild as
+            // untouched). Re-anchor on the rebuilt root — alarming
+            // here would turn every unrecoverable wear event into a
+            // false tamper report.
+            rootRegister = tree.root();
+            res.rootReanchored = true;
+            res.rootVerified = true;
+            ++statRootReanchored;
+            warn("integrity root re-anchored after media-faulted "
+                 "recovery");
+        }
+    }
+
     if (!res.rootVerified)
         ++statAttacks;
 
@@ -622,6 +1035,70 @@ SecurityEngine::recover()
         nvm_.writeFunctional(addr, b);
     }
     return res;
+}
+
+ScrubReport
+SecurityEngine::scrubMetadata()
+{
+    ScrubReport rep;
+    ++statScrubPasses;
+    std::vector<Addr> blocks;
+    for (const auto &[addr, block] : nvm_.store().raw()) {
+        const NvmRegion r = params.map.regionOf(addr);
+        if (r == NvmRegion::Counter || r == NvmRegion::Tree ||
+            r == NvmRegion::Mac)
+            blocks.push_back(addr);
+    }
+    std::sort(blocks.begin(), blocks.end());
+    for (const Addr addr : blocks) {
+        if (nvm_.isQuarantined(addr))
+            continue;
+        ++rep.blocksScanned;
+        nvm_.readFunctionalChecked(addr);
+        bool media = nvm_.lastReadMediaError();
+        if (!media)
+            continue;
+        unsigned attempts = 0;
+        while (media && attempts < params.mediaRetryLimit) {
+            ++attempts;
+            ++statMediaRetries;
+            nvm_.readFunctionalChecked(addr);
+            media = nvm_.lastReadMediaError();
+        }
+        ++rep.faultsFound;
+        if (!media) {
+            // A transient disturb error: the retry consumed it and
+            // the underlying cells are intact.
+            ++statMediaHealed;
+            ++rep.repaired;
+            ++statScrubRepairs;
+            continue;
+        }
+        bool repaired = true;
+        switch (params.map.regionOf(addr)) {
+          case NvmRegion::Counter:
+            repaired = repairCounterBlock(
+                addr, AddressMap::pageOfCounterBlock(addr), attempts);
+            break;
+          case NvmRegion::Tree: {
+            const auto [level, idx] = AddressMap::treeNodeOf(addr);
+            repairTreeNode(addr, level, idx, attempts);
+            break;
+          }
+          case NvmRegion::Mac:
+            repaired = repairMacBlock(addr, attempts);
+            break;
+          default:
+            break;
+        }
+        if (repaired) {
+            ++rep.repaired;
+            ++statScrubRepairs;
+        } else {
+            ++rep.cascaded;
+        }
+    }
+    return rep;
 }
 
 } // namespace dolos

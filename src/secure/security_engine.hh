@@ -22,6 +22,7 @@
 #define DOLOS_SECURE_SECURITY_ENGINE_HH
 
 #include <memory>
+#include <optional>
 
 #include "crypto/ctr_pad.hh"
 #include "crypto/mac_engine.hh"
@@ -96,6 +97,32 @@ struct SecureParams
     unsigned mediaRetryLimit = 3;
     Cycles mediaRetryBackoff = 300; ///< first retry delay; doubles
 
+    /**
+     * Counter repair: when a counter block is lost to an unhealable
+     * media fault, the page is reconstructed Osiris/Phoenix-style by
+     * trial-MACing each covered ciphertext against its stored data
+     * MAC over candidate counters [0, counterSearchLimit). Blocks
+     * whose true counter exceeds the limit are unrecoverable (the
+     * cascade quarantine engages).
+     */
+    std::uint64_t counterSearchLimit = 4096;
+
+    /**
+     * Background scrub: every N secure writes, walk the stored
+     * metadata blocks through the media-fault model and repair what
+     * the device flags — catching latent stuck-at cells while the
+     * volatile truth still exists, before a crash makes them fatal.
+     * 0 disables scrubbing.
+     */
+    unsigned scrubIntervalWrites = 0;
+
+    /**
+     * Test-only planted bug (torture's --expect-bug meta-test): the
+     * counter-repair path adopts the corrupted NVM image instead of
+     * reconstructing from data MACs. Never enable outside tests.
+     */
+    bool plantCounterRepairBug = false;
+
     TreeUpdatePolicy treePolicy = TreeUpdatePolicy::EagerMerkle;
     TagCacheParams counterCache{"counterCache", 128 * 1024, 4};
     TagCacheParams mtCache{"mtCache", 256 * 1024, 8};
@@ -132,6 +159,30 @@ struct SecureRecoveryResult
     std::size_t osirisProbed = 0;    ///< Osiris: blocks probed
     std::size_t osirisAdvanced = 0;  ///< Osiris: counters corrected
     std::size_t osirisUnrecovered = 0; ///< no candidate matched ECC
+
+    std::size_t shadowMediaSkipped = 0; ///< worn slots skipped, no alarm
+    std::size_t counterBlocksRepaired = 0; ///< media faults repaired
+    std::size_t counterBlocksCascaded = 0; ///< unrecoverable, cascaded
+    std::size_t macPinnedRepairs = 0; ///< pages fixed by the MAC sweep
+
+    /**
+     * The rebuilt root mismatched the persistent register, but the
+     * boot saw device-flagged media faults and the MAC-pinned repair
+     * sweep reconciled every stored block — the platform re-anchors
+     * on the rebuilt root (bounded, reported wear loss) instead of
+     * alarming. Never set on a clean boot: a mismatch without media
+     * evidence is tamper.
+     */
+    bool rootReanchored = false;
+};
+
+/** Outcome of one background metadata scrub pass. */
+struct ScrubReport
+{
+    std::size_t blocksScanned = 0;
+    std::size_t faultsFound = 0;  ///< device-flagged reads seen
+    std::size_t repaired = 0;     ///< rewritten (after remap) in place
+    std::size_t cascaded = 0;     ///< unrecoverable: quarantine engaged
 };
 
 /**
@@ -218,6 +269,48 @@ class SecurityEngine
         return statQuarantineReads.value();
     }
 
+    /** Metadata repair outcomes (damage-report breakdown). */
+    std::uint64_t metaMediaFaults() const
+    {
+        return statMetaMediaFaults.value();
+    }
+    std::uint64_t counterBlocksRebuilt() const
+    {
+        return statCounterBlocksRebuilt.value();
+    }
+    std::uint64_t treeNodesRepaired() const
+    {
+        return statTreeNodesRepaired.value();
+    }
+    std::uint64_t macBlocksRebuilt() const
+    {
+        return statMacBlocksRebuilt.value();
+    }
+    std::uint64_t cascadedBlocks() const
+    {
+        return statCascadedBlocks.value();
+    }
+    std::uint64_t shadowSlotsSkipped() const
+    {
+        return statShadowSlotsSkipped.value();
+    }
+    std::uint64_t rootReanchors() const
+    {
+        return statRootReanchored.value();
+    }
+    std::uint64_t scrubPasses() const { return statScrubPasses.value(); }
+    std::uint64_t scrubRepairs() const { return statScrubRepairs.value(); }
+
+    /**
+     * One background scrub pass: walk every stored counter / tree /
+     * MAC metadata block through the device's media-fault model and
+     * route anything the device flags into the corresponding repair
+     * path. Runs automatically every scrubIntervalWrites secure
+     * writes when that knob is nonzero; callable directly for tests
+     * and tools. Functional only — scrub bandwidth is not timed.
+     */
+    ScrubReport scrubMetadata();
+
     /** Per-stage write-path cycle attribution (stats JSON breakdown). */
     std::uint64_t ctrFetchCycles() const { return statCtrFetchCycles.value(); }
     std::uint64_t aesCycles() const { return statAesCycles.value(); }
@@ -262,6 +355,55 @@ class SecurityEngine
     /** Read a data MAC from the packed NVM MAC block. */
     crypto::MacTag loadDataMac(Addr addr) const;
 
+    /**
+     * Read a data MAC through the media-fault model, retrying and —
+     * if the fault persists — rebuilding the MAC block from
+     * ciphertext + counters (or cascading if no spare frame is
+     * left). Returns the tag after any repair.
+     */
+    crypto::MacTag loadDataMacHealed(Addr addr);
+
+    /**
+     * A counter block read came back media-flagged through every
+     * retry: remap to a spare row and rewrite from the volatile
+     * truth if we have it, else reconstruct by trial MAC
+     * (rebuildCounterPage), else cascade-quarantine. Returns false
+     * only when the cascade engaged.
+     */
+    bool repairCounterBlock(Addr cb_addr, Addr page_idx,
+                            unsigned retries);
+
+    /**
+     * Reconstruct a counter page with no volatile copy: for each
+     * covered stored data block, search candidate counters
+     * [0, counterSearchLimit) for the one whose data MAC matches
+     * the stored MAC lane. Returns the page, or nullopt when any
+     * covered block fails the search or the majors disagree.
+     */
+    std::optional<CounterPage> rebuildCounterPage(Addr page_idx);
+
+    /**
+     * An interior tree node's NVM copy is media-lost: re-hash it
+     * from its children (repairNode) and rewrite; node-frame loss
+     * never cascades to data.
+     */
+    void repairTreeNode(Addr node_addr, unsigned level, Addr idx,
+                        unsigned retries);
+
+    /**
+     * A MAC block's frame is media-lost: recompute every stored
+     * covered lane from ciphertext + current counter and rewrite
+     * onto a spare row. Returns false (and cascades) when no spare
+     * frame is left.
+     */
+    bool repairMacBlock(Addr mb_addr, unsigned retries);
+
+    /** Quarantine a counter block and every stored data block it covered. */
+    void cascadeQuarantineCounterBlock(Addr cb_addr, unsigned retries);
+
+    /** Quarantine a MAC block and every stored data block it covered. */
+    void cascadeQuarantineMacBlock(Addr mb_addr, unsigned retries);
+
     /** Data MAC input: ciphertext, counter, address. */
     crypto::MacTag dataMac(Addr addr, const Block &ciphertext,
                            std::uint64_t counter) const;
@@ -292,6 +434,15 @@ class SecurityEngine
     stats::Scalar statMediaRetries;
     stats::Scalar statMediaHealed;
     stats::Scalar statQuarantineReads;
+    stats::Scalar statMetaMediaFaults;
+    stats::Scalar statCounterBlocksRebuilt;
+    stats::Scalar statTreeNodesRepaired;
+    stats::Scalar statMacBlocksRebuilt;
+    stats::Scalar statCascadedBlocks;
+    stats::Scalar statShadowSlotsSkipped;
+    stats::Scalar statRootReanchored;
+    stats::Scalar statScrubPasses;
+    stats::Scalar statScrubRepairs;
     stats::Scalar statCtrFetchCycles;
     stats::Scalar statAesCycles;
     stats::Scalar statMacCycles;

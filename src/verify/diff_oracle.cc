@@ -76,4 +76,14 @@ checkAgainstGolden(System &sys, GoldenModel &golden,
     return report;
 }
 
+std::set<Addr>
+mediaSkipSet(System &sys, const GoldenModel &golden)
+{
+    std::set<Addr> skip;
+    for (const Addr block : golden.trackedBlocks())
+        if (sys.nvmDevice().hasUnhealableFault(block))
+            skip.insert(blockAlign(block));
+    return skip;
+}
+
 } // namespace dolos::verify

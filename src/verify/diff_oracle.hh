@@ -58,6 +58,15 @@ OracleReport checkAgainstGolden(System &sys, GoldenModel &golden);
 OracleReport checkAgainstGolden(System &sys, GoldenModel &golden,
                                 const std::set<Addr> &skip);
 
+/**
+ * The canonical skip set for a media-fault campaign: every
+ * golden-tracked block the device reports an unhealable fault on
+ * (stuck cells, pending write failures, quarantined — including
+ * blocks lost to a metadata cascade). Repaired metadata leaves no
+ * unhealable fault behind, so repaired coverage is still verified.
+ */
+std::set<Addr> mediaSkipSet(System &sys, const GoldenModel &golden);
+
 } // namespace dolos::verify
 
 #endif // DOLOS_VERIFY_DIFF_ORACLE_HH

@@ -185,6 +185,87 @@ FaultInjector::injectMediaStuck()
     return rec;
 }
 
+namespace
+{
+/** The metadata frame of @p region that covers data block @p victim. */
+Addr
+metadataTargetFor(NvmRegion region, Addr victim)
+{
+    switch (region) {
+      case NvmRegion::Counter:
+        return AddressMap::counterBlockAddr(victim);
+      case NvmRegion::Tree:
+        return AddressMap::treeNodeAddr(
+            1, AddressMap::pageOf(victim) / MerkleTree::arity);
+      case NvmRegion::Mac:
+        return AddressMap::macBlockAddr(victim);
+      default:
+        return victim;
+    }
+}
+} // namespace
+
+InjectionRecord
+FaultInjector::injectMediaTransient(NvmRegion region)
+{
+    if (region == NvmRegion::Data)
+        return injectMediaTransient();
+    InjectionRecord rec;
+    rec.kind = FaultKind::MediaTransient;
+    rec.region = region;
+    const auto victim = pickVictimDataBlock();
+    if (!victim) {
+        rec.detail = "no protected data block stored yet";
+        return rec;
+    }
+    rec.victim = *victim;
+    rec.target = metadataTargetFor(region, *victim);
+    rec.bit = unsigned(rng.below(blockSize * 8));
+    sys.nvmDevice().injectTransientFlip(rec.target, rec.bit);
+    rec.injected = true;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "armed transient flip of bit %u on next read of %s "
+                  "block 0x%llx (covers 0x%llx)",
+                  rec.bit, nvmRegionName(region),
+                  (unsigned long long)rec.target,
+                  (unsigned long long)*victim);
+    rec.detail = buf;
+    return rec;
+}
+
+InjectionRecord
+FaultInjector::injectMediaStuck(NvmRegion region)
+{
+    if (region == NvmRegion::Data)
+        return injectMediaStuck();
+    InjectionRecord rec;
+    rec.kind = FaultKind::MediaStuck;
+    rec.region = region;
+    const auto victim = pickVictimDataBlock();
+    if (!victim) {
+        rec.detail = "no protected data block stored yet";
+        return rec;
+    }
+    rec.victim = *victim;
+    rec.target = metadataTargetFor(region, *victim);
+    rec.bit = unsigned(rng.below(blockSize * 8));
+    const Block stored = sys.nvmDevice().readFunctional(rec.target);
+    const bool current =
+        stored[rec.bit / 8] & std::uint8_t(1u << (rec.bit % 8));
+    sys.nvmDevice().injectStuckBit(rec.target, rec.bit, !current);
+    rec.injected = true;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "stuck bit %u of %s block 0x%llx at %d (covers "
+                  "0x%llx)",
+                  rec.bit, nvmRegionName(region),
+                  (unsigned long long)rec.target, int(!current),
+                  (unsigned long long)*victim);
+    rec.detail = buf;
+    return rec;
+}
+
 InjectionRecord
 FaultInjector::armMediaWriteFail(unsigned failures)
 {

@@ -75,6 +75,7 @@ struct InjectionRecord
     Addr target = 0;       ///< mutated NVM address (if any)
     Addr victim = 0;       ///< data block whose read provokes the check
     unsigned bit = 0;      ///< flipped bit index (flip kinds)
+    NvmRegion region = NvmRegion::Data; ///< region the target falls in
     std::string detail;
 };
 
@@ -100,6 +101,14 @@ class FaultInjector
     InjectionRecord injectMediaTransient();
     InjectionRecord injectMediaStuck();
     InjectionRecord armMediaWriteFail(unsigned failures);
+    /** @} */
+
+    /** @{ Region-aware media faults: the seeded victim data block
+     *  selects the *metadata* frame that covers it (its counter
+     *  block, a tree node on its path, or its MAC block), and the
+     *  fault lands there. Data is the plain-victim case above. */
+    InjectionRecord injectMediaTransient(NvmRegion region);
+    InjectionRecord injectMediaStuck(NvmRegion region);
     /** @} */
 
     /** @{ NVM image mutations (apply at a quiesced point). */

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "sim/random.hh"
+#include "verify/fault_injector.hh"
 #include "workloads/pmem.hh"
 
 namespace dolos::verify
@@ -50,7 +51,7 @@ describeSweep(const SweepOptions &opt)
     std::snprintf(
         buf, sizeof(buf),
         "mode=%s workload=%s numTx=%llu seed=%llu sampleSeed=%llu "
-        "points=%s%s recoveryCrashStep=%s",
+        "points=%s%s recoveryCrashStep=%s%s",
         securityModeName(opt.mode), opt.workload.c_str(),
         (unsigned long long)opt.numTx,
         (unsigned long long)opt.params.seed,
@@ -60,7 +61,8 @@ describeSweep(const SweepOptions &opt)
         opt.budget ? "" : " (exhaustive)",
         opt.recoveryCrashStep
             ? std::to_string(*opt.recoveryCrashStep).c_str()
-            : "none");
+            : "none",
+        opt.metadataFaults ? " meta-faults" : "");
     return buf;
 }
 
@@ -125,6 +127,19 @@ runCrashPoint(const SweepOptions &opt, std::uint64_t crash_op)
     workloads::CrashPlan plan;
     plan.atOp = crash_op;
     plan.recoveryCrashStep = opt.recoveryCrashStep;
+    if (opt.metadataFaults) {
+        // After the power dies, stick one metadata bit before the
+        // machine reboots — the worst moment: the volatile truth is
+        // gone and recovery itself must disambiguate wear from
+        // tamper. The region rotates with the crash op so one sweep
+        // covers all three repair paths.
+        plan.atPowerOff = [&opt, crash_op](System &s) {
+            static constexpr NvmRegion regions[] = {
+                NvmRegion::Counter, NvmRegion::Tree, NvmRegion::Mac};
+            FaultInjector inj(s, opt.sampleSeed ^ (crash_op * 0x9e37ULL));
+            inj.injectMediaStuck(regions[crash_op % 3]);
+        };
+    }
     const auto res =
         workloads::runWorkload(sys, *workload, opt.numTx, plan);
 
@@ -133,7 +148,10 @@ runCrashPoint(const SweepOptions &opt, std::uint64_t crash_op)
     out.structureVerified = res.verified;
     out.attackDetected = sys.attackDetected();
     out.recoveryAttempts = res.recoveryAttempts;
-    out.oracle = checkAgainstGolden(sys, golden);
+    out.oracle = opt.metadataFaults
+                     ? checkAgainstGolden(sys, golden,
+                                          mediaSkipSet(sys, golden))
+                     : checkAgainstGolden(sys, golden);
     sys.core().setObserver(nullptr);
     return out;
 }

@@ -70,6 +70,16 @@ struct SweepOptions
      * recovery path (see CrashPlan::recoveryCrashStep).
      */
     std::optional<unsigned> recoveryCrashStep;
+
+    /**
+     * Metadata-fault sweep: at every crash point, after power-off but
+     * before recovery, stick one bit of a security-metadata frame
+     * (counter block / tree node / MAC block, rotating with the crash
+     * op) covering a seeded victim block. Recovery must repair or
+     * cascade — never false-alarm — and the oracle then verifies
+     * every block without an unhealable fault.
+     */
+    bool metadataFaults = false;
 };
 
 /** Outcome of one crash point. */

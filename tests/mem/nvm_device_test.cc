@@ -203,6 +203,64 @@ TEST(NvmMediaFaults, FunctionalAccessesBypassTheFaultModel)
     EXPECT_EQ(r.data[1], 0x01);
 }
 
+TEST(NvmMediaFaults, ReadFunctionalCheckedSeesTheFaultModel)
+{
+    // Recovery and scrub read through readFunctionalChecked: not
+    // timed, but they must observe (and get to disambiguate) the same
+    // cell wear a demand read would.
+    NvmDevice nvm(paperParams());
+    Block b{};
+    b[0] = 0x0F;
+    nvm.write(0x7000, b, 0);
+    nvm.injectStuckBit(0x7000, 4, true); // bit 4 of byte 0
+
+    const Block checked = nvm.readFunctionalChecked(0x7000);
+    EXPECT_TRUE(nvm.lastReadMediaError());
+    EXPECT_EQ(checked[0], 0x1F);
+    // The raw functional path still bypasses the fault model.
+    EXPECT_EQ(nvm.readFunctional(0x7000)[0], 0x0F);
+}
+
+TEST(NvmMediaFaults, RemapToSpareRetiresTheWornRow)
+{
+    auto p = paperParams();
+    p.spareBlocks = 1;
+    NvmDevice nvm(p);
+    Block b{};
+    b[1] = 0x5A;
+    nvm.write(0x8000, b, 0);
+    nvm.injectStuckBit(0x8000, 8, false); // pin bit 0 of byte 1 low
+    nvm.injectWriteFail(0x8000, 4);
+    ASSERT_EQ(nvm.sparesLeft(), 1u);
+
+    // The remapped frame is a healthy row: all pending faults gone.
+    EXPECT_TRUE(nvm.remapToSpare(0x8000, "worn counter frame"));
+    EXPECT_EQ(nvm.sparesLeft(), 0u);
+    EXPECT_FALSE(nvm.hasUnhealableFault(0x8000));
+    nvm.readFunctionalChecked(0x8000);
+    EXPECT_FALSE(nvm.lastReadMediaError());
+    ASSERT_EQ(nvm.remapLog().size(), 1u);
+    EXPECT_EQ(nvm.remapLog().front().addr, 0x8000u);
+    EXPECT_EQ(nvm.remapLog().front().reason, "worn counter frame");
+
+    // Spares exhausted: the next worn frame cannot be remapped.
+    nvm.injectStuckBit(0x9000, 3, true);
+    EXPECT_FALSE(nvm.remapToSpare(0x9000, "no spare left"));
+    EXPECT_TRUE(nvm.hasUnhealableFault(0x9000));
+}
+
+TEST(NvmMediaFaults, QuarantineRecordsCascadeProvenance)
+{
+    NvmDevice nvm(paperParams());
+    nvm.quarantine(0xA000, "covering MAC block unrecoverable", 3,
+                   "mac_block_0x20000000000");
+    nvm.quarantine(0xB000, "read retries exhausted", 3);
+    const auto &log = nvm.quarantineLog();
+    ASSERT_EQ(log.count(0xA000), 1u);
+    EXPECT_EQ(log.at(0xA000).cause, "mac_block_0x20000000000");
+    EXPECT_TRUE(log.at(0xB000).cause.empty());
+}
+
 TEST(NvmMediaFaults, QuarantineRegistryDeduplicatesByBlock)
 {
     NvmDevice nvm(paperParams());

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * System-level metadata media-fault tests: region-aware injection
+ * through the FaultInjector, repair at recovery and on the demand
+ * path in every Dolos mode, the quarantine cascade's exact footprint
+ * in the differential oracle's skip set, the damage report's region
+ * and provenance fields, and an in-process metadata-fault crash
+ * sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <sstream>
+
+#include "secure/address_map.hh"
+#include "tests/integration/integration_common.hh"
+#include "verify/fault_injector.hh"
+#include "verify/sweep_driver.hh"
+
+namespace
+{
+
+using namespace dolos;
+using namespace dolos::verify;
+
+constexpr unsigned numBlocks = 24;
+
+std::uint64_t
+patternFor(Addr addr)
+{
+    return addr * 0x9E3779B97F4A7C15ULL + 0x5678;
+}
+
+/** Flushed+fenced writes, fully drained into the NVM store. */
+void
+populateAndDrain(System &sys)
+{
+    for (Addr a = 0; a < numBlocks * blockSize; a += 8) {
+        const std::uint64_t v = patternFor(a);
+        sys.core().store(a, &v, sizeof(v));
+    }
+    for (Addr a = 0; a < numBlocks * blockSize; a += blockSize)
+        sys.core().clwb(a);
+    sys.core().sfence();
+    sys.controller().drainTo(sys.core().now() + 1'000'000);
+    sys.core().compute(1'000'000);
+}
+
+/** One power cycle after populateAndDrain, to persist the counter
+ *  and tree frames (recovery's write-back) and cool the caches. */
+void
+populateAndCycle(System &sys)
+{
+    populateAndDrain(sys);
+    sys.crash();
+    sys.recoverToCompletion();
+    ASSERT_FALSE(sys.attackDetected());
+}
+
+void
+expectVictimIntact(System &sys, Addr victim)
+{
+    Block buf;
+    sys.core().load(victim, buf.data(), blockSize);
+    Block expect;
+    for (unsigned off = 0; off < blockSize; off += 8) {
+        const std::uint64_t v = patternFor(victim + off);
+        std::memcpy(expect.data() + off, &v, sizeof(v));
+    }
+    EXPECT_EQ(0, std::memcmp(buf.data(), expect.data(), blockSize))
+        << "victim 0x" << std::hex << victim;
+}
+
+class MetadataRegionFaults : public ::testing::TestWithParam<SecurityMode>
+{
+};
+
+TEST_P(MetadataRegionFaults, StuckCounterFrameRebuiltAtRecovery)
+{
+    // The worst moment for a counter frame to wear out: while the
+    // power is off, with the volatile truth gone. The recovery scan
+    // reads the frame, exhausts the retry budget, and reconstructs
+    // the page by trial MAC — no alarm, no quarantine.
+    System sys(dolos::test::cfgFor(GetParam()));
+    FaultInjector inj(sys, 401);
+    populateAndCycle(sys);
+
+    sys.crash();
+    const auto rec = inj.injectMediaStuck(NvmRegion::Counter);
+    ASSERT_TRUE(rec.injected) << rec.detail;
+    EXPECT_EQ(rec.region, NvmRegion::Counter);
+    sys.recoverToCompletion();
+
+    EXPECT_FALSE(sys.attackDetected()) << rec.detail;
+    EXPECT_FALSE(sys.unrecoverableMedia()) << rec.detail;
+    EXPECT_GE(sys.engine().counterBlocksRebuilt(), 1u);
+    expectVictimIntact(sys, rec.victim);
+    EXPECT_FALSE(sys.attackDetected());
+}
+
+TEST_P(MetadataRegionFaults, StuckTreeNodeRepairedOnColdWalk)
+{
+    System sys(dolos::test::cfgFor(GetParam()));
+    FaultInjector inj(sys, 402);
+    populateAndCycle(sys);
+
+    sys.crash();
+    const auto rec = inj.injectMediaStuck(NvmRegion::Tree);
+    ASSERT_TRUE(rec.injected) << rec.detail;
+    EXPECT_EQ(rec.region, NvmRegion::Tree);
+    sys.recoverToCompletion();
+
+    // The node is demand-read on the victim's first cold tree walk;
+    // the repair re-hashes it from its children. Node loss never
+    // cascades to data.
+    expectVictimIntact(sys, rec.victim);
+    EXPECT_FALSE(sys.attackDetected()) << rec.detail;
+    EXPECT_FALSE(sys.unrecoverableMedia()) << rec.detail;
+    EXPECT_GE(sys.engine().treeNodesRepaired(), 1u);
+}
+
+TEST_P(MetadataRegionFaults, StuckMacFrameRebuiltOnDemand)
+{
+    System sys(dolos::test::cfgFor(GetParam()));
+    FaultInjector inj(sys, 403);
+    populateAndCycle(sys);
+
+    sys.crash();
+    const auto rec = inj.injectMediaStuck(NvmRegion::Mac);
+    ASSERT_TRUE(rec.injected) << rec.detail;
+    EXPECT_EQ(rec.region, NvmRegion::Mac);
+    sys.recoverToCompletion();
+
+    expectVictimIntact(sys, rec.victim);
+    EXPECT_FALSE(sys.attackDetected()) << rec.detail;
+    EXPECT_FALSE(sys.unrecoverableMedia()) << rec.detail;
+    EXPECT_GE(sys.engine().macBlocksRebuilt(), 1u);
+}
+
+TEST_P(MetadataRegionFaults, TransientCounterFlipHealsInPlace)
+{
+    // A one-shot disturb error on a metadata frame heals on retry:
+    // the damage report must stay empty.
+    System sys(dolos::test::cfgFor(GetParam()));
+    FaultInjector inj(sys, 404);
+    populateAndCycle(sys);
+
+    sys.crash();
+    const auto rec = inj.injectMediaTransient(NvmRegion::Counter);
+    ASSERT_TRUE(rec.injected) << rec.detail;
+    sys.recoverToCompletion();
+
+    EXPECT_FALSE(sys.attackDetected()) << rec.detail;
+    EXPECT_FALSE(sys.unrecoverableMedia()) << rec.detail;
+    EXPECT_EQ(sys.nvmDevice().quarantineCount(), 0u);
+    expectVictimIntact(sys, rec.victim);
+}
+
+INSTANTIATE_TEST_SUITE_P(DolosModes, MetadataRegionFaults,
+                         ::testing::Values(SecurityMode::DolosFullWpq,
+                                           SecurityMode::DolosPartialWpq,
+                                           SecurityMode::DolosPostWpq),
+                         [](const auto &info) {
+                             return dolos::test::modeLabel(info.param);
+                         });
+
+TEST(MacCascadeOracle, SkipSetCoversExactlyTheCoveredBlocks)
+{
+    auto cfg = dolos::test::cfgFor(SecurityMode::DolosPartialWpq);
+    cfg.nvm.spareBlocks = 0;
+    System sys(cfg);
+    GoldenModel golden;
+    sys.core().setObserver(&golden);
+    populateAndDrain(sys);
+    sys.crash();
+    sys.recoverToCompletion();
+    ASSERT_FALSE(sys.attackDetected());
+
+    // Wear out the MAC frame covering blocks 8..15 and let the scrub
+    // discover it: with no spare row left, the loss must cascade to
+    // exactly those eight blocks — not their boundary neighbours.
+    const Addr mb = AddressMap::macBlockAddr(8 * blockSize);
+    const Block stored = sys.nvmDevice().readFunctional(mb);
+    const bool current = stored[3] & 0x01;
+    sys.nvmDevice().injectStuckBit(mb, 24, !current);
+    const auto rep = sys.engine().scrubMetadata();
+    EXPECT_EQ(rep.cascaded, 1u);
+    EXPECT_FALSE(sys.attackDetected());
+    EXPECT_TRUE(sys.unrecoverableMedia());
+
+    std::set<Addr> expect;
+    for (unsigned i = 8; i < 16; ++i)
+        expect.insert(i * blockSize);
+    EXPECT_EQ(mediaSkipSet(sys, golden), expect);
+
+    // The oracle verifies every healthy block byte-exactly and the
+    // quarantined footprint is the only thing excluded.
+    const auto report = checkAgainstGolden(sys, golden,
+                                           mediaSkipSet(sys, golden));
+    EXPECT_TRUE(report.clean()) << report.summary();
+    sys.core().setObserver(nullptr);
+}
+
+TEST(MacCascadeOracle, DamageJsonRecordsRegionAndCascadeProvenance)
+{
+    auto cfg = dolos::test::cfgFor(SecurityMode::DolosPostWpq);
+    cfg.nvm.spareBlocks = 0;
+    System sys(cfg);
+    populateAndDrain(sys);
+    sys.crash();
+    sys.recoverToCompletion();
+    ASSERT_FALSE(sys.attackDetected());
+
+    const Addr mb = AddressMap::macBlockAddr(0);
+    const Block stored = sys.nvmDevice().readFunctional(mb);
+    const bool current = stored[0] & 0x02;
+    sys.nvmDevice().injectStuckBit(mb, 1, !current);
+    ASSERT_EQ(sys.engine().scrubMetadata().cascaded, 1u);
+
+    std::ostringstream os;
+    sys.dumpDamageJson(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"unrecoverableMedia\":true"),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"region\":\"mac\""), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"region\":\"data\""), std::string::npos)
+        << json;
+    char cause[64];
+    std::snprintf(cause, sizeof(cause), "\"cause\":\"mac_block_0x%llx\"",
+                  (unsigned long long)mb);
+    EXPECT_NE(json.find(cause), std::string::npos) << json;
+}
+
+TEST(MetadataFaultSweep, EveryOpPointsStayCleanInProcess)
+{
+    // In-process slice of the metadata_fault_sweep tier2 lane: an
+    // EveryOp crash sweep that sticks one metadata bit (region
+    // rotating with the crash op) after every sampled power-off.
+    SweepOptions opt;
+    opt.mode = SecurityMode::DolosPartialWpq;
+    opt.base = dolos::test::cfgFor(opt.mode);
+    opt.params = dolos::test::smallParams(3);
+    opt.numTx = 2;
+    opt.budget = 3;
+    opt.sampleSeed = 7;
+    opt.pointSet = CrashPoints::EveryOp;
+    opt.metadataFaults = true;
+    const auto res = sweepCrashPoints(opt);
+    ASSERT_FALSE(res.points.empty());
+    for (const auto &p : res.points)
+        EXPECT_TRUE(p.passed()) << res.firstFailure();
+}
+
+} // namespace

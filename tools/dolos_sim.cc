@@ -50,7 +50,10 @@ struct Options
     std::string traceFile;     ///< --trace: Chrome trace_event JSON
     std::string statsJsonFile; ///< --stats-json: machine-readable stats
     std::string injectFault;   ///< --inject-fault: post-run fault kind
+    std::string mediaRegion = "data"; ///< --media-region: fault target
     std::string damageJsonFile; ///< --damage-json: media damage report
+    std::uint64_t scrubInterval = 0;  ///< --scrub-interval (0 = off)
+    std::optional<unsigned> spares;   ///< --spares: NVM spare frames
 };
 
 [[noreturn]] void
@@ -81,6 +84,14 @@ usage(int code)
         "media-transient|media-stuck|\n"
         "                      media-write-fail\n"
         "  --media-fault K     alias: transient|stuck|write-fail\n"
+        "  --media-region R    data|counter|tree|mac — which region a\n"
+        "                      media transient/stuck fault lands in\n"
+        "                      (metadata faults inject BEFORE the\n"
+        "                      crash so recovery must repair them)\n"
+        "  --scrub-interval N  opt-in background metadata scrub every\n"
+        "                      N secure writes (0 = off)\n"
+        "  --spares N          NVM spare frames for remapping worn\n"
+        "                      metadata (0 forces cascade-quarantine)\n"
         "  --damage-json FILE  write the media damage report "
         "('-' = stdout)\n"
         "  --seed N | --stats | --list | --help\n"
@@ -153,6 +164,12 @@ parse(int argc, char **argv)
             o.injectFault = value();
         else if (a == "--media-fault")
             o.injectFault = std::string("media-") + value();
+        else if (a == "--media-region")
+            o.mediaRegion = value();
+        else if (a == "--scrub-interval")
+            o.scrubInterval = numValue();
+        else if (a == "--spares")
+            o.spares = unsigned(numValue());
         else if (a == "--damage-json")
             o.damageJsonFile = value();
         else if (a == "--list") {
@@ -222,6 +239,28 @@ main(int argc, char **argv)
         }
     }
 
+    NvmRegion mediaRegion = NvmRegion::Data;
+    if (o.mediaRegion == "counter")
+        mediaRegion = NvmRegion::Counter;
+    else if (o.mediaRegion == "tree")
+        mediaRegion = NvmRegion::Tree;
+    else if (o.mediaRegion == "mac")
+        mediaRegion = NvmRegion::Mac;
+    else if (o.mediaRegion != "data") {
+        std::fprintf(stderr, "unknown media region '%s'\n",
+                     o.mediaRegion.c_str());
+        usage(ExitUsage);
+    }
+    if (mediaRegion != NvmRegion::Data &&
+        (!injectKind ||
+         (*injectKind != verify::FaultKind::MediaTransient &&
+          *injectKind != verify::FaultKind::MediaStuck))) {
+        std::fprintf(stderr,
+                     "--media-region needs --media-fault "
+                     "transient|stuck\n");
+        usage(ExitUsage);
+    }
+
     auto cfg = SystemConfig::paperDefault();
     const auto mode = parseSecurityMode(o.mode);
     if (!mode) {
@@ -239,6 +278,9 @@ main(int argc, char **argv)
     cfg.wpq.postEntries =
         o.wpqBudget > 6 ? o.wpqBudget * 8 / 9 - 4 : o.wpqBudget / 2;
     cfg.wpq.coalescing = !o.noCoalescing;
+    cfg.secure.scrubIntervalWrites = o.scrubInterval;
+    if (o.spares)
+        cfg.nvm.spareBlocks = *o.spares;
     std::optional<System> sys_storage;
     try {
         sys_storage.emplace(cfg);
@@ -309,6 +351,19 @@ main(int argc, char **argv)
                 sys.core().compute(1'000'000);
                 sys.controller().drainTo(sys.core().now());
             }
+        } else if (mediaRegion != NvmRegion::Data) {
+            // Metadata faults land BEFORE the crash: the worn frame
+            // is then read by recovery itself, which must
+            // disambiguate wear from tamper and repair or cascade.
+            rec = *injectKind == FaultKind::MediaTransient
+                      ? inj.injectMediaTransient(mediaRegion)
+                      : inj.injectMediaStuck(mediaRegion);
+            sys.crash();
+            sys.recoverToCompletion();
+            if (rec.injected) {
+                Block buf;
+                sys.core().load(rec.victim, buf.data(), blockSize);
+            }
         } else {
             sys.crash();
             sys.recoverToCompletion();
@@ -329,6 +384,20 @@ main(int argc, char **argv)
                     (unsigned long long)sys.engine().mediaRetries(),
                     (unsigned long long)sys.engine().mediaHealed(),
                     sys.nvmDevice().quarantineCount());
+        std::printf("repairs: ctr %llu, tree %llu, mac %llu, "
+                    "cascaded %llu, reanchored %llu\n",
+                    (unsigned long long)
+                        sys.engine().counterBlocksRebuilt(),
+                    (unsigned long long)sys.engine().treeNodesRepaired(),
+                    (unsigned long long)sys.engine().macBlocksRebuilt(),
+                    (unsigned long long)sys.engine().cascadedBlocks(),
+                    (unsigned long long)sys.engine().rootReanchors());
+    }
+
+    if (o.scrubInterval) {
+        std::printf("scrub: %llu passes, %llu repairs\n",
+                    (unsigned long long)sys.engine().scrubPasses(),
+                    (unsigned long long)sys.engine().scrubRepairs());
     }
 
     if (!o.damageJsonFile.empty()) {

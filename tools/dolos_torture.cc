@@ -19,14 +19,19 @@
  * Ops: w:SLOT:VAL store | f:SLOT clwb | s sfence | c crash+recover |
  *      r:K crash, then power dies K steps into recovery |
  *      t:SLOT:BIT transient read flip | k:SLOT:BIT stuck-at cell |
- *      x:SLOT:N next N writes to the block fail
+ *      x:SLOT:N next N writes to the block fail |
+ *      FC:SLOT:BIT stuck-at cell in the slot's *counter block* |
+ *      FB:SLOT:BIT stuck-at cell in a tree node on the slot's path |
+ *      FM:SLOT:BIT stuck-at cell in the slot's *MAC block*
  *
  * Modes of use:
  *   dolos_torture --campaign 20 --seed 7 [--mode dolos-full]
  *   dolos_torture --replay SPEC [--plant-bug drop-clwb:K]
  *   dolos_torture --expect-bug 20      (meta-test: plant a CLWB drop,
- *                                       require a ≤20-op minimized repro)
+ *                                       then a counter-repair bug; each
+ *                                       must minimize to ≤20 ops)
  *   dolos_torture --sweep --points every-op [--recovery-crash K]
+ *                 [--meta-faults]
  *
  * Exit codes follow sim/exit_codes.hh: 0 ok, 1 oracle violation,
  * 2 usage, 3 attack alarm, 4 unrecoverable media.
@@ -40,6 +45,8 @@
 #include <string>
 #include <vector>
 
+#include "secure/address_map.hh"
+#include "secure/merkle_tree.hh"
 #include "sim/exit_codes.hh"
 #include "sim/random.hh"
 #include "verify/diff_oracle.hh"
@@ -62,12 +69,25 @@ slotAddr(unsigned slot)
     return slotBase + Addr(slot % numSlots) * blockSize;
 }
 
-/** One schedule operation (see file header for the grammar). */
+/**
+ * One schedule operation (see file header for the grammar). The
+ * metadata-fault ops FC/FB/FM are stored with kind 'C'/'B'/'M' and
+ * round-trip through format/parse with their two-char spelling.
+ */
 struct Op
 {
     char kind = 'w';
     unsigned a = 0;      ///< slot / recovery step
     std::uint64_t b = 0; ///< value / bit / count
+};
+
+/** What --plant-bug plants (the --expect-bug meta-test's quarry). */
+struct PlantSpec
+{
+    std::optional<std::uint64_t> clwbDrop; ///< drop the K-th CLWB
+    bool badCounterRepair = false; ///< counter repair adopts garbage
+
+    bool any() const { return clwbDrop.has_value() || badCounterRepair; }
 };
 
 struct Outcome
@@ -95,7 +115,12 @@ usage(int code)
         "  --mode MODE   ideal|baseline|post-unprotected|dolos-full|"
         "dolos-partial|dolos-post\n"
         "  SPEC          comma-separated ops: w:SLOT:VAL f:SLOT s c"
-        " r:K t:SLOT:BIT k:SLOT:BIT x:SLOT:N\n");
+        " r:K t:SLOT:BIT k:SLOT:BIT x:SLOT:N\n"
+        "                FC:SLOT:BIT FB:SLOT:BIT FM:SLOT:BIT "
+        "(stuck-at in counter/tree/MAC metadata)\n"
+        "  --plant-bug   drop-clwb:K | bad-counter-repair\n"
+        "  --meta-faults (sweep) stick a metadata bit at every crash "
+        "point\n");
     std::exit(code);
 }
 
@@ -137,6 +162,12 @@ formatOps(const std::vector<Op> &ops)
           case 'r':
             std::snprintf(buf, sizeof(buf), "r:%u", op.a);
             break;
+          case 'C':
+          case 'B':
+          case 'M':
+            std::snprintf(buf, sizeof(buf), "F%c:%u:%llu", op.kind,
+                          op.a, (unsigned long long)op.b);
+            break;
           default:
             std::snprintf(buf, sizeof(buf), "%c:%u:%llu", op.kind,
                           op.a, (unsigned long long)op.b);
@@ -162,10 +193,20 @@ parseOps(const std::string &spec)
             continue;
         Op op;
         op.kind = tok[0];
+        std::size_t skip = 1;
+        if (op.kind == 'F') {
+            // Two-char metadata-fault ops: FC / FB / FM.
+            if (tok.size() < 2)
+                return std::nullopt;
+            op.kind = tok[1];
+            if (op.kind != 'C' && op.kind != 'B' && op.kind != 'M')
+                return std::nullopt;
+            skip = 2;
+        }
         unsigned a = 0;
         unsigned long long b = 0;
         const int fields =
-            std::sscanf(tok.c_str() + 1, ":%u:%llu", &a, &b);
+            std::sscanf(tok.c_str() + skip, ":%u:%llu", &a, &b);
         op.a = a;
         op.b = b;
         switch (op.kind) {
@@ -183,6 +224,9 @@ parseOps(const std::string &spec)
           case 't':
           case 'k':
           case 'x':
+          case 'C':
+          case 'B':
+          case 'M':
             if (fields < 2)
                 return std::nullopt;
             break;
@@ -204,25 +248,34 @@ genProgram(std::uint64_t seed, unsigned len)
     for (unsigned i = 0; i < len; ++i) {
         const std::uint64_t r = rng.below(100);
         Op op;
-        if (r < 46) {
+        if (r < 44) {
             op = {'w', unsigned(rng.below(numSlots)), rng.below(256)};
-        } else if (r < 64) {
+        } else if (r < 60) {
             op = {'f', unsigned(rng.below(numSlots)), 0};
-        } else if (r < 76) {
+        } else if (r < 71) {
             op = {'s', 0, 0};
-        } else if (r < 84) {
+        } else if (r < 79) {
             op = {'c', 0, 0};
-        } else if (r < 90) {
+        } else if (r < 85) {
             op = {'r', unsigned(rng.below(4)), 0};
-        } else if (r < 94) {
+        } else if (r < 89) {
             op = {'t', unsigned(rng.below(numSlots)),
                   rng.below(blockSize * 8)};
-        } else if (r < 97) {
+        } else if (r < 92) {
             op = {'k', unsigned(rng.below(numSlots)),
                   rng.below(blockSize * 8)};
-        } else {
+        } else if (r < 95) {
             op = {'x', unsigned(rng.below(numSlots)),
                   1 + rng.below(5)};
+        } else if (r < 97) {
+            op = {'C', unsigned(rng.below(numSlots)),
+                  rng.below(blockSize * 8)};
+        } else if (r < 99) {
+            op = {'B', unsigned(rng.below(numSlots)),
+                  rng.below(blockSize * 8)};
+        } else {
+            op = {'M', unsigned(rng.below(numSlots)),
+                  rng.below(blockSize * 8)};
         }
         ops.push_back(op);
     }
@@ -236,14 +289,26 @@ genProgram(std::uint64_t seed, unsigned len)
  */
 Outcome
 runProgram(SecurityMode mode, const std::vector<Op> &ops,
-           std::optional<std::uint64_t> plant_clwb_drop)
+           const PlantSpec &plant)
 {
     Outcome out;
-    System sys(tortureConfig(mode));
+    SystemConfig cfg = tortureConfig(mode);
+    cfg.secure.plantCounterRepairBug = plant.badCounterRepair;
+    System sys(cfg);
     GoldenModel golden;
     sys.core().setObserver(&golden);
-    if (plant_clwb_drop)
-        sys.core().armClwbDrop(*plant_clwb_drop);
+    if (plant.clwbDrop)
+        sys.core().armClwbDrop(*plant.clwbDrop);
+
+    // Stick a cell at the complement of its stored value so the fault
+    // is visible on the very next read of @p addr.
+    const auto stickBit = [&sys](Addr addr, std::uint64_t raw_bit) {
+        const unsigned bit = unsigned(raw_bit) % (blockSize * 8);
+        const Block stored = sys.nvmDevice().readFunctional(addr);
+        const bool current =
+            stored[bit / 8] & std::uint8_t(1u << (bit % 8));
+        sys.nvmDevice().injectStuckBit(addr, bit, !current);
+    };
 
     for (const Op &op : ops) {
         switch (op.kind) {
@@ -281,18 +346,25 @@ runProgram(SecurityMode mode, const std::vector<Op> &ops,
             sys.nvmDevice().injectTransientFlip(slotAddr(op.a),
                                                 unsigned(op.b));
             break;
-          case 'k': {
-            const Addr victim = slotAddr(op.a);
-            const unsigned bit = unsigned(op.b) % (blockSize * 8);
-            const Block stored = sys.nvmDevice().readFunctional(victim);
-            const bool current =
-                stored[bit / 8] & std::uint8_t(1u << (bit % 8));
-            sys.nvmDevice().injectStuckBit(victim, bit, !current);
+          case 'k':
+            stickBit(slotAddr(op.a), op.b);
             break;
-          }
           case 'x':
             sys.nvmDevice().injectWriteFail(slotAddr(op.a),
                                             unsigned(op.b));
+            break;
+          case 'C':
+            stickBit(AddressMap::counterBlockAddr(slotAddr(op.a)),
+                     op.b);
+            break;
+          case 'B':
+            stickBit(AddressMap::treeNodeAddr(
+                         1, AddressMap::pageOf(slotAddr(op.a)) /
+                                MerkleTree::arity),
+                     op.b);
+            break;
+          case 'M':
+            stickBit(AddressMap::macBlockAddr(slotAddr(op.a)), op.b);
             break;
           default:
             break;
@@ -384,26 +456,28 @@ modeCliName(SecurityMode mode)
 
 void
 printRepro(SecurityMode mode, const std::vector<Op> &ops,
-           std::optional<std::uint64_t> planted)
+           const PlantSpec &plant)
 {
-    std::printf("REPRO: dolos_torture --mode %s%s%s --replay %s\n",
-                modeCliName(mode),
-                planted ? " --plant-bug drop-clwb:" : "",
-                planted ? std::to_string(*planted).c_str() : "",
-                formatOps(ops).c_str());
+    std::string bug;
+    if (plant.clwbDrop)
+        bug = " --plant-bug drop-clwb:" + std::to_string(*plant.clwbDrop);
+    else if (plant.badCounterRepair)
+        bug = " --plant-bug bad-counter-repair";
+    std::printf("REPRO: dolos_torture --mode %s%s --replay %s\n",
+                modeCliName(mode), bug.c_str(), formatOps(ops).c_str());
 }
 
 /** Minimize a failing schedule and print the one-line repro. */
 std::vector<Op>
 minimizeAndReport(SecurityMode mode, const std::vector<Op> &ops,
-                  std::optional<std::uint64_t> planted)
+                  const PlantSpec &plant)
 {
     const auto minimized = minimizeOps(ops, [&](const auto &cand) {
-        return runProgram(mode, cand, planted).failed;
+        return runProgram(mode, cand, plant).failed;
     });
     std::printf("minimized %zu ops -> %zu ops\n", ops.size(),
                 minimized.size());
-    printRepro(mode, minimized, planted);
+    printRepro(mode, minimized, plant);
     return minimized;
 }
 
@@ -417,9 +491,10 @@ main(int argc, char **argv)
     unsigned opsPerEpisode = 80;
     SecurityMode mode = SecurityMode::DolosPartialWpq;
     std::string replaySpec;
-    std::optional<std::uint64_t> plantClwbDrop;
+    PlantSpec plant;
     std::optional<unsigned> expectBug;
     bool sweep = false;
+    bool metaFaults = false;
     std::string sweepWorkload = "hashmap";
     std::string sweepPoints = "every-op";
     std::size_t sweepBudget = 4;
@@ -455,12 +530,16 @@ main(int argc, char **argv)
         } else if (a == "--plant-bug") {
             const std::string spec = value();
             unsigned long long k = 0;
-            if (std::sscanf(spec.c_str(), "drop-clwb:%llu", &k) != 1) {
+            if (spec == "bad-counter-repair") {
+                plant.badCounterRepair = true;
+            } else if (std::sscanf(spec.c_str(), "drop-clwb:%llu",
+                                   &k) == 1) {
+                plant.clwbDrop = k;
+            } else {
                 std::fprintf(stderr, "unknown bug spec '%s'\n",
                              spec.c_str());
                 usage(ExitUsage);
             }
-            plantClwbDrop = k;
         } else if (a == "--expect-bug") {
             expectBug = unsigned(std::strtoull(value(), nullptr, 0));
         } else if (a == "--sweep") {
@@ -476,6 +555,8 @@ main(int argc, char **argv)
         } else if (a == "--recovery-crash") {
             recoveryCrash =
                 unsigned(std::strtoull(value(), nullptr, 0));
+        } else if (a == "--meta-faults") {
+            metaFaults = true;
         } else if (a == "--help" || a == "-h") {
             usage(ExitOk);
         } else {
@@ -503,6 +584,7 @@ main(int argc, char **argv)
         opt.pointSet = sweepPoints == "wpq" ? CrashPoints::WpqBoundaries
                                             : CrashPoints::EveryOp;
         opt.recoveryCrashStep = recoveryCrash;
+        opt.metadataFaults = metaFaults;
         const auto result = sweepCrashPoints(opt);
         std::printf("sweep [%s]: %zu candidate points, %zu run, "
                     "%zu failures\n",
@@ -513,12 +595,15 @@ main(int argc, char **argv)
             std::printf("FAIL: %s\n", result.firstFailure().c_str());
             std::printf("REPRO: dolos_torture --sweep --mode %s "
                         "--workload %s --txns %llu --budget %zu "
-                        "--seed %llu --points %s%s%u\n",
+                        "--seed %llu --points %s%s%s%s\n",
                         modeCliName(mode), sweepWorkload.c_str(),
                         (unsigned long long)sweepTxns, sweepBudget,
                         (unsigned long long)seed, sweepPoints.c_str(),
                         recoveryCrash ? " --recovery-crash " : "",
-                        recoveryCrash ? *recoveryCrash : 0);
+                        recoveryCrash
+                            ? std::to_string(*recoveryCrash).c_str()
+                            : "",
+                        metaFaults ? " --meta-faults" : "");
             return ExitViolation;
         }
         return ExitOk;
@@ -531,7 +616,7 @@ main(int argc, char **argv)
                          replaySpec.c_str());
             usage(ExitUsage);
         }
-        const auto out = runProgram(mode, *ops, plantClwbDrop);
+        const auto out = runProgram(mode, *ops, plant);
         std::printf("replay %zu ops on %s: %s (attack=%d "
                     "violations=%llu quarantined=%zu extra-boots=%u)"
                     "%s%s\n",
@@ -541,50 +626,65 @@ main(int argc, char **argv)
                     out.quarantined, out.recoveryBoots,
                     out.note.empty() ? "" : " — ", out.note.c_str());
         if (out.failed)
-            minimizeAndReport(mode, *ops, plantClwbDrop);
+            minimizeAndReport(mode, *ops, plant);
         return exitCodeFor(!out.failed, out.attack,
                            out.quarantined != 0 && !out.failed);
     }
 
     if (expectBug) {
-        // Meta-test: plant a known bug (the CLWB drop the oracle
-        // exists to catch), require the campaign to find it, minimize
-        // the schedule to --expect-bug ops or fewer, and prove the
-        // minimized repro replays deterministically.
-        const std::uint64_t planted_k = 0; // drop the first CLWB
-        for (unsigned ep = 0; ep < 50; ++ep) {
-            const auto ops =
-                genProgram(seed + ep, opsPerEpisode);
-            const auto out = runProgram(mode, ops, planted_k);
-            if (!out.failed)
-                continue;
-            std::printf("planted bug tripped at episode %u "
-                        "(seed %llu): %s\n",
-                        ep, (unsigned long long)(seed + ep),
-                        out.note.c_str());
-            const auto minimized =
-                minimizeAndReport(mode, ops, planted_k);
-            if (minimized.size() > *expectBug) {
-                std::printf("FAIL: minimized to %zu ops, wanted "
-                            "<= %u\n",
-                            minimized.size(), *expectBug);
-                return ExitViolation;
+        // Meta-test: plant a known bug, require the campaign to find
+        // it, minimize the schedule to --expect-bug ops or fewer, and
+        // prove the minimized repro replays deterministically. Two
+        // quarries: the CLWB drop the committed-prefix oracle exists
+        // to catch, then a counter-repair bug (repair adopts the raw
+        // faulted frame instead of reconstructing) that only the
+        // metadata-fault ops can expose.
+        const auto hunt = [&](const PlantSpec &spec,
+                              const char *label) -> bool {
+            for (unsigned ep = 0; ep < 50; ++ep) {
+                const auto ops = genProgram(seed + ep, opsPerEpisode);
+                const auto out = runProgram(mode, ops, spec);
+                if (!out.failed)
+                    continue;
+                std::printf("planted %s tripped at episode %u "
+                            "(seed %llu): %s\n",
+                            label, ep, (unsigned long long)(seed + ep),
+                            out.note.c_str());
+                const auto minimized =
+                    minimizeAndReport(mode, ops, spec);
+                if (minimized.size() > *expectBug) {
+                    std::printf("FAIL: minimized to %zu ops, wanted "
+                                "<= %u\n",
+                                minimized.size(), *expectBug);
+                    return false;
+                }
+                const auto r1 = runProgram(mode, minimized, spec);
+                const auto r2 = runProgram(mode, minimized, spec);
+                if (!r1.failed || !r2.failed ||
+                    r1.violations != r2.violations) {
+                    std::printf("FAIL: minimized repro is not "
+                                "deterministic\n");
+                    return false;
+                }
+                std::printf("minimized repro replays "
+                            "deterministically (%llu violations)\n",
+                            (unsigned long long)r1.violations);
+                return true;
             }
-            const auto r1 = runProgram(mode, minimized, planted_k);
-            const auto r2 = runProgram(mode, minimized, planted_k);
-            if (!r1.failed || !r2.failed ||
-                r1.violations != r2.violations) {
-                std::printf("FAIL: minimized repro is not "
-                            "deterministic\n");
-                return ExitViolation;
-            }
-            std::printf("minimized repro replays deterministically "
-                        "(%llu violations)\n",
-                        (unsigned long long)r1.violations);
-            return ExitOk;
-        }
-        std::printf("FAIL: planted bug never tripped in 50 episodes\n");
-        return ExitViolation;
+            std::printf("FAIL: planted %s never tripped in "
+                        "50 episodes\n",
+                        label);
+            return false;
+        };
+        PlantSpec clwb;
+        clwb.clwbDrop = 0; // drop the first CLWB
+        PlantSpec badRepair;
+        badRepair.badCounterRepair = true;
+        if (!hunt(clwb, "clwb-drop"))
+            return ExitViolation;
+        if (!hunt(badRepair, "bad-counter-repair"))
+            return ExitViolation;
+        return ExitOk;
     }
 
     if (campaign == 0)
@@ -598,14 +698,14 @@ main(int argc, char **argv)
     for (unsigned ep = 0; ep < campaign; ++ep) {
         const std::uint64_t ep_seed = seed + ep;
         const auto ops = genProgram(ep_seed, opsPerEpisode);
-        const auto out = runProgram(mode, ops, std::nullopt);
+        const auto out = runProgram(mode, ops, PlantSpec{});
         if (!out.failed)
             continue;
         ++failed;
         any_attack |= out.attack;
         std::printf("FAIL episode %u (seed %llu): %s\n", ep,
                     (unsigned long long)ep_seed, out.note.c_str());
-        minimizeAndReport(mode, ops, std::nullopt);
+        minimizeAndReport(mode, ops, PlantSpec{});
     }
     std::printf("campaign done: %u/%u episodes failed\n", failed,
                 campaign);
