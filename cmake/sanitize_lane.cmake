@@ -23,12 +23,37 @@ file(MAKE_DIRECTORY "${build}")
 execute_process(
     COMMAND "${CMAKE_COMMAND}" -S "${SOURCE_DIR}" -B "${build}"
             -DDOLOS_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+            -DDOLOS_WERROR=ON
     RESULT_VARIABLE rc
     OUTPUT_VARIABLE out
     ERROR_VARIABLE err)
 if(NOT rc EQUAL 0)
     message(FATAL_ERROR
         "sanitize_lane: configure failed (rc=${rc})\n${out}\n${err}")
+endif()
+
+# Static checks gate the lane: build and run dolos_lint over the real
+# tree before spending time on the sanitizer build proper.
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" --build "${build}" -j
+            --target dolos_lint
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "sanitize_lane: lint build failed (rc=${rc})\n${out}\n${err}")
+endif()
+execute_process(
+    COMMAND "${build}/tools/dolos_lint" "${SOURCE_DIR}/src"
+            "${SOURCE_DIR}/tools"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "sanitize_lane: dolos_lint found violations "
+        "(rc=${rc})\n${out}\n${err}")
 endif()
 
 execute_process(

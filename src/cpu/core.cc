@@ -102,4 +102,26 @@ SimpleCore::notifyCrash()
         observer->onCrash();
 }
 
+persist::StateManifest
+SimpleCore::stateManifest() const
+{
+    persist::StateManifest m("SimpleCore");
+    DOLOS_MF_CONST(m, hierarchy);
+    // The clock is the simulation's global monotonic time: power
+    // loss does not rewind wall-clock time, so it survives.
+    DOLOS_MF_P(m, clock);
+    DOLOS_MF_V(m, outstanding);
+    DOLOS_MF_CONST(m, observer);
+    DOLOS_MF_P(m, clwbDropIn);
+    DOLOS_MF_CONST(m, stats_);
+    DOLOS_MF_P(m, statInstructions);
+    DOLOS_MF_P(m, statLoads);
+    DOLOS_MF_P(m, statStores);
+    DOLOS_MF_P(m, statClwbs);
+    DOLOS_MF_P(m, statFences);
+    DOLOS_MF_P(m, statFenceStall);
+    DOLOS_MF_P(m, statFenceWait);
+    return m;
+}
+
 } // namespace dolos

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "mem/hierarchy.hh"
+#include "sim/persist_annotations.hh"
 #include "sim/stats.hh"
 
 namespace dolos
@@ -108,6 +109,9 @@ class SimpleCore
 
     stats::StatGroup &statGroup() { return stats_; }
 
+    /** Register every member into the crash-state manifest. */
+    persist::StateManifest stateManifest() const;
+
   private:
     CacheHierarchy &hierarchy;
     Tick clock = 0;
@@ -123,6 +127,22 @@ class SimpleCore
     stats::Scalar statFences;
     stats::Scalar statFenceStall;
     stats::Average statFenceWait;
+
+    // --- crash-state model (see docs/static_analysis.md) ----------
+    DOLOS_STATE_CLASS(SimpleCore);
+    DOLOS_PERSISTENT(hierarchy);
+    DOLOS_PERSISTENT(clock);
+    DOLOS_VOLATILE(outstanding);
+    DOLOS_PERSISTENT(observer);
+    DOLOS_PERSISTENT(clwbDropIn);
+    DOLOS_PERSISTENT(stats_);
+    DOLOS_PERSISTENT(statInstructions);
+    DOLOS_PERSISTENT(statLoads);
+    DOLOS_PERSISTENT(statStores);
+    DOLOS_PERSISTENT(statClwbs);
+    DOLOS_PERSISTENT(statFences);
+    DOLOS_PERSISTENT(statFenceStall);
+    DOLOS_PERSISTENT(statFenceWait);
 };
 
 } // namespace dolos

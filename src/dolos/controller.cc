@@ -502,7 +502,11 @@ SecureMemController::crash(Tick at)
         wpq.clear();
         tagArray.clear();
         drainCursor = nextId;
+        lastDrainIssue = 0;
+        if (misu_)
+            misu_->crash();
         engine.crash();
+        nvm.crash();
         return report;
     }
 
@@ -597,7 +601,11 @@ SecureMemController::crash(Tick at)
     wpq.clear();
     tagArray.clear();
     drainCursor = nextId;
+    lastDrainIssue = 0;
+    if (misu_)
+        misu_->crash();
     engine.crash();
+    nvm.crash();
     return report;
 }
 
@@ -729,6 +737,63 @@ SecureMemController::recover()
         Cycles(capacity) * 2100 +
         Cycles(capacity) * cfg.secure.aesLatency;
     return report;
+}
+
+persist::StateManifest
+RedoLogBuffer::stateManifest() const
+{
+    persist::StateManifest m("RedoLogBuffer");
+    DOLOS_MF_P(m, rec);
+    DOLOS_MF_P(m, ready_);
+    return m;
+}
+
+persist::StateManifest
+SecureMemController::stateManifest() const
+{
+    persist::StateManifest m("SecureMemController");
+    DOLOS_MF_CONST(m, cfg);
+    DOLOS_MF_CONST(m, nvm);
+    DOLOS_MF_CONST(m, engine);
+    DOLOS_MF_DELEGATED_P(m, misu_);
+    DOLOS_MF_DELEGATED_P(m, redoLog);
+    DOLOS_MF_CONST(m, capacity);
+    DOLOS_MF_V(m, adrTear);
+    // Armed mid-recovery faults survive until the *next* recovery
+    // consumes them (they model firmware, not dynamic state).
+    DOLOS_MF_P(m, recoveryCrashArm);
+    DOLOS_MF_V(m, wpq);
+    DOLOS_MF_P(m, nextId);
+    DOLOS_MF_V_CHECK(m, drainCursor,
+                     "reset to nextId (no entry left to drain)",
+                     [this] { return drainCursor == nextId; });
+    DOLOS_MF_V(m, tagArray);
+    DOLOS_MF_V(m, lastDrainIssue);
+    DOLOS_MF_CONST(m, stats_);
+    DOLOS_MF_P(m, statWrites);
+    DOLOS_MF_P(m, statPersists);
+    DOLOS_MF_P(m, statEvictions);
+    DOLOS_MF_P(m, statRetries);
+    DOLOS_MF_P(m, statCoalesces);
+    DOLOS_MF_P(m, statWpqReadHits);
+    DOLOS_MF_P(m, statReads);
+    DOLOS_MF_P(m, statStallCycles);
+    DOLOS_MF_P(m, statPersistLatency);
+    DOLOS_MF_P(m, statOccupancy);
+    DOLOS_MF_P(m, statDrainLatency);
+    DOLOS_MF_P(m, statPersistLatencyHist);
+    DOLOS_MF_P(m, statStallHist);
+    return m;
+}
+
+void
+SecureMemController::collectStateManifests(
+    std::vector<persist::StateManifest> &out) const
+{
+    out.push_back(stateManifest());
+    if (misu_)
+        out.push_back(misu_->stateManifest());
+    out.push_back(redoLog.stateManifest());
 }
 
 } // namespace dolos

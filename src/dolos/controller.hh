@@ -33,6 +33,7 @@
 #include "dolos/redo_log.hh"
 #include "mem/hierarchy.hh"
 #include "secure/security_engine.hh"
+#include "sim/persist_annotations.hh"
 
 namespace dolos
 {
@@ -134,6 +135,13 @@ class SecureMemController : public PersistController
 
     stats::StatGroup &statGroup() { return stats_; }
 
+    /** Register every member into the crash-state manifest. */
+    persist::StateManifest stateManifest() const;
+
+    /** Append this manifest plus every sub-component's to @p out. */
+    void collectStateManifests(
+        std::vector<persist::StateManifest> &out) const;
+
   private:
     struct WpqEntry
     {
@@ -145,6 +153,17 @@ class SecureMemController : public PersistController
         Tick persistTick = 0;     ///< entered the persistence domain
         bool drained = false;
         Tick releaseTick = 0;     ///< slot free (Ma-SU cleared)
+
+        friend void
+        dolosDescribeValue(std::ostream &os, const WpqEntry &e)
+        {
+            os << e.id << '/' << e.addr << '/'
+               << persist::describe(e.plaintext) << '/'
+               << persist::describe(e.image) << '/'
+               << persist::describe(e.ciphertext) << '/'
+               << e.persistTick << '/' << e.drained << '/'
+               << e.releaseTick;
+        }
     };
 
     /** Lazily process FIFO drains whose start time has passed. */
@@ -224,6 +243,36 @@ class SecureMemController : public PersistController
     stats::Average statDrainLatency;
     stats::Histogram statPersistLatencyHist{100.0, 32};
     stats::Histogram statStallHist{500.0, 16};
+
+    // --- crash-state model (see docs/static_analysis.md) ----------
+    DOLOS_STATE_CLASS(SecureMemController);
+    DOLOS_PERSISTENT(cfg);
+    DOLOS_PERSISTENT(nvm);
+    DOLOS_PERSISTENT(engine);
+    DOLOS_PERSISTENT(misu_);
+    DOLOS_PERSISTENT(redoLog);
+    DOLOS_PERSISTENT(capacity);
+    DOLOS_VOLATILE(adrTear);
+    DOLOS_PERSISTENT(recoveryCrashArm);
+    DOLOS_VOLATILE(wpq);
+    DOLOS_PERSISTENT(nextId);
+    DOLOS_VOLATILE(drainCursor);
+    DOLOS_VOLATILE(tagArray);
+    DOLOS_VOLATILE(lastDrainIssue);
+    DOLOS_PERSISTENT(stats_);
+    DOLOS_PERSISTENT(statWrites);
+    DOLOS_PERSISTENT(statPersists);
+    DOLOS_PERSISTENT(statEvictions);
+    DOLOS_PERSISTENT(statRetries);
+    DOLOS_PERSISTENT(statCoalesces);
+    DOLOS_PERSISTENT(statWpqReadHits);
+    DOLOS_PERSISTENT(statReads);
+    DOLOS_PERSISTENT(statStallCycles);
+    DOLOS_PERSISTENT(statPersistLatency);
+    DOLOS_PERSISTENT(statOccupancy);
+    DOLOS_PERSISTENT(statDrainLatency);
+    DOLOS_PERSISTENT(statPersistLatencyHist);
+    DOLOS_PERSISTENT(statStallHist);
 };
 
 } // namespace dolos

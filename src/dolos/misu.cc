@@ -234,4 +234,29 @@ MiSu::storageOverhead() const
     return o;
 }
 
+persist::StateManifest
+MiSu::stateManifest() const
+{
+    persist::StateManifest m("MiSu");
+    DOLOS_MF_CONST(m, mode_);
+    DOLOS_MF_CONST(m, capacity_);
+    DOLOS_MF_CONST(m, macLatency);
+    DOLOS_MF_CONST(m, padGen);
+    DOLOS_MF_CONST(m, macEngine);
+    DOLOS_MF_P(m, pcr);
+    DOLOS_MF_P(m, pads);
+    DOLOS_MF_P(m, entryMacs);
+    DOLOS_MF_P(m, slotLive);
+    DOLOS_MF_P(m, rootRegister);
+    DOLOS_MF_V(m, busyUntil_);
+    DOLOS_MF_CONST(m, stats_);
+    DOLOS_MF_P(m, statProtects);
+    DOLOS_MF_P(m, statMacOps);
+    DOLOS_MF_P(m, statMacCycles);
+    DOLOS_MF_P(m, statDeferredMacs);
+    DOLOS_MF_P(m, statEpochs);
+    DOLOS_MF_P(m, statInsertLatency);
+    return m;
+}
+
 } // namespace dolos

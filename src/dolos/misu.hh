@@ -30,6 +30,7 @@
 #include "crypto/mac_engine.hh"
 #include "dolos/config.hh"
 #include "mem/block.hh"
+#include "sim/persist_annotations.hh"
 #include "sim/stats.hh"
 
 namespace dolos
@@ -42,6 +43,14 @@ struct MisuEntryImage
     std::uint64_t ctAddr = 0;  ///< pad-encrypted address
     crypto::MacTag mac{};      ///< per-entry MAC (Partial/Post)
 };
+
+inline void
+dolosDescribeValue(std::ostream &os, const MisuEntryImage &img)
+{
+    os << persist::describe(img.ctData) << '/'
+       << persist::describe(img.ctAddr) << '/'
+       << persist::describe(img.mac);
+}
 
 /**
  * The Minor Security Unit.
@@ -109,6 +118,17 @@ class MiSu
      */
     void advanceEpoch();
 
+    /**
+     * Power failure: drop the unit's volatile timing state. The PCR,
+     * pads, per-slot MAC registers, live bits and root register are
+     * on-chip *persistent* registers and survive — that survival is
+     * exactly what dump authentication at recovery relies on.
+     */
+    void crash() { busyUntil_ = 0; }
+
+    /** Register every member into the crash-state manifest. */
+    persist::StateManifest stateManifest() const;
+
     /** Persistent counter register (on-chip, survives crashes). */
     std::uint64_t persistentCounter() const { return pcr; }
 
@@ -163,6 +183,27 @@ class MiSu
     stats::Scalar statDeferredMacs;
     stats::Scalar statEpochs;
     stats::Histogram statInsertLatency{40.0, 16};
+
+    // --- crash-state model (see docs/static_analysis.md) ----------
+    DOLOS_STATE_CLASS(MiSu);
+    DOLOS_PERSISTENT(mode_);
+    DOLOS_PERSISTENT(capacity_);
+    DOLOS_PERSISTENT(macLatency);
+    DOLOS_PERSISTENT(padGen);
+    DOLOS_PERSISTENT(macEngine);
+    DOLOS_PERSISTENT(pcr);
+    DOLOS_PERSISTENT(pads);
+    DOLOS_PERSISTENT(entryMacs);
+    DOLOS_PERSISTENT(slotLive);
+    DOLOS_PERSISTENT(rootRegister);
+    DOLOS_VOLATILE(busyUntil_);
+    DOLOS_PERSISTENT(stats_);
+    DOLOS_PERSISTENT(statProtects);
+    DOLOS_PERSISTENT(statMacOps);
+    DOLOS_PERSISTENT(statMacCycles);
+    DOLOS_PERSISTENT(statDeferredMacs);
+    DOLOS_PERSISTENT(statEpochs);
+    DOLOS_PERSISTENT(statInsertLatency);
 };
 
 } // namespace dolos

@@ -15,6 +15,7 @@
 
 #include "crypto/mac_engine.hh"
 #include "mem/block.hh"
+#include "sim/persist_annotations.hh"
 
 namespace dolos
 {
@@ -28,6 +29,14 @@ struct RedoLogRecord
     std::uint64_t counter = 0;
     crypto::MacTag tempRoot{};
 };
+
+inline void
+dolosDescribeValue(std::ostream &os, const RedoLogRecord &r)
+{
+    os << r.addr << '/' << persist::describe(r.ciphertext) << '/'
+       << persist::describe(r.dataMac) << '/' << r.counter << '/'
+       << persist::describe(r.tempRoot);
+}
 
 /** On-chip persistent redo-log buffer with a ready bit. */
 class RedoLogBuffer
@@ -50,9 +59,17 @@ class RedoLogBuffer
     /** The staged record (valid only when ready()). */
     const RedoLogRecord &record() const { return rec; }
 
+    /** Register every member into the crash-state manifest. */
+    persist::StateManifest stateManifest() const;
+
   private:
     RedoLogRecord rec;
     bool ready_ = false;
+
+    // --- crash-state model (see docs/static_analysis.md) ----------
+    DOLOS_STATE_CLASS(RedoLogBuffer);
+    DOLOS_PERSISTENT(rec);
+    DOLOS_PERSISTENT(ready_);
 };
 
 } // namespace dolos

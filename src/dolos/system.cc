@@ -146,4 +146,42 @@ System::dumpDamageJson(std::ostream &os) const
     os << "]}\n";
 }
 
+persist::StateManifest
+System::stateManifest() const
+{
+    persist::StateManifest m("System");
+    DOLOS_MF_CONST(m, cfg);
+    DOLOS_MF_DELEGATED_P(m, nvm);
+    DOLOS_MF_DELEGATED_P(m, eng);
+    DOLOS_MF_DELEGATED_P(m, mc);
+    DOLOS_MF_DELEGATED_P(m, hier);
+    DOLOS_MF_DELEGATED_P(m, core_);
+    return m;
+}
+
+std::vector<persist::StateManifest>
+System::collectStateManifests() const
+{
+    std::vector<persist::StateManifest> out;
+    out.push_back(stateManifest());
+    out.push_back(core_->stateManifest());
+    out.push_back(hier->stateManifest());
+    out.push_back(hier->l1().stateManifest("l1"));
+    out.push_back(hier->l2().stateManifest("l2"));
+    out.push_back(hier->llc().stateManifest("llc"));
+    mc->collectStateManifests(out);
+    eng->collectStateManifests(out);
+    out.push_back(nvm->stateManifest());
+    // The ADR crash dump and the recovery journal are the two NVM
+    // regions the crash path itself legitimately (re)writes; the
+    // cell-array round-trip check excludes them.
+    const AddressMap map = cfg.secure.map;
+    out.push_back(nvm->store().stateManifest([map](Addr a) {
+        const auto region = map.regionOf(a);
+        return region == NvmRegion::WpqDump ||
+               region == NvmRegion::RecoveryJournal;
+    }));
+    return out;
+}
+
 } // namespace dolos

@@ -19,6 +19,7 @@
 
 #include <memory>
 #include <ostream>
+#include <vector>
 
 #include "cpu/core.hh"
 #include "dolos/controller.hh"
@@ -83,6 +84,18 @@ class System
      */
     void dumpDamageJson(std::ostream &os) const;
 
+    /** Register every member into the crash-state manifest. */
+    persist::StateManifest stateManifest() const;
+
+    /**
+     * Collect the manifests of every state class in this machine
+     * (the facade itself plus each component, per instance). This is
+     * the complete machine-checked crash-state model that the
+     * power-loss differential (src/verify/manifest_check) proves
+     * against crash().
+     */
+    std::vector<persist::StateManifest> collectStateManifests() const;
+
   private:
     SystemConfig cfg;
     std::unique_ptr<NvmDevice> nvm;
@@ -90,6 +103,15 @@ class System
     std::unique_ptr<SecureMemController> mc;
     std::unique_ptr<CacheHierarchy> hier;
     std::unique_ptr<SimpleCore> core_;
+
+    // --- crash-state model (see docs/static_analysis.md) ----------
+    DOLOS_STATE_CLASS(System);
+    DOLOS_PERSISTENT(cfg);
+    DOLOS_PERSISTENT(nvm);
+    DOLOS_PERSISTENT(eng);
+    DOLOS_PERSISTENT(mc);
+    DOLOS_PERSISTENT(hier);
+    DOLOS_PERSISTENT(core_);
 };
 
 } // namespace dolos

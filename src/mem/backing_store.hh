@@ -10,10 +10,12 @@
 #ifndef DOLOS_MEM_BACKING_STORE_HH
 #define DOLOS_MEM_BACKING_STORE_HH
 
+#include <functional>
 #include <unordered_map>
 
 #include "mem/block.hh"
 #include "sim/logging.hh"
+#include "sim/persist_annotations.hh"
 #include "sim/types.hh"
 
 namespace dolos
@@ -57,8 +59,21 @@ class BackingStore
 
     void clear() { blocks.clear(); }
 
+    /**
+     * Register every member into the crash-state manifest. Blocks
+     * for which @p exclude returns true are left out of the snapshot
+     * (regions the crash path legitimately rewrites, e.g. the ADR
+     * WPQ dump); pass nullptr to snapshot the whole image.
+     */
+    persist::StateManifest
+    stateManifest(std::function<bool(Addr)> exclude) const;
+
   private:
     std::unordered_map<Addr, Block> blocks;
+
+    // --- crash-state model (see docs/static_analysis.md) ----------
+    DOLOS_STATE_CLASS(BackingStore);
+    DOLOS_PERSISTENT(blocks);
 };
 
 } // namespace dolos

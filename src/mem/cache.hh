@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "mem/mem_iface.hh"
+#include "sim/persist_annotations.hh"
 #include "sim/stats.hh"
 
 namespace dolos
@@ -74,6 +75,9 @@ class Cache : public MemDevice
     std::uint64_t misses() const { return statMisses.value(); }
     std::uint64_t writebacks() const { return statWritebacks.value(); }
 
+    /** Register every member into the crash-state manifest. */
+    persist::StateManifest stateManifest(std::string instance) const;
+
   private:
     struct Line
     {
@@ -82,6 +86,13 @@ class Cache : public MemDevice
         Addr tag = 0; ///< full block address
         std::uint64_t lastUse = 0;
         Block data{};
+
+        friend void
+        dolosDescribeValue(std::ostream &os, const Line &l)
+        {
+            os << l.valid << '/' << l.dirty << '/' << l.tag << '/'
+               << l.lastUse << '/' << persist::describe(l.data);
+        }
     };
 
     std::size_t setIndex(Addr addr) const;
@@ -108,6 +119,20 @@ class Cache : public MemDevice
     stats::Scalar statWritebacks;
     stats::Scalar statEvictions;
     stats::Histogram statMissLatency{100.0, 32};
+
+    // --- crash-state model (see docs/static_analysis.md) ----------
+    DOLOS_STATE_CLASS(Cache);
+    DOLOS_PERSISTENT(params);
+    DOLOS_PERSISTENT(downstream);
+    DOLOS_PERSISTENT(numSets);
+    DOLOS_VOLATILE(lines);
+    DOLOS_VOLATILE(useClock);
+    DOLOS_PERSISTENT(stats_);
+    DOLOS_PERSISTENT(statHits);
+    DOLOS_PERSISTENT(statMisses);
+    DOLOS_PERSISTENT(statWritebacks);
+    DOLOS_PERSISTENT(statEvictions);
+    DOLOS_PERSISTENT(statMissLatency);
 };
 
 } // namespace dolos

@@ -138,4 +138,20 @@ CacheHierarchy::invalidateAll()
     llc_->invalidateAll();
 }
 
+persist::StateManifest
+CacheHierarchy::stateManifest() const
+{
+    persist::StateManifest m("CacheHierarchy");
+    DOLOS_MF_CONST(m, mc);
+    DOLOS_MF_DELEGATED_V(m, llc_);
+    DOLOS_MF_DELEGATED_V(m, l2_);
+    DOLOS_MF_DELEGATED_V(m, l1_);
+    DOLOS_MF_CONST(m, stats_);
+    DOLOS_MF_P(m, statLoads);
+    DOLOS_MF_P(m, statStores);
+    DOLOS_MF_P(m, statClwbs);
+    DOLOS_MF_P(m, statClwbMisses);
+    return m;
+}
+
 } // namespace dolos

@@ -15,6 +15,7 @@
 
 #include "mem/cache.hh"
 #include "mem/mem_iface.hh"
+#include "sim/persist_annotations.hh"
 #include "sim/stats.hh"
 
 namespace dolos
@@ -76,7 +77,13 @@ class CacheHierarchy
     Cache &l1() { return *l1_; }
     Cache &l2() { return *l2_; }
     Cache &llc() { return *llc_; }
+    const Cache &l1() const { return *l1_; }
+    const Cache &l2() const { return *l2_; }
+    const Cache &llc() const { return *llc_; }
     stats::StatGroup &statGroup() { return stats_; }
+
+    /** Register every member into the crash-state manifest. */
+    persist::StateManifest stateManifest() const;
 
   private:
     ReadResult readBlockTimed(Addr addr, Tick now);
@@ -91,6 +98,18 @@ class CacheHierarchy
     stats::Scalar statStores;
     stats::Scalar statClwbs;
     stats::Scalar statClwbMisses;
+
+    // --- crash-state model (see docs/static_analysis.md) ----------
+    DOLOS_STATE_CLASS(CacheHierarchy);
+    DOLOS_PERSISTENT(mc);
+    DOLOS_VOLATILE(llc_);
+    DOLOS_VOLATILE(l2_);
+    DOLOS_VOLATILE(l1_);
+    DOLOS_PERSISTENT(stats_);
+    DOLOS_PERSISTENT(statLoads);
+    DOLOS_PERSISTENT(statStores);
+    DOLOS_PERSISTENT(statClwbs);
+    DOLOS_PERSISTENT(statClwbMisses);
 };
 
 } // namespace dolos

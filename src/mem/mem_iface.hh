@@ -12,6 +12,8 @@
 #ifndef DOLOS_MEM_MEM_IFACE_HH
 #define DOLOS_MEM_MEM_IFACE_HH
 
+#include <ostream>
+
 #include "mem/block.hh"
 #include "sim/types.hh"
 
@@ -37,6 +39,12 @@ struct PersistTicket
     Tick acceptTick = 0;
     Tick persistTick = 0;
 };
+
+inline void
+dolosDescribeValue(std::ostream &os, const PersistTicket &t)
+{
+    os << t.acceptTick << '/' << t.persistTick;
+}
 
 /**
  * Downstream-facing memory interface implemented by caches and by the

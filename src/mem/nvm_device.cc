@@ -208,4 +208,69 @@ NvmDevice::hasUnhealableFault(Addr addr) const
            quarantined_.count(aligned);
 }
 
+void
+NvmDevice::crash()
+{
+    // Bank scheduling state and the last-access fault flags live in
+    // the (volatile) device controller; the cell array and the
+    // physical fault state are in the cells and survive.
+    std::fill(bankBusyUntil.begin(), bankBusyUntil.end(), 0);
+    std::fill(bankReadBusyUntil.begin(), bankReadBusyUntil.end(), 0);
+    lastReadMediaError_ = false;
+    lastWriteMediaError_ = false;
+}
+
+persist::StateManifest
+BackingStore::stateManifest(std::function<bool(Addr)> exclude) const
+{
+    persist::StateManifest m("BackingStore");
+    m.add("blocks", persist::Kind::Persistent, [this, exclude] {
+        // Sorted, filtered rendering: the crash path legitimately
+        // rewrites the excluded regions (ADR dump, recovery journal).
+        std::vector<std::pair<std::uint64_t, std::string>> items;
+        for (const auto &[addr, block] : blocks) {
+            if (exclude && exclude(addr))
+                continue;
+            items.emplace_back(addr, persist::describe(block));
+        }
+        std::sort(items.begin(), items.end());
+        std::ostringstream os;
+        os << '{';
+        for (const auto &[addr, s] : items)
+            os << addr << ':' << s << ';';
+        os << '}';
+        return os.str();
+    });
+    return m;
+}
+
+persist::StateManifest
+NvmDevice::stateManifest() const
+{
+    persist::StateManifest m("NvmDevice");
+    DOLOS_MF_CONST(m, params);
+    DOLOS_MF_DELEGATED_P(m, data_);
+    DOLOS_MF_V(m, bankBusyUntil);
+    DOLOS_MF_V(m, bankReadBusyUntil);
+    DOLOS_MF_P(m, transientFlips_);
+    DOLOS_MF_P(m, stuckBits_);
+    DOLOS_MF_P(m, writeFailures_);
+    DOLOS_MF_P(m, quarantined_);
+    DOLOS_MF_P(m, remapped_);
+    DOLOS_MF_V(m, lastReadMediaError_);
+    DOLOS_MF_V(m, lastWriteMediaError_);
+    DOLOS_MF_CONST(m, stats_);
+    DOLOS_MF_P(m, statReads);
+    DOLOS_MF_P(m, statWrites);
+    DOLOS_MF_P(m, statMediaErrorReads);
+    DOLOS_MF_P(m, statMediaErrorWrites);
+    DOLOS_MF_P(m, statQuarantines);
+    DOLOS_MF_P(m, statRemaps);
+    DOLOS_MF_P(m, statBankConflicts);
+    DOLOS_MF_P(m, statReadQueueing);
+    DOLOS_MF_P(m, statWriteQueueing);
+    DOLOS_MF_P(m, statWriteQueueingHist);
+    return m;
+}
+
 } // namespace dolos

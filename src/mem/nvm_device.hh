@@ -22,6 +22,7 @@
 #include "mem/backing_store.hh"
 #include "mem/block.hh"
 #include "mem/mem_iface.hh"
+#include "sim/persist_annotations.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -68,12 +69,25 @@ struct QuarantineRecord
     std::string cause;
 };
 
+inline void
+dolosDescribeValue(std::ostream &os, const QuarantineRecord &r)
+{
+    os << r.addr << "/\"" << r.reason << "\"/" << r.retries << "/\""
+       << r.cause << '"';
+}
+
 /** One block frame remapped onto a spare row. */
 struct RemapRecord
 {
     Addr addr = 0;
     std::string reason;
 };
+
+inline void
+dolosDescribeValue(std::ostream &os, const RemapRecord &r)
+{
+    os << r.addr << "/\"" << r.reason << '"';
+}
 
 /**
  * The NVM module: functional persistent store + bank timing.
@@ -126,6 +140,21 @@ class NvmDevice
 
     /** Earliest tick at which the bank holding @p addr is free. */
     Tick bankFreeAt(Addr addr) const;
+
+    /**
+     * Power failure: the cell array and the physical media-fault
+     * state (wear is in the cells, not in the controller) survive;
+     * bank scheduling state and the last-access fault flags are
+     * volatile controller-side registers and reset.
+     */
+    void crash();
+
+    /**
+     * Register every member into the crash-state manifest. The cell
+     * array (data_) is delegated to BackingStore::stateManifest,
+     * whose snapshot takes the region-exclusion predicate.
+     */
+    persist::StateManifest stateManifest() const;
 
     /** Direct access to the persistent image (crash snapshots). */
     BackingStore &store() { return data_; }
@@ -232,6 +261,31 @@ class NvmDevice
     stats::Average statReadQueueing;
     stats::Average statWriteQueueing;
     stats::Histogram statWriteQueueingHist{500.0, 16};
+
+    // --- crash-state model (see docs/static_analysis.md) ----------
+    DOLOS_STATE_CLASS(NvmDevice);
+    DOLOS_PERSISTENT(params);
+    DOLOS_PERSISTENT(data_);
+    DOLOS_VOLATILE(bankBusyUntil);
+    DOLOS_VOLATILE(bankReadBusyUntil);
+    DOLOS_PERSISTENT(transientFlips_);
+    DOLOS_PERSISTENT(stuckBits_);
+    DOLOS_PERSISTENT(writeFailures_);
+    DOLOS_PERSISTENT(quarantined_);
+    DOLOS_PERSISTENT(remapped_);
+    DOLOS_VOLATILE(lastReadMediaError_);
+    DOLOS_VOLATILE(lastWriteMediaError_);
+    DOLOS_PERSISTENT(stats_);
+    DOLOS_PERSISTENT(statReads);
+    DOLOS_PERSISTENT(statWrites);
+    DOLOS_PERSISTENT(statMediaErrorReads);
+    DOLOS_PERSISTENT(statMediaErrorWrites);
+    DOLOS_PERSISTENT(statQuarantines);
+    DOLOS_PERSISTENT(statRemaps);
+    DOLOS_PERSISTENT(statBankConflicts);
+    DOLOS_PERSISTENT(statReadQueueing);
+    DOLOS_PERSISTENT(statWriteQueueing);
+    DOLOS_PERSISTENT(statWriteQueueingHist);
 };
 
 } // namespace dolos

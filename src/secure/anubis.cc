@@ -95,4 +95,16 @@ AnubisShadow::scan(unsigned media_retry_limit)
     return result;
 }
 
+persist::StateManifest
+AnubisShadow::stateManifest() const
+{
+    persist::StateManifest m("AnubisShadow");
+    DOLOS_MF_CONST(m, slots);
+    DOLOS_MF_CONST(m, nvm);
+    DOLOS_MF_CONST(m, mac);
+    DOLOS_MF_CONST(m, stats_);
+    DOLOS_MF_P(m, statWrites);
+    return m;
+}
+
 } // namespace dolos

@@ -24,6 +24,7 @@
 #include "mem/nvm_device.hh"
 #include "secure/address_map.hh"
 #include "secure/counters.hh"
+#include "sim/persist_annotations.hh"
 #include "sim/stats.hh"
 
 namespace dolos
@@ -87,6 +88,9 @@ class AnubisShadow
     std::uint64_t writes() const { return statWrites.value(); }
     stats::StatGroup &statGroup() { return stats_; }
 
+    /** Register every member into the crash-state manifest. */
+    persist::StateManifest stateManifest() const;
+
   private:
     crypto::MacTag entryMac(Addr page_idx, const Block &packed,
                             std::uint64_t seq) const;
@@ -97,6 +101,14 @@ class AnubisShadow
 
     stats::StatGroup stats_;
     stats::Scalar statWrites;
+
+    // --- crash-state model (see docs/static_analysis.md) ----------
+    DOLOS_STATE_CLASS(AnubisShadow);
+    DOLOS_PERSISTENT(slots);
+    DOLOS_PERSISTENT(nvm);
+    DOLOS_PERSISTENT(mac);
+    DOLOS_PERSISTENT(stats_);
+    DOLOS_PERSISTENT(statWrites);
 };
 
 } // namespace dolos

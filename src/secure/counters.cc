@@ -63,4 +63,12 @@ CounterStore::increment(Addr a)
     return r;
 }
 
+persist::StateManifest
+CounterStore::stateManifest() const
+{
+    persist::StateManifest m("CounterStore");
+    DOLOS_MF_V(m, pages);
+    return m;
+}
+
 } // namespace dolos

@@ -19,6 +19,7 @@
 
 #include "mem/block.hh"
 #include "secure/address_map.hh"
+#include "sim/persist_annotations.hh"
 
 namespace dolos
 {
@@ -51,6 +52,12 @@ struct CounterPage
         return major == o.major && minors == o.minors;
     }
 };
+
+inline void
+dolosDescribeValue(std::ostream &os, const CounterPage &p)
+{
+    os << p.major << '/' << persist::describe(p.minors);
+}
 
 /** Result of bumping a block's counter. */
 struct CounterBump
@@ -104,8 +111,15 @@ class CounterStore
         return pages;
     }
 
+    /** Register every member into the crash-state manifest. */
+    persist::StateManifest stateManifest() const;
+
   private:
     std::unordered_map<Addr, CounterPage> pages;
+
+    // --- crash-state model (see docs/static_analysis.md) ----------
+    DOLOS_STATE_CLASS(CounterStore);
+    DOLOS_VOLATILE(pages);
 };
 
 } // namespace dolos

@@ -130,4 +130,16 @@ MerkleTree::rebuild(const std::unordered_map<Addr, CounterPage> &pages)
     }
 }
 
+persist::StateManifest
+MerkleTree::stateManifest() const
+{
+    persist::StateManifest m("MerkleTree");
+    DOLOS_MF_CONST(m, numLeaves);
+    DOLOS_MF_CONST(m, mac);
+    DOLOS_MF_CONST(m, levelSizes);
+    DOLOS_MF_CONST(m, defaults);
+    DOLOS_MF_V(m, nodes);
+    return m;
+}
+
 } // namespace dolos

@@ -22,6 +22,7 @@
 
 #include "crypto/mac_engine.hh"
 #include "secure/counters.hh"
+#include "sim/persist_annotations.hh"
 #include "sim/types.hh"
 
 namespace dolos
@@ -94,6 +95,9 @@ class MerkleTree
     /** Number of explicitly stored (non-default) nodes. */
     std::size_t numStoredNodes() const { return nodes.size(); }
 
+    /** Register every member into the crash-state manifest. */
+    persist::StateManifest stateManifest() const;
+
   private:
     static std::uint64_t key(unsigned level, Addr idx);
 
@@ -109,6 +113,14 @@ class MerkleTree
     std::vector<Addr> levelSizes;           ///< per-level node counts
     std::vector<crypto::MacTag> defaults;   ///< per-level default tags
     std::unordered_map<std::uint64_t, crypto::MacTag> nodes;
+
+    // --- crash-state model (see docs/static_analysis.md) ----------
+    DOLOS_STATE_CLASS(MerkleTree);
+    DOLOS_PERSISTENT(numLeaves);
+    DOLOS_PERSISTENT(mac);
+    DOLOS_PERSISTENT(levelSizes);
+    DOLOS_PERSISTENT(defaults);
+    DOLOS_VOLATILE(nodes);
 };
 
 } // namespace dolos

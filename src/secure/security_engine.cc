@@ -1101,4 +1101,62 @@ SecurityEngine::scrubMetadata()
     return rep;
 }
 
+persist::StateManifest
+SecurityEngine::stateManifest() const
+{
+    persist::StateManifest m("SecurityEngine");
+    DOLOS_MF_CONST(m, params);
+    DOLOS_MF_CONST(m, nvm_);
+    DOLOS_MF_CONST(m, mac);
+    DOLOS_MF_CONST(m, padGen);
+    DOLOS_MF_DELEGATED_V(m, counters);
+    DOLOS_MF_DELEGATED_V(m, tree);
+    DOLOS_MF_DELEGATED_V(m, ctrCache);
+    DOLOS_MF_DELEGATED_V(m, mtCache);
+    DOLOS_MF_DELEGATED_P(m, shadow);
+    DOLOS_MF_P(m, rootRegister);
+    DOLOS_MF_P(m, shadowSeq);
+    DOLOS_MF_V(m, busyUntil_);
+    DOLOS_MF_CONST(m, stats_);
+    DOLOS_MF_P(m, statWrites);
+    DOLOS_MF_P(m, statReads);
+    DOLOS_MF_P(m, statAttacks);
+    DOLOS_MF_P(m, statOverflows);
+    DOLOS_MF_P(m, statColdReads);
+    DOLOS_MF_P(m, statMediaRetries);
+    DOLOS_MF_P(m, statMediaHealed);
+    DOLOS_MF_P(m, statQuarantineReads);
+    DOLOS_MF_P(m, statMetaMediaFaults);
+    DOLOS_MF_P(m, statCounterBlocksRebuilt);
+    DOLOS_MF_P(m, statTreeNodesRepaired);
+    DOLOS_MF_P(m, statMacBlocksRebuilt);
+    DOLOS_MF_P(m, statCascadedBlocks);
+    DOLOS_MF_P(m, statShadowSlotsSkipped);
+    DOLOS_MF_P(m, statRootReanchored);
+    DOLOS_MF_P(m, statScrubPasses);
+    DOLOS_MF_P(m, statScrubRepairs);
+    DOLOS_MF_P(m, statCtrFetchCycles);
+    DOLOS_MF_P(m, statAesCycles);
+    DOLOS_MF_P(m, statMacCycles);
+    DOLOS_MF_P(m, statBmtCycles);
+    DOLOS_MF_P(m, statWriteLatency);
+    DOLOS_MF_P(m, statReadLatency);
+    DOLOS_MF_P(m, statTreeWalkLevels);
+    DOLOS_MF_P(m, statWriteLatencyHist);
+    DOLOS_MF_P(m, statReadLatencyHist);
+    return m;
+}
+
+void
+SecurityEngine::collectStateManifests(
+    std::vector<persist::StateManifest> &out) const
+{
+    out.push_back(stateManifest());
+    out.push_back(counters.stateManifest());
+    out.push_back(tree.stateManifest());
+    out.push_back(ctrCache.stateManifest("ctrCache"));
+    out.push_back(mtCache.stateManifest("mtCache"));
+    out.push_back(shadow.stateManifest());
+}
+
 } // namespace dolos

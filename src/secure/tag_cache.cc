@@ -138,6 +138,26 @@ TagCache::invalidateAll()
     for (auto &line : lines)
         line = Line{};
     entries = 0;
+    // The LRU clock is volatile state too: a rebooted machine starts
+    // at zero, and a survivor here would leak pre-crash recency into
+    // post-recovery victim selection.
+    useClock = 0;
+}
+
+persist::StateManifest
+TagCache::stateManifest(std::string instance) const
+{
+    persist::StateManifest m("TagCache", std::move(instance));
+    DOLOS_MF_CONST(m, params);
+    DOLOS_MF_CONST(m, numSets);
+    DOLOS_MF_V(m, lines);
+    DOLOS_MF_V(m, useClock);
+    DOLOS_MF_V(m, entries);
+    DOLOS_MF_CONST(m, stats_);
+    DOLOS_MF_P(m, statHits);
+    DOLOS_MF_P(m, statMisses);
+    DOLOS_MF_P(m, statDirtyEv);
+    return m;
 }
 
 } // namespace dolos

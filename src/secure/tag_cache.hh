@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "sim/logging.hh"
+#include "sim/persist_annotations.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -87,6 +88,9 @@ class TagCache
     std::size_t numEntries() const { return entries; }
     stats::StatGroup &statGroup() { return stats_; }
 
+    /** Register every member into the crash-state manifest. */
+    persist::StateManifest stateManifest(std::string instance) const;
+
   private:
     struct Line
     {
@@ -94,6 +98,13 @@ class TagCache
         bool dirty = false;
         Addr tag = 0;
         std::uint64_t lastUse = 0;
+
+        friend void
+        dolosDescribeValue(std::ostream &os, const Line &l)
+        {
+            os << l.valid << '/' << l.dirty << '/' << l.tag << '/'
+               << l.lastUse;
+        }
     };
 
     std::size_t setIndex(Addr addr) const;
@@ -110,6 +121,18 @@ class TagCache
     stats::Scalar statHits;
     stats::Scalar statMisses;
     stats::Scalar statDirtyEv;
+
+    // --- crash-state model (see docs/static_analysis.md) ----------
+    DOLOS_STATE_CLASS(TagCache);
+    DOLOS_PERSISTENT(params);
+    DOLOS_PERSISTENT(numSets);
+    DOLOS_VOLATILE(lines);
+    DOLOS_VOLATILE(useClock);
+    DOLOS_VOLATILE(entries);
+    DOLOS_PERSISTENT(stats_);
+    DOLOS_PERSISTENT(statHits);
+    DOLOS_PERSISTENT(statMisses);
+    DOLOS_PERSISTENT(statDirtyEv);
 };
 
 } // namespace dolos

@@ -306,7 +306,7 @@ collectLeaves(const Value &v, const std::string &path,
 std::optional<Value>
 parse(const std::string &text, std::string *error)
 {
-    Parser p{text};
+    Parser p{text, 0, {}};
     Value v;
     if (!p.parseValue(v)) {
         if (error)

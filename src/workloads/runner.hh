@@ -49,6 +49,11 @@ struct RunResult
 /** Crash injection request. */
 struct CrashPlan
 {
+    CrashPlan() = default;
+
+    /** The common case: only a crash point, no hooks. */
+    explicit CrashPlan(std::uint64_t at_op) : atOp(at_op) {}
+
     /** Power fails at the Nth environment operation of the run. */
     std::uint64_t atOp = 0;
 

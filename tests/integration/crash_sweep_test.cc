@@ -101,7 +101,7 @@ TEST(CrashEpochs, RepeatedCrashesOnOneMachine)
     bool first = true;
     for (int epoch = 0; epoch < 5; ++epoch) {
         const auto res = runWorkload(
-            sys, *wl, 20, CrashPlan{.atOp = 500 + std::uint64_t(epoch) * 137},
+            sys, *wl, 20, CrashPlan{500 + std::uint64_t(epoch) * 137},
             first);
         first = false;
         ASSERT_TRUE(res.verified)
@@ -118,7 +118,7 @@ TEST(CrashEpochs, CleanRunThenCrashThenContinue)
     ASSERT_TRUE(r1.verified) << r1.verifyDiagnostic;
 
     const auto r2 =
-        runWorkload(sys, *wl, 30, CrashPlan{.atOp = 700}, false);
+        runWorkload(sys, *wl, 30, CrashPlan{700}, false);
     ASSERT_TRUE(r2.verified) << r2.verifyDiagnostic;
 
     const auto r3 = runWorkload(sys, *wl, 30, std::nullopt, false);

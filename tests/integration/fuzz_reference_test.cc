@@ -128,8 +128,9 @@ TEST_P(FuzzReference, FlushedStateSurvivesRandomCrashPoints)
     EXPECT_TRUE(golden.clean())
         << (golden.diagnostics().empty() ? std::string()
                                          : golden.diagnostics().front());
-    if (GetParam() != SecurityMode::PostWpqUnprotected)
+    if (GetParam() != SecurityMode::PostWpqUnprotected) {
         EXPECT_EQ(golden.crashesSeen(), 4u);
+    }
     sys.core().setObserver(nullptr);
 }
 

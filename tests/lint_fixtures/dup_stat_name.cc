@@ -1,0 +1,10 @@
+// Planted violation [stat-name]: two statistics registered on the
+// same group with the same name (the runtime only panics when this
+// constructor actually runs).
+
+FixtureStats::FixtureStats()
+{
+    stats_.addScalar(&statHits, "hits", "cache hits");
+    stats_.addAverage(&statLatency, "latency", "per-op latency");
+    stats_.addScalar(&statMisses, "hits", "oops: name collision");
+}

@@ -1,0 +1,22 @@
+// Planted violation [state-class]: 'field' is annotated twice.
+
+class FixtureDupTag
+{
+  public:
+    persist::StateManifest stateManifest() const;
+
+  private:
+    int field = 0;
+
+    DOLOS_STATE_CLASS(FixtureDupTag);
+    DOLOS_PERSISTENT(field);
+    DOLOS_VOLATILE(field);
+};
+
+persist::StateManifest
+FixtureDupTag::stateManifest() const
+{
+    persist::StateManifest m("FixtureDupTag");
+    DOLOS_MF_P(m, field);
+    return m;
+}

@@ -1,0 +1,12 @@
+// Planted violations [format]: conversion/argument count mismatches
+// in printf-family and logging calls (plus one correct call that
+// must NOT be flagged).
+
+void
+fixtureFormat(unsigned n, const char *name)
+{
+    std::printf("ok: %u ops on %s\n", n, name);
+    std::printf("missing arg: %u ops on %s\n", n);
+    warn("too many args: %u\n", n, name);
+    DOLOS_ASSERT(n > 0, "n was %u for %s", n);
+}

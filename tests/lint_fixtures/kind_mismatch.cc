@@ -1,0 +1,22 @@
+// Planted violation [manifest]: the header tags 'cursor' volatile
+// but the manifest registers it persistent.
+
+class FixtureKind
+{
+  public:
+    persist::StateManifest stateManifest() const;
+
+  private:
+    int cursor = 0;
+
+    DOLOS_STATE_CLASS(FixtureKind);
+    DOLOS_VOLATILE(cursor);
+};
+
+persist::StateManifest
+FixtureKind::stateManifest() const
+{
+    persist::StateManifest m("FixtureKind");
+    DOLOS_MF_P(m, cursor);
+    return m;
+}

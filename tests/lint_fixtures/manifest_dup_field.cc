@@ -1,0 +1,23 @@
+// Planted violation [manifest]: stateManifest() registers the same
+// field twice.
+
+class FixtureDupField
+{
+  public:
+    persist::StateManifest stateManifest() const;
+
+  private:
+    int field = 0;
+
+    DOLOS_STATE_CLASS(FixtureDupField);
+    DOLOS_PERSISTENT(field);
+};
+
+persist::StateManifest
+FixtureDupField::stateManifest() const
+{
+    persist::StateManifest m("FixtureDupField");
+    DOLOS_MF_P(m, field);
+    DOLOS_MF_P(m, field);
+    return m;
+}

@@ -1,0 +1,11 @@
+// Planted violation [manifest]: a state class with no
+// stateManifest() definition anywhere.
+
+class FixtureNoManifest
+{
+  private:
+    int field = 0;
+
+    DOLOS_STATE_CLASS(FixtureNoManifest);
+    DOLOS_PERSISTENT(field);
+};

@@ -1,0 +1,24 @@
+// Planted violation [manifest]: 'left_out' is tagged in the class
+// body but never registered by stateManifest().
+
+class FixtureMissingField
+{
+  public:
+    persist::StateManifest stateManifest() const;
+
+  private:
+    int covered = 0;
+    int left_out = 0;
+
+    DOLOS_STATE_CLASS(FixtureMissingField);
+    DOLOS_PERSISTENT(covered);
+    DOLOS_PERSISTENT(left_out);
+};
+
+persist::StateManifest
+FixtureMissingField::stateManifest() const
+{
+    persist::StateManifest m("FixtureMissingField");
+    DOLOS_MF_P(m, covered);
+    return m;
+}

@@ -1,0 +1,9 @@
+// Planted violation [state-class]: 'NvmDevice' is on the built-in
+// crash-relevant class list, so defining it without a
+// DOLOS_STATE_CLASS marker must be flagged.
+
+class NvmDevice
+{
+  private:
+    int banks = 0;
+};

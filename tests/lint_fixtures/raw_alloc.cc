@@ -1,0 +1,11 @@
+// Planted violation [raw-alloc]: one raw allocation that must be
+// flagged, and one carrying the suppression comment that must NOT
+// be (so the run ends with exactly 1 violation).
+
+void
+fixtureAlloc()
+{
+    int *leaked = new int(7);
+    void *arena = malloc(64); // dolos-lint: allow(raw-alloc)
+    use(leaked, arena);
+}

@@ -1,0 +1,9 @@
+// Planted violation [trace-arity]: DOLOS_TRACE takes exactly
+// (stage, start, end, addr, id); this site forgot the id.
+
+void
+fixtureTrace(Tick start, Tick end, Addr addr)
+{
+    DOLOS_TRACE(trace::Stage::NvmWrite, start, end, addr, 0);
+    DOLOS_TRACE(trace::Stage::NvmRead, start, end, addr);
+}

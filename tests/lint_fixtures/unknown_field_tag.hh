@@ -1,0 +1,24 @@
+// Planted violation [state-class]: the tag names a member 'ghost'
+// that the class does not declare.
+
+class FixtureGhostTag
+{
+  public:
+    persist::StateManifest stateManifest() const;
+
+  private:
+    int real = 0;
+
+    DOLOS_STATE_CLASS(FixtureGhostTag);
+    DOLOS_PERSISTENT(real);
+    DOLOS_PERSISTENT(ghost);
+};
+
+persist::StateManifest
+FixtureGhostTag::stateManifest() const
+{
+    persist::StateManifest m("FixtureGhostTag");
+    DOLOS_MF_P(m, real);
+    DOLOS_MF_P(m, ghost);
+    return m;
+}

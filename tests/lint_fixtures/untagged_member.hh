@@ -1,0 +1,23 @@
+// Planted violation [state-class]: member 'untagged' of a state
+// class carries no DOLOS_PERSISTENT / DOLOS_VOLATILE annotation.
+
+class FixtureUntagged
+{
+  public:
+    persist::StateManifest stateManifest() const;
+
+  private:
+    int tagged = 0;
+    int untagged = 0;
+
+    DOLOS_STATE_CLASS(FixtureUntagged);
+    DOLOS_PERSISTENT(tagged);
+};
+
+persist::StateManifest
+FixtureUntagged::stateManifest() const
+{
+    persist::StateManifest m("FixtureUntagged");
+    DOLOS_MF_P(m, tagged);
+    return m;
+}

@@ -88,8 +88,9 @@ TEST_P(WorkloadTest, CrashDuringRunRecoversConsistently)
         EXPECT_TRUE(res.verified)
             << GetParam() << " crash at op " << crash_op << ": "
             << res.verifyDiagnostic;
-        if (res.crashed)
+        if (res.crashed) {
             EXPECT_LT(res.transactions, 60u);
+        }
         EXPECT_FALSE(sys.attackDetected());
     }
 }

@@ -24,6 +24,7 @@
 #include "sim/exit_codes.hh"
 #include "sim/trace.hh"
 #include "verify/fault_injector.hh"
+#include "verify/manifest_check.hh"
 #include "workloads/runner.hh"
 
 using namespace dolos;
@@ -54,6 +55,7 @@ struct Options
     std::string damageJsonFile; ///< --damage-json: media damage report
     std::uint64_t scrubInterval = 0;  ///< --scrub-interval (0 = off)
     std::optional<unsigned> spares;   ///< --spares: NVM spare frames
+    bool verifyManifest = false; ///< --verify-manifest: crash-state check
 };
 
 [[noreturn]] void
@@ -94,6 +96,9 @@ usage(int code)
         "                      metadata (0 forces cascade-quarantine)\n"
         "  --damage-json FILE  write the media damage report "
         "('-' = stdout)\n"
+        "  --verify-manifest   run the power-loss differential of the\n"
+        "                      annotated crash-state model in all three\n"
+        "                      Mi-SU modes, then exit (uses --seed)\n"
         "  --seed N | --stats | --list | --help\n"
         "exit codes: 0 ok, 1 verification failure, 2 usage, "
         "3 attack alarm,\n"
@@ -172,6 +177,8 @@ parse(int argc, char **argv)
             o.spares = unsigned(numValue());
         else if (a == "--damage-json")
             o.damageJsonFile = value();
+        else if (a == "--verify-manifest")
+            o.verifyManifest = true;
         else if (a == "--list") {
             for (const auto &n : extendedWorkloadNames())
                 std::printf("%s\n", n.c_str());
@@ -217,6 +224,18 @@ int
 main(int argc, char **argv)
 {
     const Options o = parse(argc, argv);
+
+    if (o.verifyManifest) {
+        bool ok = true;
+        for (const auto &res :
+             verify::verifyCrashManifestAllModes(o.seed)) {
+            std::fputs(verify::formatManifestReport(res).c_str(),
+                       stdout);
+            ok = ok && res.ok();
+        }
+        std::printf("verify-manifest     : %s\n", ok ? "PASS" : "FAIL");
+        return ok ? ExitOk : ExitViolation;
+    }
 
     if (!o.traceFile.empty()) {
 #if DOLOS_TRACING
