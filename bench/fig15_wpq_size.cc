@@ -20,6 +20,7 @@ main(int argc, char **argv)
     printHeader("Figure 15: speedup vs WPQ size (Partial-WPQ-MiSU)",
                 "1.66x/1.85x/1.87x/1.88x at 13/28/57/113 entries; "
                 "retries 201/29/14/11", opts);
+    BenchReport report("fig15_wpq_size", opts);
 
     struct Point
     {
@@ -51,15 +52,28 @@ main(int argc, char **argv)
             speedups[i].push_back(s);
             retries[i].push_back(dolos.retriesPerKwr);
             std::printf(" %9.2fx", s);
+            const std::string key =
+                wl + ".wpq" + std::to_string(points[i].partial);
+            report.add(key + ".speedup", s);
+            report.add(key + ".retriesPerKwr", dolos.retriesPerKwr);
         }
         std::printf("\n");
     }
     std::printf("%-12s", "average");
-    for (const auto &col : speedups)
-        std::printf(" %9.2fx", mean(col));
+    for (std::size_t i = 0; i < std::size(points); ++i) {
+        std::printf(" %9.2fx", mean(speedups[i]));
+        report.add("average.wpq" + std::to_string(points[i].partial) +
+                       ".speedup",
+                   mean(speedups[i]));
+    }
     std::printf("\n%-12s", "retries/KWR");
-    for (const auto &col : retries)
-        std::printf(" %10.2f", mean(col));
+    for (std::size_t i = 0; i < std::size(points); ++i) {
+        std::printf(" %10.2f", mean(retries[i]));
+        report.add("average.wpq" + std::to_string(points[i].partial) +
+                       ".retriesPerKwr",
+                   mean(retries[i]));
+    }
     std::printf("\n");
+    report.write();
     return 0;
 }

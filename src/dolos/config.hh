@@ -93,6 +93,17 @@ struct WpqParams
     /** Enable write coalescing via the volatile tag array. */
     bool coalescing = true;
 
+    /**
+     * Drain-scheduler batching (SecPM-style): at drain-issue time,
+     * skip the security processing of a WPQ entry that a newer entry
+     * to the same cacheline supersedes — the newer entry carries the
+     * line's final contents and its own drain covers persistence.
+     * Only reachable when insertion-time coalescing missed the merge
+     * (e.g. coalescing disabled); accounting stays exact. Default
+     * off.
+     */
+    bool drainBatching = false;
+
     /** Usable entries for the given mode. */
     unsigned
     entriesFor(SecurityMode mode) const
@@ -143,6 +154,33 @@ struct SystemConfig
  * config is a loud error, never a silently-clamped value.
  */
 std::string validateConfig(const SystemConfig &cfg);
+
+/**
+ * The three persist-path optimization levers as one bundle, so CLI
+ * tools, torture lanes and benches flip them consistently.
+ */
+struct OptKnobs
+{
+    bool bmtPipeline = false;
+    bool drainBatching = false;
+    bool tagPrefetch = false;
+
+    bool
+    any() const
+    {
+        return bmtPipeline || drainBatching || tagPrefetch;
+    }
+};
+
+/**
+ * Parse an --opt-knobs spec: "none", "all", or a comma-separated
+ * subset of bmt-pipeline,drain-batch,tag-prefetch. Unknown names
+ * yield nullopt — callers must reject them.
+ */
+std::optional<OptKnobs> parseOptKnobs(const std::string &spec);
+
+/** Apply a knob bundle to a configuration. */
+void applyOptKnobs(SystemConfig &cfg, const OptKnobs &knobs);
 
 } // namespace dolos
 

@@ -91,7 +91,51 @@ validateConfig(const SystemConfig &cfg)
     if (cfg.secure.macOpsEagerWrite == 0 ||
         cfg.secure.macOpsLazyWrite == 0)
         return "secure.macOps per write must be nonzero";
+    if (cfg.secure.bmtPipeline && cfg.secure.bmtPipelineWindow == 0)
+        return "secure.bmtPipelineWindow must be nonzero when "
+               "bmtPipeline is enabled";
     return "";
+}
+
+std::optional<OptKnobs>
+parseOptKnobs(const std::string &spec)
+{
+    OptKnobs knobs;
+    if (spec == "none")
+        return knobs;
+    if (spec == "all") {
+        knobs.bmtPipeline = true;
+        knobs.drainBatching = true;
+        knobs.tagPrefetch = true;
+        return knobs;
+    }
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        const std::size_t comma = spec.find(',', pos);
+        const std::string name =
+            spec.substr(pos, comma == std::string::npos ? spec.size() - pos
+                                                        : comma - pos);
+        if (name == "bmt-pipeline")
+            knobs.bmtPipeline = true;
+        else if (name == "drain-batch")
+            knobs.drainBatching = true;
+        else if (name == "tag-prefetch")
+            knobs.tagPrefetch = true;
+        else
+            return std::nullopt;
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return knobs;
+}
+
+void
+applyOptKnobs(SystemConfig &cfg, const OptKnobs &knobs)
+{
+    cfg.secure.bmtPipeline = knobs.bmtPipeline;
+    cfg.wpq.drainBatching = knobs.drainBatching;
+    cfg.secure.tagPrefetch = knobs.tagPrefetch;
 }
 
 SecureMemController::SecureMemController(const SystemConfig &cfg,
@@ -125,6 +169,9 @@ SecureMemController::SecureMemController(const SystemConfig &cfg,
     stats_.addScalar(&statReads, "reads", "reads reaching the controller");
     stats_.addScalar(&statStallCycles, "wpqStallCycles",
                      "cycles writes waited for a free WPQ slot");
+    stats_.addScalar(&statDrainsBatched, "drainsBatched",
+                     "drains elided because a newer same-line entry "
+                     "supersedes them (drainBatching)");
     stats_.addAverage(&statPersistLatency, "persistLatency",
                       "cycles from arrival to persistence");
     stats_.addAverage(&statOccupancy, "occupancy",
@@ -239,6 +286,17 @@ SecureMemController::drainEntry(WpqEntry &e)
                 (unsigned long long)done);
 }
 
+bool
+SecureMemController::supersededAtDrain(const WpqEntry &e) const
+{
+    const auto it = tagArray.find(e.addr);
+    // The tag array always maps an address to its *newest* WPQ entry,
+    // and FIFO order means that entry is still queued behind e (it
+    // cannot have retired while e sits in front of it). A mismatched
+    // id therefore proves a newer same-line entry exists.
+    return it != tagArray.end() && it->second != e.id;
+}
+
 void
 SecureMemController::processDrainsUntil(Tick t)
 {
@@ -256,7 +314,27 @@ SecureMemController::processDrainsUntil(Tick t)
         }
         if (start > t)
             break;
-        drainEntry(e);
+        if (cfg.wpq.drainBatching && supersededAtDrain(e)) {
+            // Same-line merge at drain issue: the newer entry holds
+            // the line's final contents and its own (later) drain
+            // persists them, so this entry's security work and NVM
+            // write are elided. The slot frees immediately; WPQ and
+            // Mi-SU accounting stay exact.
+            e.drained = true;
+            e.releaseTick = start;
+            ++statDrainsBatched;
+            statDrainLatency.sample(double(start - e.persistTick));
+            if (misu_)
+                misu_->clearSlot(slotOf(e));
+            DOLOS_TRACE(trace::Stage::WpqBatch, e.persistTick, start,
+                        e.addr, e.id);
+            debugPrintf("Wpq",
+                        "batch id=%llu addr=0x%llx superseded",
+                        (unsigned long long)e.id,
+                        (unsigned long long)e.addr);
+        } else {
+            drainEntry(e);
+        }
         ++drainCursor;
     }
     retireReleased(t);
@@ -378,6 +456,16 @@ SecureMemController::enqueueWrite(Addr addr, const Block &data, Tick now)
 
     wpq.push_back(e);
     tagArray[e.addr] = e.id;
+
+    // Tag prefetch: the entry will sit in the WPQ until the Ma-SU
+    // drains it — warm its counter block now so the drain-time fetch
+    // overlaps the queue wait. Only modes whose engine runs *after*
+    // the WPQ benefit; the engine enforces the tagPrefetch knob and
+    // the never-evict-dirty rule.
+    if (isDolosMode(cfg.mode) ||
+        cfg.mode == SecurityMode::PostWpqUnprotected)
+        engine.prefetchCounter(e.addr);
+
     statPersistLatency.sample(double(e.persistTick - now));
     statPersistLatencyHist.sample(double(e.persistTick - now));
     DOLOS_TRACE(trace::Stage::WpqInsert, now, e.persistTick, e.addr,
@@ -778,6 +866,7 @@ SecureMemController::stateManifest() const
     DOLOS_MF_P(m, statWpqReadHits);
     DOLOS_MF_P(m, statReads);
     DOLOS_MF_P(m, statStallCycles);
+    DOLOS_MF_P(m, statDrainsBatched);
     DOLOS_MF_P(m, statPersistLatency);
     DOLOS_MF_P(m, statOccupancy);
     DOLOS_MF_P(m, statDrainLatency);

@@ -71,6 +71,14 @@ SecurityEngine::SecurityEngine(const SecureParams &p, NvmDevice &nvm)
                      "write-path cycles computing data MACs");
     stats_.addScalar(&statBmtCycles, "bmtCycles",
                      "write-path cycles climbing the integrity tree");
+    stats_.addScalar(&statBmtCoalesced, "bmtCoalescedUpdates",
+                     "tree levels coalesced onto in-flight root-path "
+                     "updates (bmtPipeline)");
+    stats_.addScalar(&statTagPrefetchIssued, "tagPrefetchIssued",
+                     "counter blocks warmed at WPQ admission");
+    stats_.addScalar(&statTagPrefetchHits, "tagPrefetchHits",
+                     "demand counter fetches that hit a prefetched "
+                     "block");
     stats_.addAverage(&statWriteLatency, "writeLatency",
                       "security-op cycles per write");
     stats_.addAverage(&statReadLatency, "readLatency",
@@ -394,10 +402,18 @@ SecurityEngine::fetchCounter(Addr addr, Tick start, bool for_write)
 {
     const Addr cb_addr = AddressMap::counterBlockAddr(addr);
     if (ctrCache.lookup(cb_addr)) {
+        if (const auto it = prefetchPending.find(cb_addr);
+            it != prefetchPending.end()) {
+            ++statTagPrefetchHits;
+            prefetchPending.erase(it);
+        }
         if (for_write)
             ctrCache.markDirty(cb_addr);
         return start;
     }
+    // A miss on a block we prefetched means the warm line was evicted
+    // before any demand touch: the prefetch was wasted, not a hit.
+    prefetchPending.erase(cb_addr);
 
     // Miss: fetch the counter block from NVM. A device-flagged read
     // is suspect cells, not evidence of tamper: retry with doubling
@@ -516,6 +532,106 @@ SecurityEngine::reencryptPage(Addr page_idx, const CounterPage &old_page,
     return done;
 }
 
+Tick
+SecurityEngine::chargeBmtClimb(Addr page_idx, Tick start)
+{
+    const unsigned bmt_levels = writeMacOps() - 1;
+    unsigned charged = bmt_levels;
+    Tick joined_done = 0;
+
+    if (params.bmtPipeline) {
+        // Retire window entries whose root update already completed:
+        // their per-level engines are free again and their path is no
+        // longer in flight.
+        std::erase_if(bmtInflight, [&](const BmtInflight &e) {
+            return e.done <= start;
+        });
+
+        // Find the in-flight path sharing the most ancestor levels
+        // with this write. Timing level L of a climb touches ancestor
+        // page_idx >> (3*L) (8-ary tree); two paths join at the first
+        // L where the ancestors match and share everything above.
+        unsigned best_shared = 0;
+        for (const BmtInflight &e : bmtInflight) {
+            unsigned join = bmt_levels;
+            for (unsigned lvl = 0; lvl < bmt_levels; ++lvl) {
+                if ((page_idx >> (3 * lvl)) ==
+                    (e.pageIdx >> (3 * lvl))) {
+                    join = lvl;
+                    break;
+                }
+            }
+            const unsigned shared = bmt_levels - join;
+            if (shared > best_shared) {
+                best_shared = shared;
+                joined_done = e.done;
+            }
+        }
+        if (best_shared > 0) {
+            charged = bmt_levels - best_shared;
+            statBmtCoalesced += best_shared;
+        }
+    }
+
+    statBmtCycles += Cycles(charged) * params.macLatency;
+
+    // The root is always updated last: a climb that coalesced its
+    // upper levels onto an in-flight update completes no earlier
+    // than that update does — the shared ancestors (and the root)
+    // are applied by the joined climb's final stage.
+    const Tick done =
+        std::max(start + Cycles(charged) * params.macLatency,
+                 joined_done);
+
+    if (params.bmtPipeline) {
+        bmtInflight.push_back({page_idx, start, done});
+        if (bmtInflight.size() > params.bmtPipelineWindow)
+            bmtInflight.erase(bmtInflight.begin());
+    }
+    return done;
+}
+
+void
+SecurityEngine::prefetchCounter(Addr addr)
+{
+    if (!params.tagPrefetch)
+        return;
+    const Addr cb_addr = AddressMap::counterBlockAddr(addr);
+    if (ctrCache.contains(cb_addr))
+        return;
+    // Never displace a dirty line: it may be about to be drained and
+    // its eviction would post an NVM metadata write the serial demand
+    // path never issued.
+    if (ctrCache.wouldEvictDirty(cb_addr))
+        return;
+    if (nvm_.isQuarantined(cb_addr))
+        return;
+
+    // Run the same functional checks the demand path would — tamper
+    // detection must not get weaker (or quieter) because the block
+    // arrived early. A media-flagged frame keeps its demand-path
+    // retry/repair semantics: skip and let the drain handle it.
+    const Block raw = nvm_.readFunctionalChecked(cb_addr);
+    if (nvm_.lastReadMediaError())
+        return;
+    ++statTagPrefetchIssued;
+    const Addr page_idx = AddressMap::pageOf(addr);
+    const CounterPage fetched = CounterPage::unpack(raw);
+    if (counters.hasPage(page_idx)) {
+        if (!(fetched == counters.page(page_idx))) {
+            ++statAttacks;
+            warn("counter block 0x%llx modified in NVM",
+                 (unsigned long long)cb_addr);
+        }
+    } else {
+        verifyFetchedPage(page_idx, fetched);
+        counters.restorePage(page_idx, fetched);
+    }
+    const auto ev = ctrCache.insert(cb_addr, false);
+    DOLOS_ASSERT(!ev, "tag prefetch evicted a dirty line");
+    prefetchPending.insert(cb_addr);
+}
+
 SecureWriteResult
 SecurityEngine::secureWrite(Addr addr, const Block &plaintext,
                             Tick arrival)
@@ -555,15 +671,15 @@ SecurityEngine::secureWrite(Addr addr, const Block &plaintext,
 
     // Data MAC + integrity-tree update: the configured number of
     // serial MAC operations (Table 1: 10 eager / 4 lazy). One MAC op
-    // authenticates the data block; the remainder climb the BMT.
+    // authenticates the data block; the remainder climb the BMT —
+    // serially, or coalesced against the in-flight window when
+    // bmtPipeline is on (chargeBmtClimb).
     const Tick mac_start = t;
-    t += Cycles(writeMacOps()) * params.macLatency;
+    const Tick mac_end = t + params.macLatency;
     statMacCycles += params.macLatency;
-    statBmtCycles += Cycles(writeMacOps() - 1) * params.macLatency;
-    DOLOS_TRACE(trace::Stage::MasuMac, mac_start,
-                mac_start + params.macLatency, addr, 0);
-    DOLOS_TRACE(trace::Stage::MasuBmt, mac_start + params.macLatency,
-                t, addr, 0);
+    DOLOS_TRACE(trace::Stage::MasuMac, mac_start, mac_end, addr, 0);
+    t = chargeBmtClimb(page_idx, mac_end);
+    DOLOS_TRACE(trace::Stage::MasuBmt, mac_end, t, addr, 0);
     res.macTag = dataMac(addr, res.ciphertext, bump.newCounter);
     storeDataMac(addr, res.macTag);
 
@@ -608,7 +724,9 @@ SecurityEngine::secureWrite(Addr addr, const Block &plaintext,
     // occupied for the full latency. The lazy ToC scheme is
     // pipelined by construction: the paper assumes parallel AES-GCM
     // engines updating the tree levels concurrently (Phoenix / [22]).
-    const bool piped = params.pipelinedWrites ||
+    // The BMT pipeline implies per-level engines, so it frees the
+    // front of the engine the same way.
+    const bool piped = params.pipelinedWrites || params.bmtPipeline ||
                        params.treePolicy == TreeUpdatePolicy::LazyToc;
     busyUntil_ = piped ? crypto_start + params.macLatency : t;
 
@@ -825,6 +943,8 @@ SecurityEngine::crash()
     counters.clear();
     tree.clear();
     busyUntil_ = 0;
+    bmtInflight.clear();
+    prefetchPending.clear();
     // rootRegister and shadowSeq are on-chip persistent registers.
 }
 
@@ -1117,6 +1237,8 @@ SecurityEngine::stateManifest() const
     DOLOS_MF_P(m, rootRegister);
     DOLOS_MF_P(m, shadowSeq);
     DOLOS_MF_V(m, busyUntil_);
+    DOLOS_MF_V(m, bmtInflight);
+    DOLOS_MF_V(m, prefetchPending);
     DOLOS_MF_CONST(m, stats_);
     DOLOS_MF_P(m, statWrites);
     DOLOS_MF_P(m, statReads);
@@ -1139,6 +1261,9 @@ SecurityEngine::stateManifest() const
     DOLOS_MF_P(m, statAesCycles);
     DOLOS_MF_P(m, statMacCycles);
     DOLOS_MF_P(m, statBmtCycles);
+    DOLOS_MF_P(m, statBmtCoalesced);
+    DOLOS_MF_P(m, statTagPrefetchIssued);
+    DOLOS_MF_P(m, statTagPrefetchHits);
     DOLOS_MF_P(m, statWriteLatency);
     DOLOS_MF_P(m, statReadLatency);
     DOLOS_MF_P(m, statTreeWalkLevels);

@@ -23,6 +23,8 @@
 
 #include <memory>
 #include <optional>
+#include <set>
+#include <vector>
 
 #include "crypto/ctr_pad.hh"
 #include "crypto/mac_engine.hh"
@@ -81,6 +83,29 @@ struct SecureParams
      * engine is provided as an ablation (bench/ablation_pipeline).
      */
     bool pipelinedWrites = false;
+
+    /**
+     * BMT update pipeline (Freij et al. [10] style): the engine keeps
+     * a small window of in-flight root-path updates and, when a new
+     * write's tree path shares ancestors with one of them, only the
+     * non-shared levels are charged — the shared upper levels (and
+     * the root, which is always updated last) coalesce onto the
+     * in-flight update. Timing-only: the functional tree/root update
+     * is unchanged. Default off (the paper's Ma-SU serializes).
+     */
+    bool bmtPipeline = false;
+
+    /** In-flight root-path updates tracked when bmtPipeline is on. */
+    unsigned bmtPipelineWindow = 4;
+
+    /**
+     * Prefetch counter/metadata blocks into the counter cache when
+     * the controller admits a write into the WPQ, so the Ma-SU's
+     * demand fetch at drain time overlaps the queue wait. Functional
+     * warm-up only (prefetch bandwidth is not timed); never evicts a
+     * dirty line (see TagCache::wouldEvictDirty). Default off.
+     */
+    bool tagPrefetch = false;
 
     /** Counter crash-consistency mechanism. */
     CrashScheme crashScheme = CrashScheme::Anubis;
@@ -222,6 +247,16 @@ class SecurityEngine
      */
     void reissueCiphertext(Addr addr, const Block &plaintext);
 
+    /**
+     * Hint that @p addr will be drained soon (it was just admitted to
+     * the WPQ): warm its counter block into the counter cache so the
+     * drain-time fetchCounter hits. Honoured only when
+     * params.tagPrefetch is set; never evicts a dirty line and never
+     * touches media-flagged frames (those keep their demand-path
+     * retry/repair semantics). Untimed.
+     */
+    void prefetchCounter(Addr addr);
+
     /** Drop all volatile state (power failure). */
     void crash();
 
@@ -318,6 +353,20 @@ class SecurityEngine
     std::uint64_t macCycles() const { return statMacCycles.value(); }
     std::uint64_t bmtCycles() const { return statBmtCycles.value(); }
 
+    /** Optimization-lever outcomes (bmtPipeline / tagPrefetch). */
+    std::uint64_t bmtCoalescedUpdates() const
+    {
+        return statBmtCoalesced.value();
+    }
+    std::uint64_t tagPrefetchIssued() const
+    {
+        return statTagPrefetchIssued.value();
+    }
+    std::uint64_t tagPrefetchHits() const
+    {
+        return statTagPrefetchHits.value();
+    }
+
     /** Register every member into the crash-state manifest. */
     persist::StateManifest stateManifest() const;
 
@@ -328,6 +377,35 @@ class SecurityEngine
   private:
     /** MAC ops per write under the configured tree policy. */
     unsigned writeMacOps() const;
+
+    /**
+     * One in-flight BMT root-path update (bmtPipeline). The path is
+     * identified by the leaf (counter page) index; ancestors at
+     * timing level L are pageIdx >> (3*L) (8-ary tree, Table 1).
+     */
+    struct BmtInflight
+    {
+        Addr pageIdx = 0; ///< leaf whose path is being climbed
+        Tick start = 0;   ///< first level-update began
+        Tick done = 0;    ///< root update (last level) completes
+
+        friend void
+        dolosDescribeValue(std::ostream &os, const BmtInflight &e)
+        {
+            os << "{page:" << e.pageIdx << ",start:" << e.start
+               << ",done:" << e.done << "}";
+        }
+    };
+
+    /**
+     * Charge the BMT climb for a write to @p page_idx starting at
+     * @p start: with bmtPipeline off, the full writeMacOps()-1 serial
+     * levels; with it on, shared ancestor levels coalesce onto the
+     * in-flight window and only the distinct lower levels are
+     * charged. Returns the tick the root update completes and
+     * maintains the window + statBmtCoalesced.
+     */
+    Tick chargeBmtClimb(Addr page_idx, Tick start);
 
     /**
      * Ensure the counter block covering @p addr is usable: counter
@@ -433,6 +511,16 @@ class SecurityEngine
     std::uint64_t shadowSeq = 0;      ///< on-chip persistent
     Tick busyUntil_ = 0;
 
+    /** In-flight BMT root-path updates (bmtPipeline; volatile). */
+    std::vector<BmtInflight> bmtInflight;
+
+    /**
+     * Counter-cache blocks warmed by prefetchCounter and not yet
+     * touched by a demand fetch (tagPrefetch hit accounting;
+     * volatile). Ordered so crash-state descriptions are canonical.
+     */
+    std::set<Addr> prefetchPending;
+
     stats::StatGroup stats_;
     stats::Scalar statWrites;
     stats::Scalar statReads;
@@ -455,6 +543,9 @@ class SecurityEngine
     stats::Scalar statAesCycles;
     stats::Scalar statMacCycles;
     stats::Scalar statBmtCycles;
+    stats::Scalar statBmtCoalesced;
+    stats::Scalar statTagPrefetchIssued;
+    stats::Scalar statTagPrefetchHits;
     stats::Average statWriteLatency;
     stats::Average statReadLatency;
     stats::Average statTreeWalkLevels;
@@ -475,6 +566,8 @@ class SecurityEngine
     DOLOS_PERSISTENT(rootRegister);
     DOLOS_PERSISTENT(shadowSeq);
     DOLOS_VOLATILE(busyUntil_);
+    DOLOS_VOLATILE(bmtInflight);
+    DOLOS_VOLATILE(prefetchPending);
     DOLOS_PERSISTENT(stats_);
     DOLOS_PERSISTENT(statWrites);
     DOLOS_PERSISTENT(statReads);
@@ -497,6 +590,9 @@ class SecurityEngine
     DOLOS_PERSISTENT(statAesCycles);
     DOLOS_PERSISTENT(statMacCycles);
     DOLOS_PERSISTENT(statBmtCycles);
+    DOLOS_PERSISTENT(statBmtCoalesced);
+    DOLOS_PERSISTENT(statTagPrefetchIssued);
+    DOLOS_PERSISTENT(statTagPrefetchHits);
     DOLOS_PERSISTENT(statWriteLatency);
     DOLOS_PERSISTENT(statReadLatency);
     DOLOS_PERSISTENT(statTreeWalkLevels);

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Drain-scheduler batching tests: a WPQ entry superseded by a newer
+ * same-line entry is elided at drain-issue time. The merge must keep
+ * WPQ and redo-log accounting exact — final NVM plaintext, crash
+ * dumps, and recovery verdicts identical to the unbatched machine.
+ *
+ * Batching is only reachable with insertion coalescing off (the
+ * coalescer merges same-line writes at enqueue otherwise), so every
+ * rig here disables coalescing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dolos/controller.hh"
+
+namespace
+{
+
+using namespace dolos;
+
+SystemConfig
+testConfig(SecurityMode mode, bool batching)
+{
+    auto cfg = SystemConfig::paperDefault();
+    cfg.mode = mode;
+    cfg.secure.functionalLeaves = 256;
+    cfg.secure.map.protectedBytes = Addr(256) * pageBytes;
+    cfg.wpq.coalescing = false;
+    cfg.wpq.drainBatching = batching;
+    return cfg;
+}
+
+Block
+pattern(std::uint8_t seed)
+{
+    Block b;
+    for (unsigned i = 0; i < blockSize; ++i)
+        b[i] = std::uint8_t(seed * 7 + i);
+    return b;
+}
+
+struct Rig
+{
+    Rig(SecurityMode mode, bool batching)
+        : cfg(testConfig(mode, batching))
+    {
+        nvm = std::make_unique<NvmDevice>(cfg.nvm);
+        eng = std::make_unique<SecurityEngine>(cfg.secure, *nvm);
+        mc = std::make_unique<SecureMemController>(cfg, *nvm, *eng);
+    }
+
+    SystemConfig cfg;
+    std::unique_ptr<NvmDevice> nvm;
+    std::unique_ptr<SecurityEngine> eng;
+    std::unique_ptr<SecureMemController> mc;
+};
+
+TEST(DrainBatch, SupersededEntryIsElided)
+{
+    Rig rig(SecurityMode::DolosPartialWpq, true);
+    // Both same-line writes are queued before either drain issues
+    // (the second arrives while the first still waits for its
+    // persist ack), so the older entry is superseded at drain time.
+    rig.mc->persistBlock(0x1000, pattern(1), 0);
+    rig.mc->persistBlock(0x1000, pattern(2), 10);
+    rig.mc->drainTo(10'000'000);
+
+    EXPECT_EQ(rig.mc->drainsBatched(), 1u);
+    EXPECT_EQ(rig.mc->coalesces(), 0u);
+    EXPECT_EQ(rig.mc->readBlock(0x1000, 10'000'000).data, pattern(2));
+    EXPECT_FALSE(rig.eng->attackDetected());
+}
+
+TEST(DrainBatch, FinalStateMatchesUnbatchedMachine)
+{
+    for (const auto mode : {SecurityMode::DolosFullWpq,
+                            SecurityMode::DolosPartialWpq,
+                            SecurityMode::DolosPostWpq}) {
+        Rig off(mode, false);
+        Rig on(mode, true);
+        // Same-line rewrites interleaved with neighbours, issued
+        // close enough together that the queue holds duplicates.
+        const Addr addrs[] = {0x1000, 0x1040, 0x1000, 0x2000,
+                              0x1000, 0x1040};
+        for (unsigned i = 0; i < 6; ++i) {
+            off.mc->persistBlock(addrs[i],
+                                 pattern(std::uint8_t(i + 1)),
+                                 i * 10);
+            on.mc->persistBlock(addrs[i],
+                                pattern(std::uint8_t(i + 1)),
+                                i * 10);
+        }
+        off.mc->drainTo(10'000'000);
+        on.mc->drainTo(10'000'000);
+
+        EXPECT_GT(on.mc->drainsBatched(), 0u);
+        EXPECT_EQ(off.mc->drainsBatched(), 0u);
+        for (const Addr a : {Addr(0x1000), Addr(0x1040),
+                             Addr(0x2000)})
+            EXPECT_EQ(on.mc->readBlock(a, 20'000'000).data,
+                      off.mc->readBlock(a, 20'000'000).data);
+        EXPECT_FALSE(on.eng->attackDetected());
+        EXPECT_FALSE(off.eng->attackDetected());
+    }
+}
+
+TEST(DrainBatch, WpqAccountingStaysExact)
+{
+    Rig rig(SecurityMode::DolosPartialWpq, true);
+    rig.mc->persistBlock(0x1000, pattern(1), 0);
+    rig.mc->persistBlock(0x1000, pattern(2), 10);
+    rig.mc->persistBlock(0x2000, pattern(3), 20);
+    rig.mc->drainTo(10'000'000);
+
+    EXPECT_EQ(rig.mc->writeRequests(), 3u);
+    EXPECT_EQ(rig.mc->drainsBatched(), 1u);
+    // After the drain horizon the queue is empty: a crash dumps no
+    // entries — the elided slot was freed like any drained slot.
+    const auto dump = rig.mc->crash(10'000'000);
+    EXPECT_EQ(dump.entriesDumped, 0u);
+    const auto rec = rig.mc->recover();
+    EXPECT_TRUE(rec.misuVerified);
+    EXPECT_EQ(rig.mc->readBlock(0x1000, 20'000'000).data, pattern(2));
+    EXPECT_EQ(rig.mc->readBlock(0x2000, 20'000'000).data, pattern(3));
+}
+
+TEST(DrainBatch, CrashWhileQueuedRecoversNewestValue)
+{
+    // Crash before any drain: batching never fired, the ADR dump
+    // carries both same-line entries, and recovery must land the
+    // newest value — identically with batching on and off.
+    for (const bool batching : {false, true}) {
+        Rig rig(SecurityMode::DolosFullWpq, batching);
+        rig.mc->persistBlock(0x1000, pattern(1), 0);
+        rig.mc->persistBlock(0x1000, pattern(2), 10);
+        const auto dump = rig.mc->crash(20);
+        EXPECT_EQ(dump.entriesDumped, 2u);
+        const auto rec = rig.mc->recover();
+        EXPECT_TRUE(rec.misuVerified);
+        EXPECT_EQ(rig.mc->readBlock(0x1000, 10'000'000).data,
+                  pattern(2));
+        EXPECT_FALSE(rig.eng->attackDetected());
+    }
+}
+
+TEST(DrainBatch, MidDrainCrashKeepsRedoAccountingExact)
+{
+    // Crash at a tick where the elision already released the older
+    // entry but the newer one may still be queued: the dump must
+    // never resurrect the elided entry, and recovery lands the
+    // newest value for every line in both machines.
+    for (const auto mode : {SecurityMode::DolosFullWpq,
+                            SecurityMode::DolosPartialWpq}) {
+        for (const Tick crash_at : {Tick(500), Tick(2'000),
+                                    Tick(8'000)}) {
+            Rig off(mode, false);
+            Rig on(mode, true);
+            const Addr addrs[] = {0x1000, 0x1000, 0x2000, 0x1000};
+            for (unsigned i = 0; i < 4; ++i) {
+                off.mc->persistBlock(addrs[i],
+                                     pattern(std::uint8_t(i + 1)),
+                                     i * 10);
+                on.mc->persistBlock(addrs[i],
+                                    pattern(std::uint8_t(i + 1)),
+                                    i * 10);
+            }
+            off.mc->crash(crash_at);
+            on.mc->crash(crash_at);
+            EXPECT_TRUE(off.mc->recover().misuVerified);
+            EXPECT_TRUE(on.mc->recover().misuVerified);
+            for (const Addr a : {Addr(0x1000), Addr(0x2000)})
+                EXPECT_EQ(on.mc->readBlock(a, 10'000'000).data,
+                          off.mc->readBlock(a, 10'000'000).data)
+                    << "mode=" << int(mode)
+                    << " crash_at=" << crash_at;
+        }
+    }
+}
+
+} // namespace

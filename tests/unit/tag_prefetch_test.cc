@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tag-cache prefetch tests: WPQ-admission prefetch warms the counter
+ * cache without ever displacing a dirty line (which may be about to
+ * be drained), without weakening tamper detection, and with exact
+ * hit accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "secure/address_map.hh"
+#include "secure/security_engine.hh"
+#include "secure/tag_cache.hh"
+
+namespace
+{
+
+using namespace dolos;
+
+SecureParams
+testParams(bool prefetch, std::size_t ctr_bytes = 4 * 1024,
+           unsigned ctr_ways = 4)
+{
+    SecureParams p;
+    p.functionalLeaves = 256;
+    p.map.protectedBytes = Addr(256) * pageBytes;
+    p.counterCache = {"counterCache", ctr_bytes, ctr_ways};
+    p.mtCache = {"mtCache", 4 * 1024, 8};
+    p.tagPrefetch = prefetch;
+    for (int i = 0; i < 16; ++i) {
+        p.dataKey[i] = std::uint8_t(i + 1);
+        p.macKey[i] = std::uint8_t(0x80 + i);
+    }
+    return p;
+}
+
+Block
+pattern(std::uint8_t seed)
+{
+    Block b;
+    for (unsigned i = 0; i < blockSize; ++i)
+        b[i] = std::uint8_t(seed ^ (i * 5));
+    return b;
+}
+
+TEST(TagPrefetch, WouldEvictDirtyMatchesInsertVictim)
+{
+    // 4 sets x 2 ways; the predicate must agree with insert()'s
+    // victim choice and must not perturb LRU state.
+    TagCache tc(TagCacheParams{"tiny", 512, 2});
+    EXPECT_FALSE(tc.wouldEvictDirty(0x000)); // invalid way available
+    tc.insert(0x000, true); // set 0, dirty
+    EXPECT_FALSE(tc.wouldEvictDirty(0x100)); // still a free way
+    tc.insert(0x100, false); // set 0, clean
+    // Set full; LRU victim is 0x000 (dirty).
+    EXPECT_TRUE(tc.wouldEvictDirty(0x200));
+    // Probing must not have refreshed anything: insert still evicts
+    // the dirty LRU line.
+    const auto ev = tc.insert(0x200, false);
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(ev->addr, 0x000u);
+    // Now the clean 0x100 is LRU: prefetch into this set is safe.
+    EXPECT_FALSE(tc.wouldEvictDirty(0x300));
+}
+
+TEST(TagPrefetch, NeverEvictsDirtyLine)
+{
+    // 1 set x 2 ways: two dirtied counter blocks fill the cache.
+    NvmDevice nvm{NvmParams{}};
+    SecurityEngine eng(testParams(true, 2 * blockSize, 2), nvm);
+    eng.secureWrite(0x0000, pattern(1), 0); // page 0, dirty
+    eng.secureWrite(0x1000, pattern(2), 0); // page 1, dirty
+    // Prefetching page 2's counter block would displace a dirty
+    // line, so it must back off entirely.
+    eng.prefetchCounter(0x2000);
+    EXPECT_EQ(eng.tagPrefetchIssued(), 0u);
+    // The dirty lines are untouched: rewriting the pages still works
+    // and nothing tripped.
+    eng.secureWrite(0x0040, pattern(3), 100'000);
+    eng.secureWrite(0x1040, pattern(4), 200'000);
+    EXPECT_FALSE(eng.attackDetected());
+}
+
+TEST(TagPrefetch, PrefetchHitAccounting)
+{
+    NvmDevice nvm{NvmParams{}};
+    SecurityEngine eng(testParams(true), nvm);
+    eng.prefetchCounter(0x0000);
+    EXPECT_EQ(eng.tagPrefetchIssued(), 1u);
+    EXPECT_EQ(eng.tagPrefetchHits(), 0u);
+    // First demand access to the warmed block is a prefetch hit —
+    // counted once, not again on later hits.
+    eng.secureWrite(0x0000, pattern(1), 0);
+    EXPECT_EQ(eng.tagPrefetchHits(), 1u);
+    eng.secureWrite(0x0040, pattern(2), 0);
+    EXPECT_EQ(eng.tagPrefetchHits(), 1u);
+    // Prefetching an already-cached block is a no-op.
+    eng.prefetchCounter(0x0000);
+    EXPECT_EQ(eng.tagPrefetchIssued(), 1u);
+}
+
+TEST(TagPrefetch, DisabledKnobIssuesNothing)
+{
+    NvmDevice nvm{NvmParams{}};
+    SecurityEngine eng(testParams(false), nvm);
+    eng.prefetchCounter(0x0000);
+    EXPECT_EQ(eng.tagPrefetchIssued(), 0u);
+    EXPECT_EQ(eng.tagPrefetchHits(), 0u);
+}
+
+TEST(TagPrefetch, FunctionalPathUnchanged)
+{
+    // Prefetch-warmed and cold engines produce identical ciphertext
+    // and reads decrypt identically: the prefetch moves a fetch
+    // earlier, it never changes what is fetched.
+    NvmDevice nvm_a{NvmParams{}};
+    NvmDevice nvm_b{NvmParams{}};
+    SecurityEngine warm(testParams(true), nvm_a);
+    SecurityEngine cold(testParams(false), nvm_b);
+    warm.prefetchCounter(0x3000);
+    const auto rw = warm.secureWrite(0x3000, pattern(7), 0);
+    const auto rc = cold.secureWrite(0x3000, pattern(7), 0);
+    EXPECT_EQ(rw.ciphertext, rc.ciphertext);
+    EXPECT_EQ(rw.counter, rc.counter);
+    warm.writeCiphertext(0x3000, rw.ciphertext, rw.doneTick);
+    cold.writeCiphertext(0x3000, rc.ciphertext, rc.doneTick);
+    EXPECT_EQ(warm.secureRead(0x3000, 1'000'000).data,
+              cold.secureRead(0x3000, 1'000'000).data);
+    EXPECT_FALSE(warm.attackDetected());
+}
+
+TEST(TagPrefetch, TamperDetectionNotWeakened)
+{
+    // A counter block modified in NVM must trip the attack counter
+    // even when it arrives via prefetch instead of a demand fetch.
+    NvmDevice nvm{NvmParams{}};
+    SecurityEngine eng(testParams(true), nvm);
+    const auto r = eng.secureWrite(0x0000, pattern(1), 0);
+    eng.writeCiphertext(0x0000, r.ciphertext, r.doneTick);
+    eng.crash();
+    ASSERT_TRUE(eng.recover().rootVerified);
+
+    Block garbage;
+    garbage.fill(0xA5);
+    nvm.writeFunctional(AddressMap::counterBlockAddr(0x0000),
+                        garbage);
+    EXPECT_FALSE(eng.attackDetected());
+    eng.prefetchCounter(0x0000);
+    EXPECT_TRUE(eng.attackDetected());
+}
+
+} // namespace

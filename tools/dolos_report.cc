@@ -15,6 +15,12 @@
  *       grew by more than the threshold, and "higher is better"
  *       metrics (speedup, hits) that shrank by more than it. Exits 1
  *       if any regression was found, 0 otherwise.
+ *
+ *   dolos_report --diff BASELINE CANDIDATE
+ *       Print the per-stage stall-cycle delta table (wpqStall / bmt /
+ *       mac / aes / ...) between two --stats-json dumps. Informational
+ *       (always exits 0 on readable input); the bench gates print it
+ *       so a threshold failure comes with the stage that moved.
  */
 
 #include <cctype>
@@ -39,9 +45,12 @@ usage(int code)
     std::printf(
         "usage: dolos_report --check FILE\n"
         "       dolos_report BASELINE CANDIDATE [--threshold PCT]\n"
+        "       dolos_report --diff BASELINE CANDIDATE\n"
         "  --check FILE      validate a JSON artifact (exit 0/2)\n"
         "  --threshold PCT   regression threshold in percent "
-        "(default 5)\n");
+        "(default 5)\n"
+        "  --diff            per-stage stall-cycle delta table "
+        "between two --stats-json dumps\n");
     std::exit(code);
 }
 
@@ -96,6 +105,90 @@ direction(const std::string &path)
     return 0;
 }
 
+/**
+ * Sum every numeric leaf whose path's final segment equals @p name
+ * (e.g. "stats.breakdown.bmtCycles" for "bmtCycles"). A --stats-json
+ * dump has one such leaf per stage; a BENCH artifact may carry one
+ * per (mode, leg) series — the sum is the document's total spend in
+ * that stage either way. Returns the number of leaves summed.
+ */
+std::size_t
+sumLeavesNamed(
+    const std::vector<std::pair<std::string, double>> &leaves,
+    const std::string &name, double &total)
+{
+    std::size_t n = 0;
+    total = 0.0;
+    for (const auto &[path, v] : leaves) {
+        const auto pos = path.rfind('.');
+        const std::string tail =
+            pos == std::string::npos ? path : path.substr(pos + 1);
+        if (tail == name) {
+            total += v;
+            ++n;
+        }
+    }
+    return n;
+}
+
+/**
+ * --diff: the persist-path stage breakdown, baseline vs candidate.
+ * Rows are the per-stage cycle accounts a --stats-json dump carries;
+ * stall stages sum into a combined "stall total" row so a bench-gate
+ * failure shows which stage moved.
+ */
+int
+diffStages(const dolos::json::Value &base,
+           const dolos::json::Value &cand)
+{
+    static const char *stages[] = {
+        "wpqStallCycles", "bmtCycles",      "macCycles",
+        "aesCycles",      "misuMacCycles",  "ctrFetchCycles",
+        "fenceStallCycles"};
+    const auto baseLeaves = dolos::json::numericLeaves(base);
+    const auto candLeaves = dolos::json::numericLeaves(cand);
+
+    std::printf("%-18s %14s %14s %14s %8s\n", "stage", "baseline",
+                "candidate", "delta", "pct");
+    double baseTotal = 0, candTotal = 0;
+    std::size_t rows = 0;
+    for (const char *stage : stages) {
+        double bv = 0, cv = 0;
+        if (!sumLeavesNamed(baseLeaves, stage, bv) ||
+            !sumLeavesNamed(candLeaves, stage, cv))
+            continue;
+        ++rows;
+        baseTotal += bv;
+        candTotal += cv;
+        const double delta = cv - bv;
+        const double pct = bv != 0.0  ? delta / bv * 100.0
+                           : delta > 0 ? 100.0
+                           : delta < 0 ? -100.0
+                                       : 0.0;
+        std::printf("%-18s %14.0f %14.0f %+14.0f %+7.1f%%\n", stage,
+                    bv, cv, delta, pct);
+    }
+    if (rows == 0) {
+        std::fprintf(stderr,
+                     "dolos_report: no shared stage-cycle leaves — "
+                     "are these --stats-json dumps?\n");
+        return 2;
+    }
+    const double delta = candTotal - baseTotal;
+    std::printf("%-18s %14.0f %14.0f %+14.0f %+7.1f%%\n",
+                "stall total", baseTotal, candTotal, delta,
+                baseTotal != 0.0 ? delta / baseTotal * 100.0 : 0.0);
+    double bruns = 0, cruns = 0;
+    if (sumLeavesNamed(baseLeaves, "runCycles", bruns) &&
+        sumLeavesNamed(candLeaves, "runCycles", cruns)) {
+        const double d = cruns - bruns;
+        std::printf("%-18s %14.0f %14.0f %+14.0f %+7.1f%%\n",
+                    "runCycles", bruns, cruns, d,
+                    bruns != 0.0 ? d / bruns * 100.0 : 0.0);
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -103,6 +196,7 @@ main(int argc, char **argv)
 {
     std::vector<std::string> positional;
     std::string checkFile;
+    bool diff = false;
     double threshold = 5.0;
 
     for (int i = 1; i < argc; ++i) {
@@ -117,6 +211,8 @@ main(int argc, char **argv)
         };
         if (a == "--check")
             checkFile = value();
+        else if (a == "--diff")
+            diff = true;
         else if (a == "--threshold") {
             char *end = nullptr;
             threshold = std::strtod(value(), &end);
@@ -152,6 +248,9 @@ main(int argc, char **argv)
     auto cand = load(positional[1]);
     if (!base || !cand)
         return 2;
+
+    if (diff)
+        return diffStages(*base, *cand);
 
     const auto baseLeaves = dolos::json::numericLeaves(*base);
     const auto candLeaves = dolos::json::numericLeaves(*cand);

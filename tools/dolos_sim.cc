@@ -25,6 +25,7 @@
 #include "sim/trace.hh"
 #include "verify/fault_injector.hh"
 #include "verify/manifest_check.hh"
+#include "verify/perf_equiv.hh"
 #include "workloads/runner.hh"
 
 using namespace dolos;
@@ -56,6 +57,8 @@ struct Options
     std::uint64_t scrubInterval = 0;  ///< --scrub-interval (0 = off)
     std::optional<unsigned> spares;   ///< --spares: NVM spare frames
     bool verifyManifest = false; ///< --verify-manifest: crash-state check
+    bool verifyPerfEquiv = false; ///< --verify-perf-equiv: timing diff
+    std::string optKnobs; ///< --opt-knobs: none|all|comma list
 };
 
 [[noreturn]] void
@@ -99,6 +102,13 @@ usage(int code)
         "  --verify-manifest   run the power-loss differential of the\n"
         "                      annotated crash-state model in all three\n"
         "                      Mi-SU modes, then exit (uses --seed)\n"
+        "  --verify-perf-equiv run the timing-vs-state differential of\n"
+        "                      the persist-path optimization knobs\n"
+        "                      (off vs on) over the tier-1 workloads in\n"
+        "                      all three Mi-SU modes, then exit\n"
+        "  --opt-knobs SPEC    persist-path optimizations: none|all|\n"
+        "                      comma list of bmt-pipeline,drain-batch,\n"
+        "                      tag-prefetch (default none)\n"
         "  --seed N | --stats | --list | --help\n"
         "exit codes: 0 ok, 1 verification failure, 2 usage, "
         "3 attack alarm,\n"
@@ -179,6 +189,10 @@ parse(int argc, char **argv)
             o.damageJsonFile = value();
         else if (a == "--verify-manifest")
             o.verifyManifest = true;
+        else if (a == "--verify-perf-equiv")
+            o.verifyPerfEquiv = true;
+        else if (a == "--opt-knobs")
+            o.optKnobs = value();
         else if (a == "--list") {
             for (const auto &n : extendedWorkloadNames())
                 std::printf("%s\n", n.c_str());
@@ -234,6 +248,17 @@ main(int argc, char **argv)
             ok = ok && res.ok();
         }
         std::printf("verify-manifest     : %s\n", ok ? "PASS" : "FAIL");
+        return ok ? ExitOk : ExitViolation;
+    }
+
+    if (o.verifyPerfEquiv) {
+        bool ok = true;
+        for (const auto &res : verify::verifyPerfEquivAll(o.seed)) {
+            std::printf("%s\n",
+                        verify::formatPerfEquivReport(res).c_str());
+            ok = ok && res.ok();
+        }
+        std::printf("verify-perf-equiv   : %s\n", ok ? "PASS" : "FAIL");
         return ok ? ExitOk : ExitViolation;
     }
 
@@ -297,6 +322,15 @@ main(int argc, char **argv)
     cfg.wpq.postEntries =
         o.wpqBudget > 6 ? o.wpqBudget * 8 / 9 - 4 : o.wpqBudget / 2;
     cfg.wpq.coalescing = !o.noCoalescing;
+    if (!o.optKnobs.empty()) {
+        const auto knobs = parseOptKnobs(o.optKnobs);
+        if (!knobs) {
+            std::fprintf(stderr, "unknown opt knob in '%s'\n",
+                         o.optKnobs.c_str());
+            usage(ExitUsage);
+        }
+        applyOptKnobs(cfg, *knobs);
+    }
     cfg.secure.scrubIntervalWrites = o.scrubInterval;
     if (o.spares)
         cfg.nvm.spareBlocks = *o.spares;

@@ -120,9 +120,19 @@ usage(int code)
         "(stuck-at in counter/tree/MAC metadata)\n"
         "  --plant-bug   drop-clwb:K | bad-counter-repair\n"
         "  --meta-faults (sweep) stick a metadata bit at every crash "
-        "point\n");
+        "point\n"
+        "  --opt-knobs   persist-path levers for every episode: "
+        "none|all|bmt-pipeline,drain-batch,tag-prefetch\n");
     std::exit(code);
 }
+
+/**
+ * Persist-path optimization levers (--opt-knobs), applied to every
+ * configuration the harness builds: campaigns, replays, planted-bug
+ * hunts, and sweeps all torture the optimized machine.
+ */
+OptKnobs gOptKnobs;
+std::string gOptKnobsSpec;
 
 SystemConfig
 tortureConfig(SecurityMode mode)
@@ -134,6 +144,7 @@ tortureConfig(SecurityMode mode)
     cfg.hierarchy.l1 = {"l1", 1024, 2, 2};
     cfg.hierarchy.l2 = {"l2", 4096, 4, 20};
     cfg.hierarchy.llc = {"llc", 16384, 8, 32};
+    applyOptKnobs(cfg, gOptKnobs);
     return cfg;
 }
 
@@ -463,6 +474,8 @@ printRepro(SecurityMode mode, const std::vector<Op> &ops,
         bug = " --plant-bug drop-clwb:" + std::to_string(*plant.clwbDrop);
     else if (plant.badCounterRepair)
         bug = " --plant-bug bad-counter-repair";
+    if (gOptKnobs.any())
+        bug += " --opt-knobs " + gOptKnobsSpec;
     std::printf("REPRO: dolos_torture --mode %s%s --replay %s\n",
                 modeCliName(mode), bug.c_str(), formatOps(ops).c_str());
 }
@@ -557,6 +570,15 @@ main(int argc, char **argv)
                 unsigned(std::strtoull(value(), nullptr, 0));
         } else if (a == "--meta-faults") {
             metaFaults = true;
+        } else if (a == "--opt-knobs") {
+            gOptKnobsSpec = value();
+            const auto knobs = parseOptKnobs(gOptKnobsSpec);
+            if (!knobs) {
+                std::fprintf(stderr, "bad --opt-knobs spec '%s'\n",
+                             gOptKnobsSpec.c_str());
+                usage(ExitUsage);
+            }
+            gOptKnobs = *knobs;
         } else if (a == "--help" || a == "-h") {
             usage(ExitOk);
         } else {
@@ -595,7 +617,7 @@ main(int argc, char **argv)
             std::printf("FAIL: %s\n", result.firstFailure().c_str());
             std::printf("REPRO: dolos_torture --sweep --mode %s "
                         "--workload %s --txns %llu --budget %zu "
-                        "--seed %llu --points %s%s%s%s\n",
+                        "--seed %llu --points %s%s%s%s%s%s\n",
                         modeCliName(mode), sweepWorkload.c_str(),
                         (unsigned long long)sweepTxns, sweepBudget,
                         (unsigned long long)seed, sweepPoints.c_str(),
@@ -603,7 +625,9 @@ main(int argc, char **argv)
                         recoveryCrash
                             ? std::to_string(*recoveryCrash).c_str()
                             : "",
-                        metaFaults ? " --meta-faults" : "");
+                        metaFaults ? " --meta-faults" : "",
+                        gOptKnobs.any() ? " --opt-knobs " : "",
+                        gOptKnobs.any() ? gOptKnobsSpec.c_str() : "");
             return ExitViolation;
         }
         return ExitOk;
