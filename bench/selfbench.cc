@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Simulator self-benchmark driver: host throughput (simulated
+ * instructions per wall-clock second) plus the self-profiler's
+ * per-component attribution. Not a paper figure — this is the
+ * host-performance gate BENCH_selfbench.json records, so a simulator
+ * change that halves throughput fails CI even when the simulated
+ * numbers are untouched. The attribution shares are recorded for the
+ * report but never gated (dolos_report treats them as neutral).
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+#include "workloads/selfbench.hh"
+
+using namespace dolos;
+using namespace dolos::bench;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = BenchOptions::parse(argc, argv);
+    printHeader("Simulator self-benchmark: host throughput and "
+                "host-time attribution",
+                "n/a (host-performance gate, not a paper result)",
+                opts);
+
+    workloads::SelfbenchOptions so;
+    so.txns = opts.txns;
+    so.numKeys = opts.numKeys;
+    so.seed = opts.seed;
+    // The gate compares wall-clock against a recorded baseline at a
+    // loose threshold; best-of-5 keeps a cold first run or a stray
+    // scheduler hiccup from tripping it.
+    so.repeats = 5;
+    const auto r = workloads::runSelfbench(so);
+    formatSelfbench(r, std::cout);
+
+    BenchReport report("selfbench", opts);
+    report.add(r.workload + ".eventsPerSec", r.eventsPerSec);
+    report.add(r.workload + ".simCyclesPerSec", r.simCyclesPerSec);
+    for (const auto &c : r.components)
+        report.add(r.workload + ".prof." + c.name + ".share", c.share);
+    report.write();
+    return 0;
+}

@@ -16,8 +16,11 @@
 # Invoked as:
 #   cmake -DBENCH=<driver> -DREPORT=<dolos_report>
 #         -DBASELINE=<BENCH_*.json> -DWORKDIR=<dir>
-#         [-DTXNS=N] [-DKEYS=N] [-DSEED=N]
+#         [-DTXNS=N] [-DKEYS=N] [-DSEED=N] [-DTHRESHOLD=PCT]
 #         -P bench_baseline.cmake
+#
+# THRESHOLD defaults to the deterministic-simulation gate (2%); the
+# selfbench gate measures host wall-clock and needs a far looser one.
 
 foreach(var BENCH REPORT BASELINE WORKDIR)
     if(NOT DEFINED ${var})
@@ -35,6 +38,9 @@ if(NOT DEFINED KEYS)
 endif()
 if(NOT DEFINED SEED)
     set(SEED 7)
+endif()
+if(NOT DEFINED THRESHOLD)
+    set(THRESHOLD 2)
 endif()
 
 if(NOT EXISTS "${BASELINE}")
@@ -70,7 +76,8 @@ if(NOT check_rc EQUAL 0)
 endif()
 
 execute_process(
-    COMMAND "${REPORT}" "${BASELINE}" "${candidate}" --threshold 2
+    COMMAND "${REPORT}" "${BASELINE}" "${candidate}"
+            --threshold ${THRESHOLD}
     RESULT_VARIABLE diff_rc
     OUTPUT_VARIABLE diff_out
     ERROR_VARIABLE diff_err)

@@ -1,0 +1,50 @@
+# Self-profiler smoke test (ctest tier2).
+#
+# Runs `dolos-sim --selfbench` with a tiny transaction count and
+# checks it reports a throughput figure; when the self-profiler is
+# compiled in (the default), the attribution table must be present
+# too. This lane validates the measurement machinery, not the speed —
+# the recorded-baseline selfbench gate owns the numbers.
+#
+# Invoked as:
+#   cmake -DSIM=<dolos-sim> -DWORKDIR=<dir> -P selfbench_smoke.cmake
+
+foreach(var SIM WORKDIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "selfbench_smoke: ${var} not set")
+    endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+execute_process(
+    COMMAND "${SIM}" --selfbench --workload hashmap --txns 50
+            --keys 64
+    RESULT_VARIABLE sim_rc
+    OUTPUT_VARIABLE sim_out
+    ERROR_VARIABLE sim_err)
+if(NOT sim_rc EQUAL 0)
+    message(FATAL_ERROR
+        "selfbench_smoke: --selfbench failed (rc=${sim_rc})\n"
+        "${sim_out}\n${sim_err}")
+endif()
+
+string(FIND "${sim_out}" "simulated instructions/sec" has_rate)
+if(has_rate EQUAL -1)
+    message(FATAL_ERROR
+        "selfbench_smoke: no throughput figure in output:\n"
+        "${sim_out}")
+endif()
+
+# Either the attribution table (profiler compiled in) or the explicit
+# compiled-out notice must be present — silence means the report path
+# is broken.
+string(FIND "${sim_out}" "host-time attribution" has_attr)
+string(FIND "${sim_out}" "self-profiler compiled out" has_notice)
+if(has_attr EQUAL -1 AND has_notice EQUAL -1)
+    message(FATAL_ERROR
+        "selfbench_smoke: neither attribution table nor compiled-out "
+        "notice in output:\n${sim_out}")
+endif()
+
+message(STATUS "selfbench_smoke: OK")

@@ -1,0 +1,91 @@
+# Timeline telemetry smoke test (ctest tier2).
+#
+# Runs one short simulation with --sample-interval/--stats-timeline
+# in both JSON and CSV form, validates the JSON artifact with
+# dolos_report --check, and renders it with dolos_report --timeline
+# in both single-file (sparklines) and two-file (delta table) form.
+# The two-file run diffs the artifact against itself, so every shared
+# series must come back with a zero delta.
+#
+# Invoked as:
+#   cmake -DSIM=<dolos-sim> -DREPORT=<dolos_report> -DWORKDIR=<dir>
+#         -P timeline_smoke.cmake
+
+foreach(var SIM REPORT WORKDIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "timeline_smoke: ${var} not set")
+    endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${WORKDIR}")
+set(json_file "${WORKDIR}/timeline.json")
+set(csv_file "${WORKDIR}/timeline.csv")
+
+foreach(artifact "${json_file}" "${csv_file}")
+    execute_process(
+        COMMAND "${SIM}" --workload hashmap --txns 50 --keys 64
+                --sample-interval 50000 --stats-timeline "${artifact}"
+        RESULT_VARIABLE sim_rc
+        OUTPUT_VARIABLE sim_out
+        ERROR_VARIABLE sim_err)
+    if(NOT sim_rc EQUAL 0)
+        message(FATAL_ERROR
+            "timeline_smoke: simulation failed (rc=${sim_rc})\n"
+            "${sim_out}\n${sim_err}")
+    endif()
+    if(NOT EXISTS "${artifact}")
+        message(FATAL_ERROR
+            "timeline_smoke: ${artifact} was not written")
+    endif()
+endforeach()
+
+# The CSV must have a header plus at least one window row.
+file(STRINGS "${csv_file}" csv_lines)
+list(LENGTH csv_lines csv_rows)
+if(csv_rows LESS 2)
+    message(FATAL_ERROR
+        "timeline_smoke: CSV has ${csv_rows} line(s), expected a "
+        "header plus window rows")
+endif()
+
+execute_process(
+    COMMAND "${REPORT}" --check "${json_file}"
+    RESULT_VARIABLE check_rc
+    OUTPUT_VARIABLE check_out
+    ERROR_VARIABLE check_err)
+if(NOT check_rc EQUAL 0)
+    message(FATAL_ERROR
+        "timeline_smoke: invalid JSON artifact (rc=${check_rc})\n"
+        "${check_out}\n${check_err}")
+endif()
+
+execute_process(
+    COMMAND "${REPORT}" --timeline "${json_file}"
+    RESULT_VARIABLE spark_rc
+    OUTPUT_VARIABLE spark_out
+    ERROR_VARIABLE spark_err)
+if(NOT spark_rc EQUAL 0)
+    message(FATAL_ERROR
+        "timeline_smoke: --timeline rendering failed "
+        "(rc=${spark_rc})\n${spark_out}\n${spark_err}")
+endif()
+string(FIND "${spark_out}" "drainsPerKcycle" has_derived)
+if(has_derived EQUAL -1)
+    message(FATAL_ERROR
+        "timeline_smoke: --timeline output lacks the derived "
+        "drainsPerKcycle series:\n${spark_out}")
+endif()
+
+# Self-compare: shared series, all deltas zero.
+execute_process(
+    COMMAND "${REPORT}" --timeline "${json_file}" "${json_file}"
+    RESULT_VARIABLE cmp_rc
+    OUTPUT_VARIABLE cmp_out
+    ERROR_VARIABLE cmp_err)
+if(NOT cmp_rc EQUAL 0)
+    message(FATAL_ERROR
+        "timeline_smoke: two-file --timeline failed (rc=${cmp_rc})\n"
+        "${cmp_out}\n${cmp_err}")
+endif()
+
+message(STATUS "timeline_smoke: OK")

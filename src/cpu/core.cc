@@ -5,6 +5,8 @@
 
 #include "cpu/core.hh"
 
+#include "sim/profiler.hh"
+#include "sim/stat_sampler.hh"
 #include "sim/trace.hh"
 
 namespace dolos
@@ -25,35 +27,48 @@ SimpleCore::SimpleCore(CacheHierarchy &h) : hierarchy(h), stats_("core")
 }
 
 void
+SimpleCore::pollSampler()
+{
+    if (sampler_) [[unlikely]]
+        sampler_->poll(clock);
+}
+
+void
 SimpleCore::compute(Cycles n)
 {
     clock += n;
     statInstructions += n;
+    pollSampler();
 }
 
 void
 SimpleCore::load(Addr addr, void *out, unsigned size)
 {
+    DOLOS_PROF_SCOPE(Core);
     ++statInstructions;
     ++statLoads;
     clock = hierarchy.load(addr, out, size, clock);
     if (observer)
         observer->onLoad(addr, out, size);
+    pollSampler();
 }
 
 void
 SimpleCore::store(Addr addr, const void *src, unsigned size)
 {
+    DOLOS_PROF_SCOPE(Core);
     ++statInstructions;
     ++statStores;
     clock = hierarchy.store(addr, src, size, clock);
     if (observer)
         observer->onStore(addr, src, size);
+    pollSampler();
 }
 
 void
 SimpleCore::clwb(Addr addr)
 {
+    DOLOS_PROF_SCOPE(Core);
     ++statInstructions;
     ++statClwbs;
     if (observer)
@@ -72,11 +87,13 @@ SimpleCore::clwb(Addr addr)
     // The write's whole life: CLWB issue -> persistence domain.
     DOLOS_TRACE(trace::Stage::CoreClwb, issued, t.persistTick, addr,
                 statClwbs.value());
+    pollSampler();
 }
 
 void
 SimpleCore::sfence()
 {
+    DOLOS_PROF_SCOPE(Core);
     ++statInstructions;
     ++statFences;
     Tick latest = clock;
@@ -92,6 +109,7 @@ SimpleCore::sfence()
     clock = latest;
     if (observer)
         observer->onSfence();
+    pollSampler();
 }
 
 void
@@ -112,6 +130,7 @@ SimpleCore::stateManifest() const
     DOLOS_MF_P(m, clock);
     DOLOS_MF_V(m, outstanding);
     DOLOS_MF_CONST(m, observer);
+    DOLOS_MF_CONST(m, sampler_);
     DOLOS_MF_P(m, clwbDropIn);
     DOLOS_MF_CONST(m, stats_);
     DOLOS_MF_P(m, statInstructions);

@@ -24,6 +24,8 @@
 namespace dolos
 {
 
+namespace stats { class StatSampler; }
+
 /**
  * Passive observer of the core's architectural memory operations.
  *
@@ -52,6 +54,14 @@ class SimpleCore
 
     /** Attach (or detach, with nullptr) an operation observer. */
     void setObserver(CoreObserver *obs) { observer = obs; }
+
+    /**
+     * Attach (or detach, with nullptr) an interval stats sampler.
+     * The core polls it after every clock advance; the sampler only
+     * reads stat values, so attaching one changes no simulated
+     * timing (System::attachStatSampler wires the whole machine).
+     */
+    void setStatSampler(stats::StatSampler *s) { sampler_ = s; }
 
     /**
      * Fault injection: silently drop the @p nth next CLWB (0 = the
@@ -113,10 +123,14 @@ class SimpleCore
     persist::StateManifest stateManifest() const;
 
   private:
+    /** Poll the attached sampler (out of line: keeps ops slim). */
+    void pollSampler();
+
     CacheHierarchy &hierarchy;
     Tick clock = 0;
     std::vector<PersistTicket> outstanding;
     CoreObserver *observer = nullptr;
+    stats::StatSampler *sampler_ = nullptr;
     std::optional<std::uint64_t> clwbDropIn; ///< armed CLWB drop
 
     stats::StatGroup stats_;
@@ -134,6 +148,7 @@ class SimpleCore
     DOLOS_PERSISTENT(clock);
     DOLOS_VOLATILE(outstanding);
     DOLOS_PERSISTENT(observer);
+    DOLOS_PERSISTENT(sampler_);
     DOLOS_PERSISTENT(clwbDropIn);
     DOLOS_PERSISTENT(stats_);
     DOLOS_PERSISTENT(statInstructions);

@@ -5,6 +5,7 @@
 
 #include "crypto/aes128.hh"
 
+#include "sim/profiler.hh"
 namespace dolos::crypto
 {
 
@@ -183,6 +184,7 @@ Aes128::Aes128(const AesKey &key)
 AesBlock
 Aes128::encryptBlock(const AesBlock &plaintext) const
 {
+    DOLOS_PROF_SCOPE(Aes);
     AesBlock st = plaintext;
     addRoundKey(st.data(), roundKeys.data());
     for (int round = 1; round < numRounds; ++round) {
@@ -200,6 +202,7 @@ Aes128::encryptBlock(const AesBlock &plaintext) const
 AesBlock
 Aes128::decryptBlock(const AesBlock &ciphertext) const
 {
+    DOLOS_PROF_SCOPE(Aes);
     AesBlock st = ciphertext;
     addRoundKey(st.data(), roundKeys.data() + 16 * numRounds);
     for (int round = numRounds - 1; round >= 1; --round) {

@@ -7,12 +7,14 @@
 
 #include <cstring>
 
+#include "sim/profiler.hh"
 namespace dolos::crypto
 {
 
 std::vector<std::uint8_t>
 CtrPadGenerator::generate(const IvFields &iv, std::size_t len) const
 {
+    DOLOS_PROF_SCOPE(CtrPad);
     std::vector<std::uint8_t> pad;
     pad.reserve((len + 15) & ~std::size_t(15));
 

@@ -9,6 +9,7 @@
 
 #include "crypto/hmac.hh"
 #include "crypto/siphash.hh"
+#include "sim/profiler.hh"
 
 namespace dolos::crypto
 {
@@ -16,6 +17,7 @@ namespace dolos::crypto
 MacTag
 MacEngine::computeParts(std::initializer_list<MacSegment> parts) const
 {
+    DOLOS_PROF_SCOPE(Mac);
     // Total sizes here are tiny (address + counter + one cacheline),
     // so a stack buffer normally suffices.
     std::size_t total = 0;
@@ -63,6 +65,7 @@ class HmacMacEngine : public MacEngine
     MacTag
     compute(const void *data, std::size_t len) const override
     {
+        DOLOS_PROF_SCOPE(Mac);
         const auto d = hmac.compute(data, len);
         MacTag t;
         std::memcpy(t.data(), d.data(), t.size());
@@ -84,6 +87,7 @@ class SipMacEngine : public MacEngine
     MacTag
     compute(const void *data, std::size_t len) const override
     {
+        DOLOS_PROF_SCOPE(Mac);
         const std::uint64_t v = siphash24(key, data, len);
         MacTag t;
         for (int i = 0; i < 8; ++i)

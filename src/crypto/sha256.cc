@@ -7,6 +7,7 @@
 
 #include <cstring>
 
+#include "sim/profiler.hh"
 namespace dolos::crypto
 {
 
@@ -149,6 +150,7 @@ Sha256::finalize()
 void
 Sha256::processBlock(const std::uint8_t *block)
 {
+    DOLOS_PROF_SCOPE(Sha);
     const auto &K = consts().k;
     u32 w[64];
     for (int i = 0; i < 16; ++i) {

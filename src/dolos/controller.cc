@@ -6,6 +6,7 @@
 #include "dolos/controller.hh"
 
 #include "sim/logging.hh"
+#include "sim/profiler.hh"
 #include "sim/trace.hh"
 
 namespace dolos
@@ -203,6 +204,7 @@ SecureMemController::liveEntry(Addr addr)
 ReadResult
 SecureMemController::readRetried(Addr addr, Tick now)
 {
+    DOLOS_PROF_SCOPE(Controller);
     if (nvm.isQuarantined(addr))
         return {zeroBlock(), now + cfg.nvm.readLatency};
     ReadResult r = nvm.read(addr, now);
@@ -225,6 +227,7 @@ SecureMemController::readRetried(Addr addr, Tick now)
 Tick
 SecureMemController::writeRetried(Addr addr, const Block &data, Tick now)
 {
+    DOLOS_PROF_SCOPE(Controller);
     Tick done = nvm.write(addr, data, now);
     unsigned attempts = 0;
     while (nvm.lastWriteMediaError() &&
@@ -300,6 +303,7 @@ SecureMemController::supersededAtDrain(const WpqEntry &e) const
 void
 SecureMemController::processDrainsUntil(Tick t)
 {
+    DOLOS_PROF_SCOPE(Controller);
     while (!wpq.empty() && drainCursor <= wpq.back().id) {
         const std::size_t idx = std::size_t(drainCursor - wpq.front().id);
         WpqEntry &e = wpq[idx];

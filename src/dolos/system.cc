@@ -9,6 +9,7 @@
 
 #include "sim/json.hh"
 #include "sim/logging.hh"
+#include "sim/stat_sampler.hh"
 
 namespace dolos
 {
@@ -60,6 +61,19 @@ System::recoverToCompletion(unsigned *attempts_out,
     if (attempts_out)
         *attempts_out = attempts;
     return rec;
+}
+
+void
+System::attachStatSampler(stats::StatSampler *s)
+{
+    if (s) {
+        s->addGroup(&core_->statGroup());
+        s->addGroup(&hier->statGroup());
+        s->addGroup(&mc->statGroup());
+        s->addGroup(&eng->statGroup());
+        s->addGroup(&nvm->statGroup());
+    }
+    core_->setStatSampler(s);
 }
 
 void

@@ -67,6 +67,14 @@ class System
         return nvm->quarantineCount() != 0;
     }
 
+    /**
+     * Attach an interval stats sampler (nullptr detaches): registers
+     * every component's stat group with @p s and has the core poll
+     * it on each clock advance. Call the sampler's begin() after
+     * attaching, and its finish() before reading the timeline.
+     */
+    void attachStatSampler(stats::StatSampler *s);
+
     /** Dump all statistics. */
     void dumpStats(std::ostream &os) const;
 

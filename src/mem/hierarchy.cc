@@ -8,6 +8,7 @@
 #include <cstring>
 
 #include "sim/logging.hh"
+#include "sim/profiler.hh"
 
 namespace dolos
 {
@@ -39,6 +40,7 @@ CacheHierarchy::readBlockTimed(Addr addr, Tick now)
 Tick
 CacheHierarchy::load(Addr addr, void *out, unsigned size, Tick now)
 {
+    DOLOS_PROF_SCOPE(CacheModel);
     ++statLoads;
     auto *dst = static_cast<std::uint8_t *>(out);
     Tick done = now;
@@ -65,6 +67,7 @@ CacheHierarchy::load(Addr addr, void *out, unsigned size, Tick now)
 Tick
 CacheHierarchy::store(Addr addr, const void *src, unsigned size, Tick now)
 {
+    DOLOS_PROF_SCOPE(CacheModel);
     ++statStores;
     const auto *p = static_cast<const std::uint8_t *>(src);
     Tick done = now;
@@ -91,6 +94,7 @@ CacheHierarchy::store(Addr addr, const void *src, unsigned size, Tick now)
 PersistTicket
 CacheHierarchy::clwb(Addr addr, Tick now)
 {
+    DOLOS_PROF_SCOPE(CacheModel);
     ++statClwbs;
     const Addr base = blockAlign(addr);
 

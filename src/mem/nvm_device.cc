@@ -6,6 +6,7 @@
 #include "mem/nvm_device.hh"
 
 #include "sim/trace.hh"
+#include "sim/profiler.hh"
 
 namespace dolos
 {
@@ -43,6 +44,7 @@ NvmDevice::bankIndex(Addr addr) const
 ReadResult
 NvmDevice::read(Addr addr, Tick now)
 {
+    DOLOS_PROF_SCOPE(Nvm);
     ++statReads;
     Tick &bank = params.readPriority
                      ? bankReadBusyUntil[bankIndex(addr)]
@@ -61,6 +63,7 @@ NvmDevice::read(Addr addr, Tick now)
 Tick
 NvmDevice::write(Addr addr, const Block &block, Tick now)
 {
+    DOLOS_PROF_SCOPE(Nvm);
     ++statWrites;
     Tick &bank = bankBusyUntil[bankIndex(addr)];
     const Tick start = std::max(now, bank);

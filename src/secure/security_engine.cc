@@ -11,6 +11,7 @@
 
 #include "secure/osiris.hh"
 #include "sim/logging.hh"
+#include "sim/profiler.hh"
 #include "sim/trace.hh"
 
 namespace dolos
@@ -636,6 +637,7 @@ SecureWriteResult
 SecurityEngine::secureWrite(Addr addr, const Block &plaintext,
                             Tick arrival)
 {
+    DOLOS_PROF_SCOPE(SecurityEngine);
     DOLOS_ASSERT(params.map.isProtectedData(addr),
                  "write outside protected region: 0x%llx",
                  (unsigned long long)addr);
@@ -750,6 +752,7 @@ SecurityEngine::secureWrite(Addr addr, const Block &plaintext,
 ReadResult
 SecurityEngine::secureRead(Addr addr, Tick arrival)
 {
+    DOLOS_PROF_SCOPE(SecurityEngine);
     DOLOS_ASSERT(params.map.isProtectedData(addr),
                  "read outside protected region: 0x%llx",
                  (unsigned long long)addr);

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "sim/logging.hh"
+#include "sim/profiler.hh"
 #include "sim/types.hh"
 
 namespace dolos
@@ -116,6 +117,7 @@ class EventQueue
     std::uint64_t
     run(Tick limit = maxTick)
     {
+        DOLOS_PROF_SCOPE(EventKernel);
         std::uint64_t executed = 0;
         while (!events.empty()) {
             const Entry &top = events.top();

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Campaign heartbeats: structured progress for long-running drivers.
+ *
+ * dolos_torture, dolos_fuzz and the crash-point sweep can run for
+ * minutes to hours; until now they were silent until the final
+ * verdict. A CampaignMonitor emits one NDJSON heartbeat record to its
+ * sink (stderr by default, so stdout-parsing tests and pipelines are
+ * unaffected) every N finished cases:
+ *
+ *   {"type":"heartbeat","campaign":"torture","done":40,"total":200,
+ *    "failures":0,"casesPerSec":12.51,"etaSec":12.79,
+ *    "elapsedSec":3.20,"seed":12345}
+ *
+ * and a final summary record (also NDJSON, same schema minus
+ * eta/seed, plus the failing seeds, capped) from finish():
+ *
+ *   {"type":"summary","campaign":"torture","done":200,"total":200,
+ *    "failures":1,"casesPerSec":12.48,"elapsedSec":16.03,
+ *    "failedSeeds":[77]}
+ *
+ * writeSummary() additionally lands the summary record in a file so
+ * CI can archive campaign outcomes without scraping logs. Timing uses
+ * the host steady clock only — campaign pacing has no connection to
+ * simulated time. See docs/observability.md.
+ */
+
+#ifndef DOLOS_SIM_HEARTBEAT_HH
+#define DOLOS_SIM_HEARTBEAT_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dolos
+{
+
+/** Progress tracker + heartbeat emitter for one campaign. */
+class CampaignMonitor
+{
+  public:
+    /**
+     * @param campaign Campaign name stamped into every record.
+     * @param total Planned number of cases (0 = unknown; no ETA).
+     * @param every Emit a heartbeat each @p every finished cases
+     *              (0 disables heartbeats; summary still works).
+     * @param sink Stream heartbeat/summary lines are written to.
+     */
+    CampaignMonitor(std::string campaign, std::uint64_t total,
+                    std::uint64_t every, std::FILE *sink = stderr);
+
+    /** Record one finished case; emits a heartbeat when due. */
+    void caseDone(std::uint64_t seed, bool failed);
+
+    /**
+     * Record @p done cases (of which @p failed failed) finished by
+     * some driver that tracks its own seeds — e.g. the sweep path,
+     * which reports per-point batch outcomes. Never emits heartbeats
+     * (the driver emits its own per-case records); feeds the summary.
+     */
+    void recordBatch(std::uint64_t done, std::uint64_t failed);
+
+    /** Emit the summary record to the sink. */
+    void finish();
+
+    /** Write the summary record to @p path; false on I/O error. */
+    bool writeSummary(const std::string &path) const;
+
+    std::uint64_t done() const { return done_; }
+    std::uint64_t failures() const { return failures_; }
+
+    /** Failing seeds kept for the summary (first maxFailedSeeds). */
+    static constexpr std::size_t maxFailedSeeds = 32;
+
+  private:
+    double elapsedSec() const;
+    std::string record(const char *type, bool withEta,
+                       bool withSeed) const;
+    void emitHeartbeat();
+
+    std::string campaign_;
+    std::uint64_t total_;
+    std::uint64_t every_;
+    std::FILE *sink_;
+    std::uint64_t startNanos_;
+    std::uint64_t done_ = 0;
+    std::uint64_t failures_ = 0;
+    std::uint64_t sinceBeat_ = 0;
+    std::uint64_t lastSeed_ = 0;
+    std::vector<std::uint64_t> failedSeeds_;
+};
+
+} // namespace dolos
+
+#endif // DOLOS_SIM_HEARTBEAT_HH

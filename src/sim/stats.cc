@@ -5,6 +5,7 @@
 
 #include "sim/stats.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +28,12 @@ Histogram::sample(double v)
         maxSeen = v;
     if (n == 1 || v < minSeen)
         minSeen = v;
+    window.sum += v;
+    ++window.samples;
+    if (window.samples == 1 || v > window.max)
+        window.max = v;
+    if (window.samples == 1 || v < window.min)
+        window.min = v;
     if (v < 0) {
         ++underflow;
         return;
@@ -48,6 +55,15 @@ Histogram::reset()
     sum = 0;
     maxSeen = 0;
     minSeen = 0;
+    window = HistogramWindow{};
+}
+
+HistogramWindow
+Histogram::takeWindow()
+{
+    const HistogramWindow out = window;
+    window = HistogramWindow{};
+    return out;
 }
 
 void
@@ -136,6 +152,22 @@ num(double v)
     return buf;
 }
 
+/** Entries of one section sorted by stat name (byte-diffable JSON). */
+template <typename Entry>
+std::vector<const Entry *>
+sortedByName(const std::vector<Entry> &entries)
+{
+    std::vector<const Entry *> out;
+    out.reserve(entries.size());
+    for (const auto &e : entries)
+        out.push_back(&e);
+    std::sort(out.begin(), out.end(),
+              [](const Entry *a, const Entry *b) {
+                  return a->name < b->name;
+              });
+    return out;
+}
+
 } // namespace
 
 void
@@ -145,7 +177,8 @@ StatGroup::dumpJson(std::ostream &os) const
     if (!scalars.empty()) {
         os << ",\"scalars\":{";
         bool first = true;
-        for (const auto &e : scalars) {
+        for (const auto *ep : sortedByName(scalars)) {
+            const auto &e = *ep;
             os << (first ? "" : ",") << "\"" << json::escape(e.name)
                << "\":{\"value\":" << e.s->value() << ",\"desc\":\""
                << json::escape(e.desc) << "\"}";
@@ -156,7 +189,8 @@ StatGroup::dumpJson(std::ostream &os) const
     if (!averages.empty()) {
         os << ",\"averages\":{";
         bool first = true;
-        for (const auto &e : averages) {
+        for (const auto *ep : sortedByName(averages)) {
+            const auto &e = *ep;
             os << (first ? "" : ",") << "\"" << json::escape(e.name)
                << "\":{\"mean\":" << num(e.a->mean())
                << ",\"total\":" << num(e.a->total())
@@ -169,7 +203,8 @@ StatGroup::dumpJson(std::ostream &os) const
     if (!hists.empty()) {
         os << ",\"histograms\":{";
         bool first = true;
-        for (const auto &e : hists) {
+        for (const auto *ep : sortedByName(hists)) {
+            const auto &e = *ep;
             os << (first ? "" : ",") << "\"" << json::escape(e.name)
                << "\":{\"mean\":" << num(e.h->mean())
                << ",\"min\":" << num(e.h->min())
@@ -201,6 +236,45 @@ StatGroup::dumpJson(std::ostream &os) const
         os << "]";
     }
     os << "}";
+}
+
+void
+StatGroup::forEachScalar(
+    const std::function<void(const std::string &, Scalar *)> &fn,
+    const std::string &prefix) const
+{
+    const std::string base =
+        prefix.empty() ? _name : prefix + "." + _name;
+    for (const auto &e : scalars)
+        fn(base + "." + e.name, e.s);
+    for (const auto *c : children)
+        c->forEachScalar(fn, base);
+}
+
+void
+StatGroup::forEachAverage(
+    const std::function<void(const std::string &, Average *)> &fn,
+    const std::string &prefix) const
+{
+    const std::string base =
+        prefix.empty() ? _name : prefix + "." + _name;
+    for (const auto &e : averages)
+        fn(base + "." + e.name, e.a);
+    for (const auto *c : children)
+        c->forEachAverage(fn, base);
+}
+
+void
+StatGroup::forEachHistogram(
+    const std::function<void(const std::string &, Histogram *)> &fn,
+    const std::string &prefix) const
+{
+    const std::string base =
+        prefix.empty() ? _name : prefix + "." + _name;
+    for (const auto &e : hists)
+        fn(base + "." + e.name, e.h);
+    for (const auto *c : children)
+        c->forEachHistogram(fn, base);
 }
 
 void

@@ -11,6 +11,7 @@
 #define DOLOS_SIM_STATS_HH
 
 #include <cstdint>
+#include <functional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -52,6 +53,21 @@ class Average
     std::uint64_t n = 0;
 };
 
+/**
+ * Activity of a Histogram since the previous window was taken (see
+ * Histogram::takeWindow and StatSampler): sample count, their sum,
+ * and the window-local extrema.
+ */
+struct HistogramWindow
+{
+    std::uint64_t samples = 0;
+    double sum = 0;
+    double min = 0; ///< valid only while samples > 0
+    double max = 0; ///< valid only while samples > 0
+
+    double mean() const { return samples ? sum / double(samples) : 0.0; }
+};
+
 /** Fixed-width-bucket histogram with underflow/overflow bins. */
 class Histogram
 {
@@ -69,6 +85,7 @@ class Histogram
 
     std::uint64_t samples() const { return n; }
     double mean() const { return n ? sum / double(n) : 0.0; }
+    double total() const { return sum; }
 
     /** Largest sample seen; 0 with no samples. */
     double max() const { return n ? maxSeen : 0.0; }
@@ -81,6 +98,14 @@ class Histogram
     std::uint64_t overflows() const { return overflow; }
     std::uint64_t underflows() const { return underflow; }
 
+    /**
+     * Return the samples recorded since the previous takeWindow()
+     * (or construction/reset) and restart the window. The cumulative
+     * stats above are unaffected; only the StatSampler's interval
+     * timeline consumes windows.
+     */
+    HistogramWindow takeWindow();
+
   private:
     double width;
     std::vector<std::uint64_t> buckets;
@@ -90,6 +115,7 @@ class Histogram
     double sum = 0;
     double maxSeen = 0; ///< valid only while n > 0
     double minSeen = 0; ///< valid only while n > 0
+    HistogramWindow window; ///< activity since the last takeWindow()
 };
 
 /**
@@ -128,11 +154,32 @@ class StatGroup
      * Emit this group (and children, recursively) as one JSON
      * object: {"name":..., "scalars":{...}, "averages":{...},
      * "histograms":{...}, "children":[...]}.
+     *
+     * Key order is deterministic and byte-diffable: within each
+     * section, stats are emitted sorted by name (children keep
+     * attachment order, which construction fixes). dump() keeps
+     * registration order for human readers.
      */
     void dumpJson(std::ostream &os) const;
 
     /** Reset all registered stats (and children) to zero. */
     void resetAll();
+
+    /**
+     * Visit every registered stat of this group and its children
+     * with its dotted path ("mc.misu.macOps"), depth first in
+     * registration order. The visitors receive the live stat
+     * objects; the StatSampler flattens the tree through these.
+     */
+    void forEachScalar(
+        const std::function<void(const std::string &, Scalar *)> &fn,
+        const std::string &prefix = "") const;
+    void forEachAverage(
+        const std::function<void(const std::string &, Average *)> &fn,
+        const std::string &prefix = "") const;
+    void forEachHistogram(
+        const std::function<void(const std::string &, Histogram *)> &fn,
+        const std::string &prefix = "") const;
 
     const std::string &name() const { return _name; }
 

@@ -6,6 +6,7 @@
 #include "verify/diff_oracle.hh"
 
 #include <cstdio>
+#include "sim/profiler.hh"
 
 namespace dolos::verify
 {
@@ -38,6 +39,7 @@ OracleReport
 checkAgainstGolden(System &sys, GoldenModel &golden,
                    const std::set<Addr> &skip)
 {
+    DOLOS_PROF_SCOPE(Verify);
     OracleReport report;
 
     // Classify before the sweep: reading resolves in-flight bytes.

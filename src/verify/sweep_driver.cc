@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "sim/heartbeat.hh"
 #include "sim/random.hh"
 #include "verify/fault_injector.hh"
 #include "workloads/pmem.hh"
@@ -194,8 +195,14 @@ sweepCrashPoints(const SweepOptions &opt)
                      chosen.end());
     }
 
-    for (const std::uint64_t op : chosen)
+    CampaignMonitor monitor("sweep", chosen.size(),
+                            opt.heartbeatEvery);
+    for (const std::uint64_t op : chosen) {
         result.points.push_back(runCrashPoint(opt, op));
+        monitor.caseDone(op, !result.points.back().passed());
+    }
+    if (opt.heartbeatEvery)
+        monitor.finish();
     return result;
 }
 

@@ -80,6 +80,13 @@ struct SweepOptions
      * every block without an unhealable fault.
      */
     bool metadataFaults = false;
+
+    /**
+     * Emit an NDJSON heartbeat record to stderr every this many
+     * finished crash points (0 = silent); the record carries the
+     * crash op as its "seed". See sim/heartbeat.hh for the schema.
+     */
+    std::uint64_t heartbeatEvery = 0;
 };
 
 /** Outcome of one crash point. */

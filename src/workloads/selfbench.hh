@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Simulator self-benchmark: how fast is the simulator itself?
+ *
+ * Runs a workload and measures the *host*: simulated instructions
+ * per wall-clock second (the simulator's throughput) and, when the
+ * self-profiler is compiled in, the per-component host-time shares
+ * (prof::Profiler). This is the profile the ROADMAP requires before
+ * tuning simulator performance, exposed as `dolos-sim --selfbench`
+ * and gated as BENCH_selfbench.json.
+ *
+ * Measurement is two-phase so the gated number is honest: phase 1
+ * runs the workload with profiling *disabled* (repeats times,
+ * best-of) and derives events/sec from the fastest run; phase 2 runs
+ * once more with profiling enabled for the attribution table. The
+ * profiled run never contributes to the throughput figure.
+ */
+
+#ifndef DOLOS_WORKLOADS_SELFBENCH_HH
+#define DOLOS_WORKLOADS_SELFBENCH_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "dolos/config.hh"
+
+namespace dolos::workloads
+{
+
+/** What to run and how often. */
+struct SelfbenchOptions
+{
+    std::string workload = "hashmap";
+    std::uint64_t txns = 2000;
+    std::uint64_t numKeys = 1024;
+    std::uint64_t seed = 1;
+    unsigned repeats = 3; ///< unprofiled timing runs (best-of)
+    SecurityMode mode = SecurityMode::DolosPartialWpq;
+};
+
+/** One component's share of attributed host time. */
+struct SelfbenchComponent
+{
+    std::string name;
+    double seconds = 0;
+    double share = 0;
+    std::uint64_t calls = 0;
+};
+
+/** Measured self-benchmark outcome. */
+struct SelfbenchResult
+{
+    std::string workload;
+    std::uint64_t transactions = 0;
+    std::uint64_t instructions = 0; ///< simulated, per timing run
+    std::uint64_t simCycles = 0;    ///< simulated, per timing run
+    double hostSeconds = 0;         ///< best unprofiled run
+    double eventsPerSec = 0;        ///< instructions / hostSeconds
+    double simCyclesPerSec = 0;     ///< simCycles / hostSeconds
+    bool profiled = false;          ///< phase 2 ran (DOLOS_SELFPROF)
+    std::vector<SelfbenchComponent> components;
+};
+
+/** Run the two-phase self-benchmark. */
+SelfbenchResult runSelfbench(const SelfbenchOptions &opt);
+
+/** Human-readable report (throughput plus attribution table). */
+void formatSelfbench(const SelfbenchResult &r, std::ostream &os);
+
+} // namespace dolos::workloads
+
+#endif // DOLOS_WORKLOADS_SELFBENCH_HH

@@ -1,0 +1,11 @@
+// Planted violations [prof-scope]: one DOLOS_PROF_SCOPE naming a
+// component that is not in prof::Comp, one passing the wrong arity
+// (plus a correct site that must NOT be flagged).
+
+void
+fixtureProfScope()
+{
+    DOLOS_PROF_SCOPE(Aes);
+    DOLOS_PROF_SCOPE(AesEngine);
+    DOLOS_PROF_SCOPE(Mac, Sha);
+}

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Unit tests for the interval stat sampler and the host-side
+ * self-profiler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/json.hh"
+#include "sim/profiler.hh"
+#include "sim/stat_sampler.hh"
+#include "sim/stats.hh"
+
+namespace
+{
+
+using namespace dolos;
+using namespace dolos::stats;
+
+/** A tiny two-level stat tree driven by hand. */
+struct Fixture
+{
+    StatGroup root{"mc"};
+    StatGroup child{"misu"};
+    Scalar ops;
+    Average lat;
+    Histogram depth{1.0, 8};
+
+    Fixture()
+    {
+        root.addScalar(&ops, "ops", "operations");
+        root.addAverage(&lat, "latency", "per-op latency");
+        child.addHistogram(&depth, "depth", "queue depth");
+        root.addChild(&child);
+    }
+};
+
+TEST(StatSampler, WindowDeltasSumToFinalTotals)
+{
+    Fixture f;
+    StatSampler sampler(100);
+    sampler.addGroup(&f.root);
+    sampler.begin(0);
+
+    // Window 1: [0, 100).
+    f.ops += 3;
+    f.lat.sample(10);
+    f.depth.sample(2);
+    sampler.poll(100);
+
+    // Window 2: [100, 200).
+    f.ops += 5;
+    f.lat.sample(30);
+    f.lat.sample(50);
+    f.depth.sample(4);
+    f.depth.sample(6);
+    sampler.poll(200);
+
+    // Trailing partial window: [200, 250).
+    f.ops += 1;
+    sampler.finish(250);
+
+    ASSERT_EQ(sampler.windowCount(), 3u);
+    EXPECT_EQ(sampler.windowStarts()[0], 0u);
+    EXPECT_EQ(sampler.windowEnds()[0], 100u);
+    EXPECT_EQ(sampler.windowEnds()[2], 250u);
+
+    ASSERT_EQ(sampler.scalarColumns().size(), 1u);
+    const auto &ops_col = sampler.scalarColumns()[0];
+    EXPECT_EQ(ops_col.path, "mc.ops");
+    ASSERT_EQ(ops_col.deltas.size(), 3u);
+    EXPECT_EQ(ops_col.deltas[0], 3u);
+    EXPECT_EQ(ops_col.deltas[1], 5u);
+    EXPECT_EQ(ops_col.deltas[2], 1u);
+
+    // The windowed series reconcile exactly with the end-of-run
+    // totals: that is the sampler's core contract.
+    std::uint64_t total = 0;
+    for (const auto d : ops_col.deltas)
+        total += d;
+    EXPECT_EQ(total, f.ops.value());
+
+    const auto &lat_col = sampler.averageColumns()[0];
+    EXPECT_EQ(lat_col.path, "mc.latency");
+    double lat_sum = 0;
+    std::uint64_t lat_n = 0;
+    for (std::size_t i = 0; i < lat_col.sums.size(); ++i) {
+        lat_sum += lat_col.sums[i];
+        lat_n += lat_col.counts[i];
+    }
+    EXPECT_DOUBLE_EQ(lat_sum, f.lat.total());
+    EXPECT_EQ(lat_n, f.lat.samples());
+
+    const auto &hist_col = sampler.histColumns()[0];
+    EXPECT_EQ(hist_col.path, "mc.misu.depth");
+    ASSERT_EQ(hist_col.windows.size(), 3u);
+    EXPECT_EQ(hist_col.windows[0].samples, 1u);
+    EXPECT_DOUBLE_EQ(hist_col.windows[0].mean(), 2.0);
+    EXPECT_EQ(hist_col.windows[1].samples, 2u);
+    EXPECT_DOUBLE_EQ(hist_col.windows[1].min, 4.0);
+    EXPECT_DOUBLE_EQ(hist_col.windows[1].max, 6.0);
+    EXPECT_EQ(hist_col.windows[2].samples, 0u);
+    std::uint64_t hist_n = 0;
+    for (const auto &w : hist_col.windows)
+        hist_n += w.samples;
+    EXPECT_EQ(hist_n, f.depth.samples());
+}
+
+TEST(StatSampler, ClockJumpYieldsOneWideWindow)
+{
+    // The core's clock advances in jumps (a fence stall can cross
+    // many intervals at once); the sampler must close ONE window
+    // spanning whole intervals, not a flood of empty ones.
+    Fixture f;
+    StatSampler sampler(100);
+    sampler.addGroup(&f.root);
+    sampler.begin(0);
+
+    f.ops += 7;
+    sampler.poll(537); // jumped over boundaries 100..500
+
+    ASSERT_EQ(sampler.windowCount(), 1u);
+    EXPECT_EQ(sampler.windowStarts()[0], 0u);
+    EXPECT_EQ(sampler.windowEnds()[0], 500u);
+    EXPECT_EQ(sampler.scalarColumns()[0].deltas[0], 7u);
+
+    // finish() then closes [500, 537).
+    sampler.finish(537);
+    ASSERT_EQ(sampler.windowCount(), 2u);
+    EXPECT_EQ(sampler.windowEnds()[1], 537u);
+}
+
+TEST(StatSampler, PollBeforeBoundaryIsANoOp)
+{
+    Fixture f;
+    StatSampler sampler(1000);
+    sampler.addGroup(&f.root);
+    sampler.begin(0);
+    f.ops += 2;
+    sampler.poll(1);
+    sampler.poll(999);
+    EXPECT_EQ(sampler.windowCount(), 0u);
+    sampler.finish(999);
+    ASSERT_EQ(sampler.windowCount(), 1u);
+    EXPECT_EQ(sampler.scalarColumns()[0].deltas[0], 2u);
+}
+
+TEST(StatSampler, BeginMidRunBaselinesCurrentValues)
+{
+    // Stats accumulated before begin() belong to no window: the
+    // baseline snapshot keeps pre-attach history out of the timeline.
+    Fixture f;
+    f.ops += 40;
+    StatSampler sampler(100);
+    sampler.addGroup(&f.root);
+    sampler.begin(1000);
+    f.ops += 2;
+    sampler.finish(1050);
+    ASSERT_EQ(sampler.windowCount(), 1u);
+    EXPECT_EQ(sampler.windowStarts()[0], 1000u);
+    EXPECT_EQ(sampler.scalarColumns()[0].deltas[0], 2u);
+}
+
+TEST(StatSampler, JsonArtifactParsesAndIsSorted)
+{
+    Fixture f;
+    StatSampler sampler(100);
+    sampler.addGroup(&f.root);
+    sampler.begin(0);
+    f.ops += 3;
+    f.lat.sample(4);
+    f.depth.sample(1);
+    sampler.poll(100);
+    sampler.finish(150);
+
+    std::ostringstream os;
+    sampler.dumpJson(os);
+    std::string err;
+    const auto doc = json::parse(os.str(), &err);
+    ASSERT_TRUE(doc) << err;
+    const auto *tl = doc->find("timeline");
+    ASSERT_NE(tl, nullptr);
+    EXPECT_DOUBLE_EQ(tl->find("interval")->number(), 100.0);
+    ASSERT_EQ(tl->find("windows")->array().size(), 2u);
+    const auto *scalars = tl->find("scalars");
+    ASSERT_NE(scalars, nullptr);
+    ASSERT_EQ(scalars->members().size(), 1u);
+    EXPECT_EQ(scalars->members()[0].first, "mc.ops");
+    EXPECT_EQ(tl->find("histograms")->members()[0].first,
+              "mc.misu.depth");
+
+    // CSV: header plus one row per window.
+    std::ostringstream cs;
+    sampler.dumpCsv(cs);
+    const std::string csv = cs.str();
+    std::size_t rows = 0;
+    for (const char c : csv)
+        rows += c == '\n';
+    EXPECT_EQ(rows, 3u);
+}
+
+#if DOLOS_SELFPROF
+
+TEST(Profiler, CountsCallsOnlyWhileEnabled)
+{
+    auto &p = prof::Profiler::instance();
+    p.reset();
+    {
+        DOLOS_PROF_SCOPE(Aes);
+    }
+    EXPECT_EQ(p.calls(prof::Comp::Aes), 0u) << "disabled = no record";
+
+    p.enable();
+    {
+        DOLOS_PROF_SCOPE(Aes);
+    }
+    {
+        DOLOS_PROF_SCOPE(Aes);
+    }
+    p.disable();
+    EXPECT_EQ(p.calls(prof::Comp::Aes), 2u);
+    {
+        DOLOS_PROF_SCOPE(Aes);
+    }
+    EXPECT_EQ(p.calls(prof::Comp::Aes), 2u);
+    p.reset();
+}
+
+TEST(Profiler, NestedScopesAttributeExclusively)
+{
+    auto &p = prof::Profiler::instance();
+    p.reset();
+    p.enable();
+    {
+        DOLOS_PROF_SCOPE(SecurityEngine);
+        for (int i = 0; i < 4; ++i) {
+            DOLOS_PROF_SCOPE(Mac);
+        }
+    }
+    p.disable();
+    EXPECT_EQ(p.calls(prof::Comp::SecurityEngine), 1u);
+    EXPECT_EQ(p.calls(prof::Comp::Mac), 4u);
+    // Exclusive attribution: component nanos partition the attributed
+    // total, so shares can never sum past 100%.
+    const auto total = p.attributedNanos();
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < std::size_t(prof::Comp::NumComps); ++i)
+        sum += p.exclusiveNanos(static_cast<prof::Comp>(i));
+    EXPECT_EQ(sum, total);
+    p.reset();
+}
+
+#endif // DOLOS_SELFPROF
+
+} // namespace

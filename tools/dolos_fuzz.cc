@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "sim/exit_codes.hh"
+#include "sim/heartbeat.hh"
 #include "verify/diff_oracle.hh"
 #include "verify/fault_injector.hh"
 #include "workloads/runner.hh"
@@ -76,6 +77,10 @@ usage(int code)
         "bmt-flip|torn-adr-dump|dropped-clwb|\n"
         "                   media-transient|media-stuck|"
         "media-write-fail\n"
+        "  --heartbeat N    emit an NDJSON progress record to "
+        "stderr every N episodes\n"
+        "                   (campaigns; default 5, 0 = off)\n"
+        "  --summary-json FILE  write the campaign-summary record\n"
         "  --seed N | --crash-op N | --txns N | --help\n");
     std::exit(code);
 }
@@ -311,6 +316,9 @@ printRepro(const EpisodeSpec &spec)
                 faultKindName(spec.fault));
 }
 
+std::uint64_t heartbeatEvery = 5;
+std::string summaryJsonFile;
+
 int
 runCampaign(const std::string &name, std::uint64_t base_seed)
 {
@@ -341,6 +349,10 @@ runCampaign(const std::string &name, std::uint64_t base_seed)
                 name.c_str(), (unsigned long long)base_seed);
 
     unsigned total = 0, failed = 0, detected = 0, oracle_catches = 0;
+    const std::uint64_t planned = std::uint64_t(episodes_per_combo) *
+                                  std::size(modes) *
+                                  workloadNames().size();
+    CampaignMonitor monitor("fuzz-" + name, planned, heartbeatEvery);
     for (const auto mode : modes) {
         const auto faults = applicableFaults(mode);
         unsigned fault_cursor = unsigned(base_seed % faults.size());
@@ -358,6 +370,7 @@ runCampaign(const std::string &name, std::uint64_t base_seed)
                 spec.crashOp = 1 + spec.seed % 1500;
 
                 const auto out = runEpisode(spec);
+                monitor.caseDone(spec.seed, !out.passed);
                 ++total;
                 detected += out.attackDetected;
                 oracle_catches += out.oracleViolations > 0;
@@ -371,6 +384,13 @@ runCampaign(const std::string &name, std::uint64_t base_seed)
                 }
             }
         }
+    }
+    monitor.finish();
+    if (!summaryJsonFile.empty() &&
+        !monitor.writeSummary(summaryJsonFile)) {
+        std::fprintf(stderr, "cannot write %s\n",
+                     summaryJsonFile.c_str());
+        return ExitUsage;
     }
     std::printf("campaign %s: %u episodes, %u failed, %u attack "
                 "detections, %u oracle catches\n",
@@ -418,6 +438,10 @@ main(int argc, char **argv)
             single = true;
         } else if (a == "--txns") {
             episodeTxns = std::strtoull(value(), nullptr, 0);
+        } else if (a == "--heartbeat") {
+            heartbeatEvery = std::strtoull(value(), nullptr, 0);
+        } else if (a == "--summary-json") {
+            summaryJsonFile = value();
         } else if (a == "--fault") {
             const auto kind = parseFaultKind(value());
             if (!kind) {

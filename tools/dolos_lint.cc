@@ -19,6 +19,9 @@
  *                the same file share a name (the runtime panics on
  *                collisions only when that constructor actually runs).
  *  trace-arity   DOLOS_TRACE sites pass exactly 5 arguments.
+ *  prof-scope    DOLOS_PROF_SCOPE sites name a real prof::Comp
+ *                component (typos would otherwise only break
+ *                DOLOS_SELFPROF=ON builds).
  *  format        printf-family and logging calls with literal format
  *                strings have matching conversion/argument counts.
  *  raw-alloc     No raw new/malloc/calloc/realloc outside approved
@@ -863,6 +866,44 @@ scanTraceSites(const std::string &file, const std::vector<Token> &toks)
     }
 }
 
+// --- check: DOLOS_PROF_SCOPE component names ------------------------
+
+void
+scanProfScopes(const std::string &file, const std::vector<Token> &toks)
+{
+    // Must mirror prof::Comp in src/sim/profiler.hh: a typo'd
+    // component would only fail in DOLOS_SELFPROF=ON builds, so the
+    // lint catches it in every configuration.
+    static const std::set<std::string> known = {
+        "EventKernel", "Core", "CacheModel", "Controller",
+        "SecurityEngine", "Aes", "Mac", "Sha", "CtrPad", "Nvm",
+        "Verify"};
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (!isIdent(toks[i], "DOLOS_PROF_SCOPE") ||
+            !isPunct(toks[i + 1], "("))
+            continue;
+        const std::size_t cp = matchBracket(toks, i + 1);
+        const auto args = splitArgs(toks, i + 1, cp);
+        if (args.size() != 1) {
+            report(file, toks[i].line, "prof-scope",
+                   "DOLOS_PROF_SCOPE expects 1 argument (the "
+                   "component), got " +
+                       std::to_string(args.size()));
+        } else {
+            const auto &[b, e] = args[0];
+            const bool single_ident =
+                e == b + 1 && toks[b].type == Token::Ident;
+            if (!single_ident || !known.count(toks[b].text))
+                report(file, toks[i].line, "prof-scope",
+                       "DOLOS_PROF_SCOPE argument '" +
+                           (b < e ? toks[b].text : std::string()) +
+                           "' is not a prof::Comp component "
+                           "(see src/sim/profiler.hh)");
+        }
+        i = cp;
+    }
+}
+
 // --- check: printf-style format/argument agreement ------------------
 
 /** Format-string argument index per checked function. */
@@ -1029,6 +1070,7 @@ lintFile(const std::string &path)
     scanManifests(path, toks);
     scanStatNames(path, toks);
     scanTraceSites(path, toks);
+    scanProfScopes(path, toks);
     scanFormatCalls(path, toks);
     scanRawAllocs(path, toks);
 }
@@ -1052,7 +1094,7 @@ main(int argc, char **argv)
         if (a == "--help" || a == "-h") {
             std::printf("usage: dolos_lint PATH...\n"
                         "  checks: state-class manifest stat-name "
-                        "trace-arity format raw-alloc\n"
+                        "trace-arity prof-scope format raw-alloc\n"
                         "  exit: 0 clean, 1 violations, 2 usage\n");
             return 0;
         }

@@ -22,11 +22,13 @@
 #include <stdexcept>
 
 #include "sim/exit_codes.hh"
+#include "sim/stat_sampler.hh"
 #include "sim/trace.hh"
 #include "verify/fault_injector.hh"
 #include "verify/manifest_check.hh"
 #include "verify/perf_equiv.hh"
 #include "workloads/runner.hh"
+#include "workloads/selfbench.hh"
 
 using namespace dolos;
 using namespace dolos::workloads;
@@ -59,6 +61,9 @@ struct Options
     bool verifyManifest = false; ///< --verify-manifest: crash-state check
     bool verifyPerfEquiv = false; ///< --verify-perf-equiv: timing diff
     std::string optKnobs; ///< --opt-knobs: none|all|comma list
+    std::uint64_t sampleInterval = 0; ///< --sample-interval (0 = off)
+    std::string timelineFile; ///< --stats-timeline (.csv => CSV)
+    bool selfbench = false;   ///< --selfbench: host-speed self-profile
 };
 
 [[noreturn]] void
@@ -109,6 +114,15 @@ usage(int code)
         "  --opt-knobs SPEC    persist-path optimizations: none|all|\n"
         "                      comma list of bmt-pipeline,drain-batch,\n"
         "                      tag-prefetch (default none)\n"
+        "  --sample-interval N sample the stat tree every N simulated\n"
+        "                      cycles into a windowed timeline\n"
+        "  --stats-timeline F  write the timeline to F (JSON, or CSV\n"
+        "                      when F ends in .csv); needs\n"
+        "                      --sample-interval\n"
+        "  --selfbench         benchmark the simulator itself: report\n"
+        "                      simulated instructions/sec and, when\n"
+        "                      compiled in, per-component host-time\n"
+        "                      attribution, then exit\n"
         "  --seed N | --stats | --list | --help\n"
         "exit codes: 0 ok, 1 verification failure, 2 usage, "
         "3 attack alarm,\n"
@@ -193,6 +207,12 @@ parse(int argc, char **argv)
             o.verifyPerfEquiv = true;
         else if (a == "--opt-knobs")
             o.optKnobs = value();
+        else if (a == "--sample-interval")
+            o.sampleInterval = numValue();
+        else if (a == "--stats-timeline")
+            o.timelineFile = value();
+        else if (a == "--selfbench")
+            o.selfbench = true;
         else if (a == "--list") {
             for (const auto &n : extendedWorkloadNames())
                 std::printf("%s\n", n.c_str());
@@ -238,6 +258,30 @@ int
 main(int argc, char **argv)
 {
     const Options o = parse(argc, argv);
+
+    if ((o.sampleInterval == 0) != o.timelineFile.empty()) {
+        std::fprintf(stderr,
+                     "--sample-interval and --stats-timeline must be "
+                     "used together\n");
+        usage(ExitUsage);
+    }
+
+    if (o.selfbench) {
+        SelfbenchOptions sb;
+        sb.workload = o.workload;
+        sb.txns = o.txns;
+        sb.numKeys = o.numKeys;
+        sb.seed = o.seed;
+        const auto mode = parseSecurityMode(o.mode);
+        if (!mode) {
+            std::fprintf(stderr, "unknown mode '%s'\n", o.mode.c_str());
+            usage(ExitUsage);
+        }
+        sb.mode = *mode;
+        const auto r = runSelfbench(sb);
+        formatSelfbench(r, std::cout);
+        return ExitOk;
+    }
 
     if (o.verifyManifest) {
         bool ok = true;
@@ -356,7 +400,35 @@ main(int argc, char **argv)
         crash->atOp = *o.crashAt;
     }
 
+    std::optional<stats::StatSampler> sampler;
+    if (o.sampleInterval) {
+        sampler.emplace(o.sampleInterval);
+        sys.attachStatSampler(&*sampler);
+        sampler->begin(sys.core().now());
+    }
+
     const auto res = runWorkload(sys, *wl, o.txns, crash);
+
+    if (sampler) {
+        sampler->finish(sys.core().now());
+        sys.attachStatSampler(nullptr);
+        std::ofstream out(o.timelineFile);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         o.timelineFile.c_str());
+            return 1;
+        }
+        const bool csv =
+            o.timelineFile.size() > 4 &&
+            o.timelineFile.compare(o.timelineFile.size() - 4, 4,
+                                   ".csv") == 0;
+        if (csv)
+            sampler->dumpCsv(out);
+        else
+            sampler->dumpJson(out);
+        std::printf("stats timeline      : %s (%zu windows)\n",
+                    o.timelineFile.c_str(), sampler->windowCount());
+    }
 
     std::printf("workload            : %s\n", res.workload.c_str());
     std::printf("mode                : %s\n",

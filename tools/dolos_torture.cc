@@ -48,6 +48,7 @@
 #include "secure/address_map.hh"
 #include "secure/merkle_tree.hh"
 #include "sim/exit_codes.hh"
+#include "sim/heartbeat.hh"
 #include "sim/random.hh"
 #include "verify/diff_oracle.hh"
 #include "verify/fault_injector.hh"
@@ -122,7 +123,12 @@ usage(int code)
         "  --meta-faults (sweep) stick a metadata bit at every crash "
         "point\n"
         "  --opt-knobs   persist-path levers for every episode: "
-        "none|all|bmt-pipeline,drain-batch,tag-prefetch\n");
+        "none|all|bmt-pipeline,drain-batch,tag-prefetch\n"
+        "  --heartbeat N emit an NDJSON progress record to stderr "
+        "every N cases\n"
+        "                (campaign and sweep; default 5, 0 = off)\n"
+        "  --summary-json FILE\n"
+        "                write the campaign-summary record to FILE\n");
     std::exit(code);
 }
 
@@ -508,6 +514,8 @@ main(int argc, char **argv)
     std::optional<unsigned> expectBug;
     bool sweep = false;
     bool metaFaults = false;
+    std::uint64_t heartbeat = 5;
+    std::string summaryJson;
     std::string sweepWorkload = "hashmap";
     std::string sweepPoints = "every-op";
     std::size_t sweepBudget = 4;
@@ -570,6 +578,10 @@ main(int argc, char **argv)
                 unsigned(std::strtoull(value(), nullptr, 0));
         } else if (a == "--meta-faults") {
             metaFaults = true;
+        } else if (a == "--heartbeat") {
+            heartbeat = std::strtoull(value(), nullptr, 0);
+        } else if (a == "--summary-json") {
+            summaryJson = value();
         } else if (a == "--opt-knobs") {
             gOptKnobsSpec = value();
             const auto knobs = parseOptKnobs(gOptKnobsSpec);
@@ -607,12 +619,24 @@ main(int argc, char **argv)
                                             : CrashPoints::EveryOp;
         opt.recoveryCrashStep = recoveryCrash;
         opt.metadataFaults = metaFaults;
+        opt.heartbeatEvery = heartbeat;
         const auto result = sweepCrashPoints(opt);
         std::printf("sweep [%s]: %zu candidate points, %zu run, "
                     "%zu failures\n",
                     describeSweep(opt).c_str(),
                     result.boundaries.size(), result.points.size(),
                     result.failures());
+        if (!summaryJson.empty()) {
+            CampaignMonitor monitor("sweep", result.points.size(), 0,
+                                    nullptr);
+            monitor.recordBatch(result.points.size(),
+                                result.failures());
+            if (!monitor.writeSummary(summaryJson)) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             summaryJson.c_str());
+                return ExitUsage;
+            }
+        }
         if (!result.allPassed()) {
             std::printf("FAIL: %s\n", result.firstFailure().c_str());
             std::printf("REPRO: dolos_torture --sweep --mode %s "
@@ -719,10 +743,12 @@ main(int argc, char **argv)
                 "base seed %llu\n",
                 campaign, opsPerEpisode, securityModeName(mode),
                 (unsigned long long)seed);
+    CampaignMonitor monitor("torture", campaign, heartbeat);
     for (unsigned ep = 0; ep < campaign; ++ep) {
         const std::uint64_t ep_seed = seed + ep;
         const auto ops = genProgram(ep_seed, opsPerEpisode);
         const auto out = runProgram(mode, ops, PlantSpec{});
+        monitor.caseDone(ep_seed, out.failed);
         if (!out.failed)
             continue;
         ++failed;
@@ -730,6 +756,11 @@ main(int argc, char **argv)
         std::printf("FAIL episode %u (seed %llu): %s\n", ep,
                     (unsigned long long)ep_seed, out.note.c_str());
         minimizeAndReport(mode, ops, PlantSpec{});
+    }
+    monitor.finish();
+    if (!summaryJson.empty() && !monitor.writeSummary(summaryJson)) {
+        std::fprintf(stderr, "cannot write %s\n", summaryJson.c_str());
+        return ExitUsage;
     }
     std::printf("campaign done: %u/%u episodes failed\n", failed,
                 campaign);
