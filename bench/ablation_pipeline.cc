@@ -24,6 +24,7 @@ runPipelined(const std::string &wl, SecurityMode mode,
              const BenchOptions &opts, bool pipelined)
 {
     auto cfg = SystemConfig::paperDefault();
+    applyOptKnobs(cfg, opts.knobs);
     cfg.mode = mode;
     cfg.secure.pipelinedWrites = pipelined;
     System sys(cfg);

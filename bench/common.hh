@@ -39,6 +39,8 @@ struct BenchOptions
     bool verify = true;
     bool json = false;     ///< write a BENCH_<name>.json artifact
     std::string jsonFile;  ///< override the artifact path
+    OptKnobs knobs;        ///< persist-path levers (default: all on;
+                           ///< --opt-knobs none = the paper's machine)
 
     static BenchOptions
     parse(int argc, char **argv)
@@ -78,10 +80,24 @@ struct BenchOptions
                 // Optional value: a path that names the artifact.
                 if (i + 1 < argc && argv[i + 1][0] != '-')
                     o.jsonFile = argv[++i];
+            } else if (a == "--opt-knobs") {
+                if (i + 1 >= argc) {
+                    std::fprintf(stderr, "missing value for %s\n",
+                                 a.c_str());
+                    std::exit(1);
+                }
+                const auto parsed = parseOptKnobs(argv[++i]);
+                if (!parsed) {
+                    std::fprintf(stderr, "bad --opt-knobs spec '%s'\n",
+                                 argv[i]);
+                    std::exit(1);
+                }
+                o.knobs = *parsed;
             } else if (a == "--help" || a == "-h") {
                 std::printf(
                     "options: --txns N | --full | --keys N | --seed N"
-                    " | --no-verify | --json [FILE]\n");
+                    " | --no-verify | --json [FILE]"
+                    " | --opt-knobs K (none = paper's machine)\n");
                 std::exit(0);
             } else {
                 std::fprintf(stderr, "unknown option %s\n", a.c_str());
@@ -223,6 +239,9 @@ runOne(const std::string &workload, SecurityMode mode,
     cfg.secure.treePolicy = policy;
     if (wpq_override)
         cfg.wpq = *wpq_override;
+    // After the WPQ override: the knob spec must win over the
+    // override's drainBatching default too.
+    applyOptKnobs(cfg, opts.knobs);
     System sys(cfg);
     auto wl = workloads::makeWorkload(workload,
                                       presetFor(workload, opts, tx_size));

@@ -104,8 +104,13 @@ main(int argc, char **argv)
                  {SecurityMode::DolosPartialWpq, "partial"},
                  {SecurityMode::DolosPostWpq, "post"}};
     const std::string workload = "hashmap";
-    const OptKnobs off{};
-    const OptKnobs on{true, true, true};
+    // The levers default on since the microstep-sweep flip, so the
+    // "off" leg (the paper's unoptimized machine) is the explicit one.
+    OptKnobs off;
+    off.bmtPipeline = false;
+    off.drainBatching = false;
+    off.tagPrefetch = false;
+    const OptKnobs on{};
 
     bool met = true;
     for (const auto &m : modes) {

@@ -59,9 +59,15 @@ SimpleCore::store(Addr addr, const void *src, unsigned size)
     DOLOS_PROF_SCOPE(Core);
     ++statInstructions;
     ++statStores;
-    clock = hierarchy.store(addr, src, size, clock);
+    // Tell the observer first: the store below can end in a microstep
+    // power failure (a crash point inside an eviction-triggered
+    // drain), and the golden model must already hold the new value as
+    // in-flight-admissible when that crash is examined. Both the old
+    // and the new value stay admissible until the next fence commit,
+    // so observing early never weakens the oracle.
     if (observer)
         observer->onStore(addr, src, size);
+    clock = hierarchy.store(addr, src, size, clock);
     pollSampler();
 }
 

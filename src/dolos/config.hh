@@ -99,10 +99,10 @@ struct WpqParams
      * to the same cacheline supersedes — the newer entry carries the
      * line's final contents and its own drain covers persistence.
      * Only reachable when insertion-time coalescing missed the merge
-     * (e.g. coalescing disabled); accounting stays exact. Default
-     * off.
+     * (e.g. coalescing disabled); accounting stays exact. Default on
+     * (`--opt-knobs none` restores the serial drain scheduler).
      */
-    bool drainBatching = false;
+    bool drainBatching = true;
 
     /** Usable entries for the given mode. */
     unsigned
@@ -157,13 +157,19 @@ std::string validateConfig(const SystemConfig &cfg);
 
 /**
  * The three persist-path optimization levers as one bundle, so CLI
- * tools, torture lanes and benches flip them consistently.
+ * tools, torture lanes and benches flip them consistently. The
+ * levers are on by default (matching SecureParams/WpqParams since
+ * they survived the microstep crash sweeps); `--opt-knobs none`
+ * reproduces the paper's unoptimized machine.
  */
 struct OptKnobs
 {
-    bool bmtPipeline = false;
-    bool drainBatching = false;
-    bool tagPrefetch = false;
+    bool bmtPipeline = true;
+    bool drainBatching = true;
+    bool tagPrefetch = true;
+
+    /** BMT pipeline window override (nullopt keeps the config's). */
+    std::optional<unsigned> bmtPipelineWindow;
 
     bool
     any() const
@@ -174,10 +180,19 @@ struct OptKnobs
 
 /**
  * Parse an --opt-knobs spec: "none", "all", or a comma-separated
- * subset of bmt-pipeline,drain-batch,tag-prefetch. Unknown names
- * yield nullopt — callers must reject them.
+ * subset of bmt-pipeline,drain-batch,tag-prefetch,bmt-window=N
+ * naming the *exact* lever set to enable (everything unnamed is
+ * off). Unknown names, an empty spec, and bmt-window=0 yield
+ * nullopt — callers must reject them, never clamp.
  */
 std::optional<OptKnobs> parseOptKnobs(const std::string &spec);
+
+/**
+ * Canonical spec string for a bundle ("all", "none", or the comma
+ * list); parseOptKnobs(formatOptKnobs(k)) == k. Repro lines print
+ * this unconditionally so they replay across default flips.
+ */
+std::string formatOptKnobs(const OptKnobs &knobs);
 
 /** Apply a knob bundle to a configuration. */
 void applyOptKnobs(SystemConfig &cfg, const OptKnobs &knobs);

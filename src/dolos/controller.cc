@@ -5,6 +5,7 @@
 
 #include "dolos/controller.hh"
 
+#include "sim/crash_points.hh"
 #include "sim/logging.hh"
 #include "sim/profiler.hh"
 #include "sim/trace.hh"
@@ -101,7 +102,13 @@ validateConfig(const SystemConfig &cfg)
 std::optional<OptKnobs>
 parseOptKnobs(const std::string &spec)
 {
+    // The spec names the *exact* lever set — it does not toggle on
+    // top of the defaults, so a repro line parses to the same machine
+    // whatever the defaults of the build that replays it.
     OptKnobs knobs;
+    knobs.bmtPipeline = false;
+    knobs.drainBatching = false;
+    knobs.tagPrefetch = false;
     if (spec == "none")
         return knobs;
     if (spec == "all") {
@@ -110,6 +117,8 @@ parseOptKnobs(const std::string &spec)
         knobs.tagPrefetch = true;
         return knobs;
     }
+    if (spec.empty())
+        return std::nullopt;
     std::size_t pos = 0;
     while (pos <= spec.size()) {
         const std::size_t comma = spec.find(',', pos);
@@ -122,13 +131,66 @@ parseOptKnobs(const std::string &spec)
             knobs.drainBatching = true;
         else if (name == "tag-prefetch")
             knobs.tagPrefetch = true;
-        else
+        else if (name.rfind("bmt-window=", 0) == 0) {
+            const std::string val = name.substr(11);
+            if (val.empty())
+                return std::nullopt;
+            unsigned window = 0;
+            for (const char c : val) {
+                if (c < '0' || c > '9')
+                    return std::nullopt;
+                window = window * 10 + unsigned(c - '0');
+                if (window > 1u << 16)
+                    return std::nullopt;
+            }
+            if (window == 0)
+                return std::nullopt; // reject, never clamp
+            knobs.bmtPipelineWindow = window;
+        } else {
             return std::nullopt;
+        }
         if (comma == std::string::npos)
             break;
         pos = comma + 1;
     }
     return knobs;
+}
+
+std::string
+formatOptKnobs(const OptKnobs &knobs)
+{
+    // Canonical spec: parseOptKnobs(formatOptKnobs(k)) == k. The
+    // "all"/"none" shortcuts only apply when no window override is
+    // set, because "none,bmt-window=N" would not re-parse.
+    const bool all =
+        knobs.bmtPipeline && knobs.drainBatching && knobs.tagPrefetch;
+    const bool none =
+        !knobs.bmtPipeline && !knobs.drainBatching && !knobs.tagPrefetch;
+    if (!knobs.bmtPipelineWindow) {
+        if (all)
+            return "all";
+        if (none)
+            return "none";
+    }
+    std::string out;
+    const auto append = [&out](const char *item) {
+        if (!out.empty())
+            out += ',';
+        out += item;
+    };
+    if (knobs.bmtPipeline)
+        append("bmt-pipeline");
+    if (knobs.drainBatching)
+        append("drain-batch");
+    if (knobs.tagPrefetch)
+        append("tag-prefetch");
+    if (knobs.bmtPipelineWindow) {
+        if (!out.empty())
+            out += ',';
+        out += "bmt-window=" +
+               std::to_string(*knobs.bmtPipelineWindow);
+    }
+    return out;
 }
 
 void
@@ -137,6 +199,8 @@ applyOptKnobs(SystemConfig &cfg, const OptKnobs &knobs)
     cfg.secure.bmtPipeline = knobs.bmtPipeline;
     cfg.wpq.drainBatching = knobs.drainBatching;
     cfg.secure.tagPrefetch = knobs.tagPrefetch;
+    if (knobs.bmtPipelineWindow)
+        cfg.secure.bmtPipelineWindow = *knobs.bmtPipelineWindow;
 }
 
 SecureMemController::SecureMemController(const SystemConfig &cfg,
@@ -267,12 +331,23 @@ SecureMemController::drainEntry(WpqEntry &e)
         // persistent redo log before the caches/NVM are touched, and
         // the entry is cleared once the log is filled (paper: steps
         // 3 and 4 proceed in parallel once the log is ready).
+        DOLOS_CRASH_POINT(WpqDrainIssue);
         const auto res = engine.secureWrite(e.addr, e.plaintext,
                                             start + 1);
         redoLog.fill({e.addr, res.ciphertext, res.macTag, res.counter,
                       engine.persistentRoot()});
+        // The write's commit point: the engine's root/shadow flip and
+        // the redo record land as one group, so a crash here replays
+        // the ciphertext from the log and the recovered counters meet
+        // the new root. No crash point sits between the engine's
+        // commit group and this fill.
+        DOLOS_CRASH_POINT(MasuRootCommit);
         engine.writeCiphertext(e.addr, res.ciphertext, res.doneTick);
+        DOLOS_CRASH_POINT(WpqCtWrite);
         redoLog.clear();
+        // Log cleared but WPQ/Mi-SU slot not yet released: the entry
+        // still dumps on power loss and re-drains idempotently.
+        DOLOS_CRASH_POINT(WpqRedoClear);
         done = res.doneTick;
         if (misu_)
             misu_->clearSlot(slotOf(e));
@@ -336,6 +411,10 @@ SecureMemController::processDrainsUntil(Tick t)
                         "batch id=%llu addr=0x%llx superseded",
                         (unsigned long long)e.id,
                         (unsigned long long)e.addr);
+            // Elide applied: the slot is free and the line's final
+            // contents now ride exclusively on the (undrained, still
+            // dumped) newer entry.
+            DOLOS_CRASH_POINT(WpqDrainElide);
         } else {
             drainEntry(e);
         }
@@ -580,9 +659,15 @@ SecureMemController::finishDump()
 }
 
 CrashDumpReport
-SecureMemController::crash(Tick at)
+SecureMemController::crash(Tick at, bool complete_in_flight)
 {
-    processDrainsUntil(at);
+    // An op-boundary power failure gives the drain server its ADR
+    // grace: everything due by @p at finishes. A microstep crash is
+    // *inside* a drain — re-running the interrupted entry's security
+    // work before dumping would double-apply it, so the WPQ is dumped
+    // exactly as the failure found it.
+    if (complete_in_flight)
+        processDrainsUntil(at);
     CrashDumpReport report;
 
     // A power failure while recovery is still consuming an ADR dump:

@@ -77,9 +77,13 @@ class SecureMemController : public PersistController
 
     /**
      * Power failure at @p at: finish redo-log-covered drains, flush
-     * the WPQ under ADR, drop all volatile state.
+     * the WPQ under ADR, drop all volatile state. A microstep crash
+     * (power dying *inside* a drain's security work) passes
+     * @p complete_in_flight = false so the interrupted drain is not
+     * re-run before the dump — the entry stays undrained and the
+     * redo log / re-drain reconcile it at recovery.
      */
-    CrashDumpReport crash(Tick at);
+    CrashDumpReport crash(Tick at, bool complete_in_flight = true);
 
     /** Boot-time recovery (dump verification, drain, Ma-SU recover). */
     ControllerRecoveryReport recover();

@@ -27,9 +27,10 @@ System::System(const SystemConfig &config) : cfg(config)
 }
 
 CrashDumpReport
-System::crash()
+System::crash(bool mid_operation)
 {
-    const auto report = mc->crash(core_->now());
+    const auto report =
+        mc->crash(core_->now(), /*complete_in_flight=*/!mid_operation);
     hier->invalidateAll();
     core_->notifyCrash();
     return report;

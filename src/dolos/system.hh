@@ -43,8 +43,11 @@ class System
     /**
      * Power failure at the core's current tick: caches and all other
      * volatile state are lost; ADR flushes the WPQ.
+     * @p mid_operation marks a microstep crash (power dying inside a
+     * drain's security work): the controller then dumps the WPQ as
+     * found instead of letting the in-flight drain finish.
      */
-    CrashDumpReport crash();
+    CrashDumpReport crash(bool mid_operation = false);
 
     /** Boot after a crash: authenticate, drain, rebuild metadata. */
     ControllerRecoveryReport recover();

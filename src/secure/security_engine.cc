@@ -10,6 +10,7 @@
 #include <unordered_set>
 
 #include "secure/osiris.hh"
+#include "sim/crash_points.hh"
 #include "sim/logging.hh"
 #include "sim/profiler.hh"
 #include "sim/trace.hh"
@@ -386,6 +387,10 @@ SecurityEngine::evictCounterBlock(Addr counter_block_addr, Tick now)
         (counter_block_addr - AddressMap::counterBase) / blockSize;
     // The page must exist in the volatile store: it was cached.
     nvm_.write(counter_block_addr, counters.page(page_idx).pack(), now);
+    // Metadata write-through: the persisted counter only catches up
+    // to the volatile truth here, so power loss right after is a
+    // state recovery must already handle.
+    DOLOS_CRASH_POINT(MasuCtrEvict);
 }
 
 void
@@ -407,6 +412,7 @@ SecurityEngine::fetchCounter(Addr addr, Tick start, bool for_write)
             it != prefetchPending.end()) {
             ++statTagPrefetchHits;
             prefetchPending.erase(it);
+            DOLOS_CRASH_POINT(PrefetchPromote);
         }
         if (for_write)
             ctrCache.markDirty(cb_addr);
@@ -571,10 +577,18 @@ SecurityEngine::chargeBmtClimb(Addr page_idx, Tick start)
         if (best_shared > 0) {
             charged = bmt_levels - best_shared;
             statBmtCoalesced += best_shared;
+            DOLOS_CRASH_POINT(MasuBmtCoalesce);
         }
     }
 
     statBmtCycles += Cycles(charged) * params.macLatency;
+    // One named crash point per charged level of the climb: power can
+    // fail with any prefix of the window's node updates applied. All
+    // tree state touched so far this drain is volatile (the leaf
+    // update and root commit come later in secureWrite), so recovery
+    // must rebuild from the persisted counters alone.
+    for (unsigned lvl = 0; lvl < charged; ++lvl)
+        DOLOS_CRASH_POINT(MasuBmtLevel);
 
     // The root is always updated last: a climb that coalesced its
     // upper levels onto an in-flight update completes no earlier
@@ -603,8 +617,10 @@ SecurityEngine::prefetchCounter(Addr addr)
     // Never displace a dirty line: it may be about to be drained and
     // its eviction would post an NVM metadata write the serial demand
     // path never issued.
-    if (ctrCache.wouldEvictDirty(cb_addr))
+    if (ctrCache.wouldEvictDirty(cb_addr)) {
+        DOLOS_CRASH_POINT(PrefetchDirtyBackoff);
         return;
+    }
     if (nvm_.isQuarantined(cb_addr))
         return;
 
@@ -631,6 +647,7 @@ SecurityEngine::prefetchCounter(Addr addr)
     const auto ev = ctrCache.insert(cb_addr, false);
     DOLOS_ASSERT(!ev, "tag prefetch evicted a dirty line");
     prefetchPending.insert(cb_addr);
+    DOLOS_CRASH_POINT(PrefetchIssue);
 }
 
 SecureWriteResult
@@ -652,13 +669,31 @@ SecurityEngine::secureWrite(Addr addr, const Block &plaintext,
     statCtrFetchCycles += t - start;
     if (t > start)
         DOLOS_TRACE(trace::Stage::MasuCtrFetch, start, t, addr, 0);
+    DOLOS_CRASH_POINT(MasuCtrFetch);
 
+    const Addr cb_addr = AddressMap::counterBlockAddr(addr);
     const CounterPage old_page = counters.page(page_idx);
     const CounterBump bump = counters.increment(addr);
     SecureWriteResult res;
     res.pageReencrypted = bump.pageOverflow;
-    if (bump.pageOverflow)
+    if (bump.pageOverflow) {
         t = reencryptPage(page_idx, old_page, t);
+        // The re-encryption just rewrote every sibling of the page
+        // under the new counters; commit the new page state (tree
+        // leaf, root register, shadow/stop-loss persistence) in the
+        // same atomic step. Any later crash point would otherwise
+        // leave stored siblings unreadable: recovery's re-drain only
+        // rewrites the dumped address, never its page siblings.
+        const CounterPage &npage = counters.page(page_idx);
+        tree.updateLeaf(page_idx, npage);
+        rootRegister = tree.root();
+        if (params.crashScheme == CrashScheme::Anubis)
+            shadow.recordUpdate(ctrCache.slotOf(cb_addr), page_idx,
+                                npage, ++shadowSeq, t);
+        else
+            nvm_.write(cb_addr, npage.pack(), t);
+    }
+    DOLOS_CRASH_POINT(MasuCtrBumped);
 
     // Counter-mode encryption: pad generation (AES) then XOR.
     const Tick crypto_start = t;
@@ -670,6 +705,7 @@ SecurityEngine::secureWrite(Addr addr, const Block &plaintext,
     res.ciphertext = plaintext;
     crypto::xorInto(res.ciphertext.data(), pad.data(), blockSize);
     res.counter = bump.newCounter;
+    DOLOS_CRASH_POINT(MasuAesPad);
 
     // Data MAC + integrity-tree update: the configured number of
     // serial MAC operations (Table 1: 10 eager / 4 lazy). One MAC op
@@ -684,10 +720,14 @@ SecurityEngine::secureWrite(Addr addr, const Block &plaintext,
     DOLOS_TRACE(trace::Stage::MasuBmt, mac_end, t, addr, 0);
     res.macTag = dataMac(addr, res.ciphertext, bump.newCounter);
     storeDataMac(addr, res.macTag);
+    // The stored MAC now reflects the new ciphertext while the NVM
+    // data block and ECC still hold the old write: recovery must
+    // tolerate the mismatch because the dumped entry re-drains
+    // (rewriting data, MAC, and ECC) before any demand read.
+    DOLOS_CRASH_POINT(MasuMacStored);
 
     const CounterPage &page = counters.page(page_idx);
     tree.updateLeaf(page_idx, page);
-    rootRegister = tree.root();
 
     // Keep the tree cache coherent with the updated path (the root
     // lives in the on-chip register, not the cache).
@@ -706,7 +746,15 @@ SecurityEngine::secureWrite(Addr addr, const Block &plaintext,
     // every write (Osiris leans on them at recovery).
     storeEcc(addr, OsirisEcc::compute(plaintext));
 
-    const Addr cb_addr = AddressMap::counterBlockAddr(addr);
+    // --- atomic commit group: no crash point inside or after -------
+    // The root-register flip and the crash scheme's persistence
+    // record (Anubis shadow entry / Osiris stop-loss write-through)
+    // must land together, and nothing may interrupt between here and
+    // the controller's redo-log fill: a root register ahead of the
+    // recoverable counters reads as tamper at reboot. The next
+    // microstep is MasuRootCommit in the controller, fired only once
+    // the redo record can replay this write.
+    rootRegister = tree.root();
     if (params.crashScheme == CrashScheme::Anubis) {
         // Anubis: persist the shadow entry for this counter block.
         shadow.recordUpdate(ctrCache.slotOf(cb_addr), page_idx, page,

@@ -91,9 +91,10 @@ struct SecureParams
      * non-shared levels are charged — the shared upper levels (and
      * the root, which is always updated last) coalesce onto the
      * in-flight update. Timing-only: the functional tree/root update
-     * is unchanged. Default off (the paper's Ma-SU serializes).
+     * is unchanged. Default on (survived the microstep crash sweeps;
+     * `--opt-knobs none` restores the paper's serial Ma-SU).
      */
-    bool bmtPipeline = false;
+    bool bmtPipeline = true;
 
     /** In-flight root-path updates tracked when bmtPipeline is on. */
     unsigned bmtPipelineWindow = 4;
@@ -103,9 +104,10 @@ struct SecureParams
      * the controller admits a write into the WPQ, so the Ma-SU's
      * demand fetch at drain time overlaps the queue wait. Functional
      * warm-up only (prefetch bandwidth is not timed); never evicts a
-     * dirty line (see TagCache::wouldEvictDirty). Default off.
+     * dirty line (see TagCache::wouldEvictDirty). Default on
+     * (`--opt-knobs none` restores the cold demand path).
      */
-    bool tagPrefetch = false;
+    bool tagPrefetch = true;
 
     /** Counter crash-consistency mechanism. */
     CrashScheme crashScheme = CrashScheme::Anubis;

@@ -178,7 +178,15 @@ verifyPerfEquiv(SecurityMode mode, const std::string &workload,
     r.workload = workload;
 
     const workloads::WorkloadParams params = equivParams(seed);
+    // The levers default on since the microstep-sweep flip, so the
+    // "off" leg must force them off explicitly — it models the
+    // paper's unoptimized machine, not the build defaults.
     SystemConfig off_cfg = equivConfig(mode);
+    OptKnobs off_knobs;
+    off_knobs.bmtPipeline = false;
+    off_knobs.drainBatching = false;
+    off_knobs.tagPrefetch = false;
+    applyOptKnobs(off_cfg, off_knobs);
     SystemConfig on_cfg = off_cfg;
     applyOptKnobs(on_cfg, knobs);
 

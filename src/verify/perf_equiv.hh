@@ -76,8 +76,7 @@ PerfEquivResult verifyPerfEquiv(SecurityMode mode,
                                 const std::string &workload,
                                 std::uint64_t num_tx,
                                 std::uint64_t seed,
-                                const OptKnobs &knobs = {true, true,
-                                                         true});
+                                const OptKnobs &knobs = {});
 
 /**
  * The CLI sweep: every tier-1 workload in all three Dolos modes,

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "sim/crash_points.hh"
 #include "sim/heartbeat.hh"
 #include "sim/random.hh"
 #include "verify/fault_injector.hh"
@@ -27,6 +28,17 @@ configFor(const SweepOptions &opt)
     return cfg;
 }
 
+const char *
+pointSetName(CrashPoints p)
+{
+    switch (p) {
+      case CrashPoints::WpqBoundaries: return "wpq-boundaries";
+      case CrashPoints::EveryOp: return "every-op";
+      case CrashPoints::Microstep: return "microstep";
+    }
+    return "unknown";
+}
+
 } // namespace
 
 std::string
@@ -35,11 +47,14 @@ SweepResult::firstFailure() const
     for (const auto &p : points) {
         if (p.passed())
             continue;
-        char buf[96];
+        char buf[128];
         std::snprintf(buf, sizeof(buf),
-                      "crash-op %llu: structure=%d attack=%d, ",
+                      "crash-op %llu%s%s: structure=%d attack=%d "
+                      "fired=%d, ",
                       (unsigned long long)p.crashOp,
-                      int(p.structureVerified), int(p.attackDetected));
+                      p.microstep.empty() ? "" : " step=",
+                      p.microstep.c_str(), int(p.structureVerified),
+                      int(p.attackDetected), int(p.crashFired));
         return buf + p.oracle.summary();
     }
     return {};
@@ -57,8 +72,7 @@ describeSweep(const SweepOptions &opt)
         (unsigned long long)opt.numTx,
         (unsigned long long)opt.params.seed,
         (unsigned long long)opt.sampleSeed,
-        opt.pointSet == CrashPoints::EveryOp ? "every-op"
-                                             : "wpq-boundaries",
+        pointSetName(opt.pointSet),
         opt.budget ? "" : " (exhaustive)",
         opt.recoveryCrashStep
             ? std::to_string(*opt.recoveryCrashStep).c_str()
@@ -99,6 +113,32 @@ enumerateCrashPoints(const SweepOptions &opt)
     if (opt.pointSet == CrashPoints::WpqBoundaries)
         return enumerateWpqBoundaries(opt);
 
+    if (opt.pointSet == CrashPoints::Microstep) {
+        // Probe run with the crash-point registry counting (never
+        // throwing): every firing index it records is a valid arm()
+        // target, because the crash run replays the identical
+        // deterministic machine. Count from the end of setup, the
+        // same origin runWorkload arms against.
+        auto &reg = crashpoint::Registry::instance();
+        System sys(configFor(opt));
+        const auto workload =
+            workloads::makeWorkload(opt.workload, opt.params);
+        workloads::PmemEnv env(sys);
+        workload->setup(env);
+        reg.reset();
+        reg.enableCounting();
+        for (std::uint64_t i = 0; i < opt.numTx; ++i)
+            workload->transaction(env, i);
+        const std::uint64_t total = reg.firings();
+        reg.reset();
+
+        std::vector<std::uint64_t> points;
+        points.reserve(std::size_t(total));
+        for (std::uint64_t idx = 0; idx < total; ++idx)
+            points.push_back(idx);
+        return points;
+    }
+
     // Every-op sweep: probe run counts the measured run's operations;
     // a crash can then land after any one of them.
     System sys(configFor(opt));
@@ -126,7 +166,10 @@ runCrashPoint(const SweepOptions &opt, std::uint64_t crash_op)
 
     const auto workload = workloads::makeWorkload(opt.workload, opt.params);
     workloads::CrashPlan plan;
-    plan.atOp = crash_op;
+    if (opt.pointSet == CrashPoints::Microstep)
+        plan.atMicrostep = crash_op;
+    else
+        plan.atOp = crash_op;
     plan.recoveryCrashStep = opt.recoveryCrashStep;
     if (opt.metadataFaults) {
         // After the power dies, stick one metadata bit before the
@@ -149,6 +192,16 @@ runCrashPoint(const SweepOptions &opt, std::uint64_t crash_op)
     out.structureVerified = res.verified;
     out.attackDetected = sys.attackDetected();
     out.recoveryAttempts = res.recoveryAttempts;
+    if (opt.pointSet == CrashPoints::Microstep) {
+        // A probe-enumerated firing index must fire in the armed
+        // replay — a silent miss means the machines diverged, which
+        // is itself a failure the sweep must surface.
+        auto &reg = crashpoint::Registry::instance();
+        out.crashFired = res.crashed && reg.crashFired();
+        if (const auto step = reg.firedStep())
+            out.microstep = crashpoint::stepName(*step);
+        reg.reset();
+    }
     out.oracle = opt.metadataFaults
                      ? checkAgainstGolden(sys, golden,
                                           mediaSkipSet(sys, golden))

@@ -42,6 +42,17 @@ enum class CrashPoints
      * never touch the WPQ (fences, loads, recovery bookkeeping).
      */
     EveryOp,
+
+    /**
+     * Every firing of a named persist-path crash point
+     * (sim/crash_points.hh): power dies *inside* a drain's security
+     * work — mid BMT-pipeline climb, at a drainBatching elision,
+     * right after a counter prefetch — instead of between core
+     * operations. This is the only point set that reaches the
+     * intermediate states the optimization levers introduce. Dolos
+     * modes only: the probe finds no firings elsewhere.
+     */
+    Microstep,
 };
 
 /** One (mode, workload) sweep configuration. */
@@ -95,13 +106,16 @@ struct CrashPointResult
     std::uint64_t crashOp = 0;
     bool structureVerified = false; ///< workload's own verifier
     bool attackDetected = false;    ///< must stay false (no faults)
+    bool crashFired = true;         ///< the armed crash actually hit
     unsigned recoveryAttempts = 0;  ///< boots until recovery done
+    std::string microstep;          ///< fired step name (microstep)
     OracleReport oracle;
 
     bool
     passed() const
     {
-        return structureVerified && oracle.clean() && !attackDetected;
+        return structureVerified && oracle.clean() &&
+               !attackDetected && crashFired;
     }
 };
 
@@ -134,8 +148,10 @@ struct SweepResult
 std::vector<std::uint64_t> enumerateWpqBoundaries(const SweepOptions &opt);
 
 /**
- * Candidate crash points under opt.pointSet: WPQ boundaries, or
- * every environment-operation index of the measured run (1..total).
+ * Candidate crash points under opt.pointSet: WPQ boundaries, every
+ * environment-operation index of the measured run (1..total), or —
+ * for Microstep — every crash-point firing index of the measured
+ * run (0..firings-1), recorded by a counting probe run.
  */
 std::vector<std::uint64_t> enumerateCrashPoints(const SweepOptions &opt);
 

@@ -5,6 +5,8 @@
 
 #include "workloads/runner.hh"
 
+#include "sim/crash_points.hh"
+
 namespace dolos::workloads
 {
 
@@ -28,36 +30,57 @@ runWorkload(System &sys, Workload &workload, std::uint64_t num_tx,
     const auto hits0 = sys.controller().wpqReadHits();
     const auto coalesce0 = sys.controller().coalesces();
 
+    auto &reg = crashpoint::Registry::instance();
     if (crash) {
-        const std::uint64_t ops0 = env.opCount();
-        env.setOpHook([&env, ops0, at = crash->atOp] {
-            if (env.opCount() - ops0 >= at)
-                throw CrashRequested{};
-        });
+        if (crash->atMicrostep) {
+            // Count firings from here (setup excluded), matching the
+            // sweep driver's probe enumeration.
+            reg.reset();
+            reg.arm(*crash->atMicrostep);
+        } else {
+            const std::uint64_t ops0 = env.opCount();
+            env.setOpHook([&env, ops0, at = crash->atOp] {
+                if (env.opCount() - ops0 >= at)
+                    throw CrashRequested{};
+            });
+        }
     }
+
+    // Shared power-failure handling for both crash flavors; only the
+    // dump semantics differ (a microstep crash interrupts an
+    // in-flight drain instead of letting ADR finish it).
+    const auto powerFail = [&](bool mid_operation) {
+        res.crashed = true;
+        env.setOpHook(nullptr);
+        reg.disarm();
+        sys.crash(mid_operation);
+        if (crash->atPowerOff)
+            crash->atPowerOff(sys);
+        if (crash->recoveryCrashStep)
+            sys.controller().armRecoveryCrash(
+                *crash->recoveryCrashStep);
+        sys.recoverToCompletion(&res.recoveryAttempts);
+        env.reattach();
+        TxContext::recover(env);
+    };
 
     for (std::uint64_t i = 0; i < num_tx; ++i) {
         try {
             workload.transaction(env, i);
             ++res.transactions;
         } catch (const CrashRequested &) {
-            res.crashed = true;
-            env.setOpHook(nullptr);
-            sys.crash();
-            if (crash->atPowerOff)
-                crash->atPowerOff(sys);
-            if (crash->recoveryCrashStep)
-                sys.controller().armRecoveryCrash(
-                    *crash->recoveryCrashStep);
-            sys.recoverToCompletion(&res.recoveryAttempts);
-            env.reattach();
-            TxContext::recover(env);
+            powerFail(/*mid_operation=*/false);
+            break;
+        } catch (const crashpoint::MicrostepCrash &) {
+            powerFail(/*mid_operation=*/true);
             break;
         }
     }
     // A crash op beyond the run's last operation never fires; disarm
-    // the hook so the verification walk below cannot trip it.
+    // the hook (and a never-fired microstep arm) so the verification
+    // walk below cannot trip it.
     env.setOpHook(nullptr);
+    reg.disarm();
 
     res.runCycles = sys.core().now() - res.setupCycles;
     res.instructions = sys.core().instructions() - insts0;

@@ -58,6 +58,16 @@ struct CrashPlan
     std::uint64_t atOp = 0;
 
     /**
+     * Microstep crash: instead of counting environment operations,
+     * arm the global crash-point registry (sim/crash_points.hh) to
+     * fail power at this firing index, counted from the end of
+     * setup. Power dies *inside* the persist path's security work —
+     * mid BMT climb, at a drain elision, after a prefetch — rather
+     * than between core operations. When set, atOp is ignored.
+     */
+    std::optional<std::uint64_t> atMicrostep;
+
+    /**
      * Cold-boot hook: runs after the power failure (ADR dump done,
      * volatile state gone) and before recovery boots. Fault
      * injectors use it to tamper with the powered-off NVM image.

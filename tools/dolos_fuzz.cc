@@ -17,9 +17,10 @@
  * On any violated contract the tool prints a one-line repro:
  *
  *   REPRO: dolos_fuzz --mode M --workload W --seed S --crash-op N
- *          --fault F
+ *          --fault F --opt-knobs K
  *
- * which re-runs exactly that episode. Campaigns:
+ * which re-runs exactly that episode (the knob state is part of the
+ * machine under test, so every repro line spells it out). Campaigns:
  *
  *   dolos_fuzz --campaign smoke     (CI: ~2 episodes per mode+workload)
  *   dolos_fuzz --campaign nightly   (8 episodes per mode+workload)
@@ -77,6 +78,10 @@ usage(int code)
         "bmt-flip|torn-adr-dump|dropped-clwb|\n"
         "                   media-transient|media-stuck|"
         "media-write-fail\n"
+        "  --opt-knobs K    persist-path lever set: all|none|"
+        "comma list of\n"
+        "                   bmt-pipeline,drain-batch,tag-prefetch"
+        "[,bmt-window=N]\n"
         "  --heartbeat N    emit an NDJSON progress record to "
         "stderr every N episodes\n"
         "                   (campaigns; default 5, 0 = off)\n"
@@ -106,11 +111,13 @@ modeCliName(SecurityMode mode)
 }
 
 std::uint64_t episodeTxns = 4;
+OptKnobs gOptKnobs; ///< defaults to all levers on
 
 SystemConfig
 smallConfig(SecurityMode mode)
 {
     auto cfg = SystemConfig::paperDefault();
+    applyOptKnobs(cfg, gOptKnobs);
     cfg.mode = mode;
     cfg.secure.functionalLeaves = 8192;
     cfg.secure.map.protectedBytes = Addr(8192) * pageBytes;
@@ -309,11 +316,12 @@ void
 printRepro(const EpisodeSpec &spec)
 {
     std::printf("REPRO: dolos_fuzz --mode %s --workload %s --seed %llu"
-                " --crash-op %llu --fault %s\n",
+                " --crash-op %llu --fault %s --opt-knobs %s\n",
                 modeCliName(spec.mode), spec.workload.c_str(),
                 (unsigned long long)spec.seed,
                 (unsigned long long)spec.crashOp,
-                faultKindName(spec.fault));
+                faultKindName(spec.fault),
+                formatOptKnobs(gOptKnobs).c_str());
 }
 
 std::uint64_t heartbeatEvery = 5;
@@ -343,10 +351,12 @@ runCampaign(const std::string &name, std::uint64_t base_seed)
 
     // Always announce the base seed: a red campaign must be
     // re-runnable from the log alone.
-    std::printf("campaign %s: base seed %llu (replay: dolos_fuzz "
-                "--campaign %s --seed %llu)\n",
+    std::printf("campaign %s: base seed %llu, opt-knobs %s (replay: "
+                "dolos_fuzz --campaign %s --seed %llu --opt-knobs %s)\n",
                 name.c_str(), (unsigned long long)base_seed,
-                name.c_str(), (unsigned long long)base_seed);
+                formatOptKnobs(gOptKnobs).c_str(), name.c_str(),
+                (unsigned long long)base_seed,
+                formatOptKnobs(gOptKnobs).c_str());
 
     unsigned total = 0, failed = 0, detected = 0, oracle_catches = 0;
     const std::uint64_t planned = std::uint64_t(episodes_per_combo) *
@@ -442,6 +452,14 @@ main(int argc, char **argv)
             heartbeatEvery = std::strtoull(value(), nullptr, 0);
         } else if (a == "--summary-json") {
             summaryJsonFile = value();
+        } else if (a == "--opt-knobs") {
+            const auto knobs = parseOptKnobs(value());
+            if (!knobs) {
+                std::fprintf(stderr, "bad --opt-knobs spec '%s'\n",
+                             argv[i]);
+                usage(ExitUsage);
+            }
+            gOptKnobs = *knobs;
         } else if (a == "--fault") {
             const auto kind = parseFaultKind(value());
             if (!kind) {

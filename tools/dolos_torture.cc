@@ -18,6 +18,9 @@
  *
  * Ops: w:SLOT:VAL store | f:SLOT clwb | s sfence | c crash+recover |
  *      r:K crash, then power dies K steps into recovery |
+ *      m:K arm a microstep crash K persist-path crash-point firings
+ *          from now (power dies *inside* a drain's security work;
+ *          see sim/crash_points.hh) |
  *      t:SLOT:BIT transient read flip | k:SLOT:BIT stuck-at cell |
  *      x:SLOT:N next N writes to the block fail |
  *      FC:SLOT:BIT stuck-at cell in the slot's *counter block* |
@@ -30,8 +33,8 @@
  *   dolos_torture --expect-bug 20      (meta-test: plant a CLWB drop,
  *                                       then a counter-repair bug; each
  *                                       must minimize to ≤20 ops)
- *   dolos_torture --sweep --points every-op [--recovery-crash K]
- *                 [--meta-faults]
+ *   dolos_torture --sweep --points every-op|wpq|microstep
+ *                 [--recovery-crash K] [--meta-faults]
  *
  * Exit codes follow sim/exit_codes.hh: 0 ok, 1 oracle violation,
  * 2 usage, 3 attack alarm, 4 unrecoverable media.
@@ -47,6 +50,7 @@
 
 #include "secure/address_map.hh"
 #include "secure/merkle_tree.hh"
+#include "sim/crash_points.hh"
 #include "sim/exit_codes.hh"
 #include "sim/heartbeat.hh"
 #include "sim/random.hh"
@@ -111,14 +115,18 @@ usage(int code)
         "       dolos_torture --expect-bug MAXOPS [--seed N]\n"
         "       dolos_torture --sweep [--workload W] [--budget N]"
         " [--txns N]\n"
-        "                     [--points every-op|wpq] "
+        "                     [--points every-op|wpq|microstep] "
         "[--recovery-crash K]\n"
         "  --mode MODE   ideal|baseline|post-unprotected|dolos-full|"
         "dolos-partial|dolos-post\n"
         "  SPEC          comma-separated ops: w:SLOT:VAL f:SLOT s c"
-        " r:K t:SLOT:BIT k:SLOT:BIT x:SLOT:N\n"
+        " r:K m:K t:SLOT:BIT k:SLOT:BIT x:SLOT:N\n"
         "                FC:SLOT:BIT FB:SLOT:BIT FM:SLOT:BIT "
         "(stuck-at in counter/tree/MAC metadata)\n"
+        "                m:K arms a power failure K persist-path "
+        "crash-point firings ahead (Dolos modes)\n"
+        "  --points microstep sweeps the named persist-path crash "
+        "points (Dolos modes only)\n"
         "  --plant-bug   drop-clwb:K | bad-counter-repair\n"
         "  --meta-faults (sweep) stick a metadata bit at every crash "
         "point\n"
@@ -138,7 +146,6 @@ usage(int code)
  * hunts, and sweeps all torture the optimized machine.
  */
 OptKnobs gOptKnobs;
-std::string gOptKnobsSpec;
 
 SystemConfig
 tortureConfig(SecurityMode mode)
@@ -178,6 +185,9 @@ formatOps(const std::vector<Op> &ops)
             break;
           case 'r':
             std::snprintf(buf, sizeof(buf), "r:%u", op.a);
+            break;
+          case 'm':
+            std::snprintf(buf, sizeof(buf), "m:%u", op.a);
             break;
           case 'C':
           case 'B':
@@ -234,6 +244,7 @@ parseOps(const std::string &spec)
             break;
           case 'f':
           case 'r':
+          case 'm':
             if (fields < 1)
                 return std::nullopt;
             break;
@@ -255,17 +266,27 @@ parseOps(const std::string &spec)
     return ops;
 }
 
-/** Seeded op-program generator (weights favor stores + crashes). */
+/**
+ * Seeded op-program generator (weights favor stores + crashes).
+ * @p microstep_ops adds the m:K microstep-crash op to the mix —
+ * Dolos modes only, because mid-engine crashes are unreconcilable
+ * without the ADR dump's re-drain.
+ */
 std::vector<Op>
-genProgram(std::uint64_t seed, unsigned len)
+genProgram(std::uint64_t seed, unsigned len, bool microstep_ops)
 {
     Random rng(seed ^ 0x7047'7042ULL);
     std::vector<Op> ops;
     ops.reserve(len);
     for (unsigned i = 0; i < len; ++i) {
-        const std::uint64_t r = rng.below(100);
+        const std::uint64_t r = rng.below(microstep_ops ? 105 : 100);
         Op op;
-        if (r < 44) {
+        if (r >= 100) {
+            // Arm a microstep crash a short (seeded) number of
+            // crash-point firings ahead; the next drain-heavy op
+            // trips it.
+            op = {'m', unsigned(rng.below(48)), 0};
+        } else if (r < 44) {
             op = {'w', unsigned(rng.below(numSlots)), rng.below(256)};
         } else if (r < 60) {
             op = {'f', unsigned(rng.below(numSlots)), 0};
@@ -317,6 +338,12 @@ runProgram(SecurityMode mode, const std::vector<Op> &ops,
     if (plant.clwbDrop)
         sys.core().armClwbDrop(*plant.clwbDrop);
 
+    // Microstep arming (the m:K op): firing indices are counted by
+    // the global registry, reset here so minimized replays see the
+    // same counts a campaign episode did.
+    auto &creg = crashpoint::Registry::instance();
+    creg.reset();
+
     // Stick a cell at the complement of its stored value so the fault
     // is visible on the very next read of @p addr.
     const auto stickBit = [&sys](Addr addr, std::uint64_t raw_bit) {
@@ -328,6 +355,7 @@ runProgram(SecurityMode mode, const std::vector<Op> &ops,
     };
 
     for (const Op &op : ops) {
+        try {
         switch (op.kind) {
           case 'w': {
             Block data;
@@ -359,6 +387,13 @@ runProgram(SecurityMode mode, const std::vector<Op> &ops,
             out.recoveryBoots += boots - 1;
             break;
           }
+          case 'm':
+            // Arm a microstep crash op.a crash-point firings from
+            // now; whichever later op (or even a crash/recovery
+            // re-drain) reaches that firing throws MicrostepCrash,
+            // handled below like a power failure.
+            creg.arm(creg.firings() + op.a);
+            break;
           case 't':
             sys.nvmDevice().injectTransientFlip(slotAddr(op.a),
                                                 unsigned(op.b));
@@ -386,7 +421,20 @@ runProgram(SecurityMode mode, const std::vector<Op> &ops,
           default:
             break;
         }
+        } catch (const crashpoint::MicrostepCrash &) {
+            // Power died inside a drain's security work (armed by an
+            // earlier m: op — possibly thrown from within another
+            // op's crash flush or recovery re-drain). The registry
+            // auto-disarmed; dump the machine as found and reboot.
+            sys.crash(/*mid_operation=*/true);
+            unsigned boots = 0;
+            sys.recoverToCompletion(&boots);
+            out.recoveryBoots += boots - 1;
+        }
     }
+    // An armed microstep crash that never fired must not trip during
+    // the settle/verification drains below.
+    creg.reset();
     // Let background drains settle before the sweep.
     sys.core().compute(1'000'000);
     sys.controller().drainTo(sys.core().now());
@@ -480,10 +528,13 @@ printRepro(SecurityMode mode, const std::vector<Op> &ops,
         bug = " --plant-bug drop-clwb:" + std::to_string(*plant.clwbDrop);
     else if (plant.badCounterRepair)
         bug = " --plant-bug bad-counter-repair";
-    if (gOptKnobs.any())
-        bug += " --opt-knobs " + gOptKnobsSpec;
-    std::printf("REPRO: dolos_torture --mode %s%s --replay %s\n",
-                modeCliName(mode), bug.c_str(), formatOps(ops).c_str());
+    // Always name the lever set: a repro line recorded before a
+    // default flip must rebuild the same machine after it.
+    std::printf("REPRO: dolos_torture --mode %s%s --opt-knobs %s "
+                "--replay %s\n",
+                modeCliName(mode), bug.c_str(),
+                formatOptKnobs(gOptKnobs).c_str(),
+                formatOps(ops).c_str());
 }
 
 /** Minimize a failing schedule and print the one-line repro. */
@@ -583,11 +634,11 @@ main(int argc, char **argv)
         } else if (a == "--summary-json") {
             summaryJson = value();
         } else if (a == "--opt-knobs") {
-            gOptKnobsSpec = value();
-            const auto knobs = parseOptKnobs(gOptKnobsSpec);
+            const std::string spec = value();
+            const auto knobs = parseOptKnobs(spec);
             if (!knobs) {
                 std::fprintf(stderr, "bad --opt-knobs spec '%s'\n",
-                             gOptKnobsSpec.c_str());
+                             spec.c_str());
                 usage(ExitUsage);
             }
             gOptKnobs = *knobs;
@@ -615,8 +666,24 @@ main(int argc, char **argv)
         opt.params.readsPerTx = 1;
         opt.budget = sweepBudget;
         opt.sampleSeed = seed;
-        opt.pointSet = sweepPoints == "wpq" ? CrashPoints::WpqBoundaries
-                                            : CrashPoints::EveryOp;
+        if (sweepPoints == "every-op") {
+            opt.pointSet = CrashPoints::EveryOp;
+        } else if (sweepPoints == "wpq") {
+            opt.pointSet = CrashPoints::WpqBoundaries;
+        } else if (sweepPoints == "microstep") {
+            if (!isDolosMode(mode)) {
+                std::fprintf(stderr,
+                             "--points microstep needs a Dolos mode "
+                             "(the re-drainable ADR dump); got %s\n",
+                             modeCliName(mode));
+                usage(ExitUsage);
+            }
+            opt.pointSet = CrashPoints::Microstep;
+        } else {
+            std::fprintf(stderr, "unknown --points '%s'\n",
+                         sweepPoints.c_str());
+            usage(ExitUsage);
+        }
         opt.recoveryCrashStep = recoveryCrash;
         opt.metadataFaults = metaFaults;
         opt.heartbeatEvery = heartbeat;
@@ -641,7 +708,8 @@ main(int argc, char **argv)
             std::printf("FAIL: %s\n", result.firstFailure().c_str());
             std::printf("REPRO: dolos_torture --sweep --mode %s "
                         "--workload %s --txns %llu --budget %zu "
-                        "--seed %llu --points %s%s%s%s%s%s\n",
+                        "--seed %llu --points %s%s%s%s "
+                        "--opt-knobs %s\n",
                         modeCliName(mode), sweepWorkload.c_str(),
                         (unsigned long long)sweepTxns, sweepBudget,
                         (unsigned long long)seed, sweepPoints.c_str(),
@@ -650,8 +718,7 @@ main(int argc, char **argv)
                             ? std::to_string(*recoveryCrash).c_str()
                             : "",
                         metaFaults ? " --meta-faults" : "",
-                        gOptKnobs.any() ? " --opt-knobs " : "",
-                        gOptKnobs.any() ? gOptKnobsSpec.c_str() : "");
+                        formatOptKnobs(gOptKnobs).c_str());
             return ExitViolation;
         }
         return ExitOk;
@@ -690,7 +757,8 @@ main(int argc, char **argv)
         const auto hunt = [&](const PlantSpec &spec,
                               const char *label) -> bool {
             for (unsigned ep = 0; ep < 50; ++ep) {
-                const auto ops = genProgram(seed + ep, opsPerEpisode);
+                const auto ops = genProgram(seed + ep, opsPerEpisode,
+                                            isDolosMode(mode));
                 const auto out = runProgram(mode, ops, spec);
                 if (!out.failed)
                     continue;
@@ -740,13 +808,15 @@ main(int argc, char **argv)
     unsigned failed = 0;
     bool any_attack = false;
     std::printf("torture campaign: %u episodes x %u ops, mode %s, "
-                "base seed %llu\n",
+                "base seed %llu, opt-knobs %s\n",
                 campaign, opsPerEpisode, securityModeName(mode),
-                (unsigned long long)seed);
+                (unsigned long long)seed,
+                formatOptKnobs(gOptKnobs).c_str());
     CampaignMonitor monitor("torture", campaign, heartbeat);
     for (unsigned ep = 0; ep < campaign; ++ep) {
         const std::uint64_t ep_seed = seed + ep;
-        const auto ops = genProgram(ep_seed, opsPerEpisode);
+        const auto ops =
+            genProgram(ep_seed, opsPerEpisode, isDolosMode(mode));
         const auto out = runProgram(mode, ops, PlantSpec{});
         monitor.caseDone(ep_seed, out.failed);
         if (!out.failed)
