@@ -41,6 +41,8 @@ expect_flag(missing_marker.hh 1
     "crash-relevant class 'NvmDevice' has no DOLOS_STATE_CLASS marker")
 expect_flag(kind_mismatch.cc 1
     "registers 'cursor' as persistent but the header tags it volatile")
+expect_flag(eadr_kind_mismatch.cc 1
+    "registers 'lines' as persistent but the header tags it eadr-flushed")
 expect_flag(missing_manifest_field.cc 1
     "does not register tagged field 'left_out'")
 expect_flag(missing_manifest.cc 1

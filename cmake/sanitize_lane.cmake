@@ -103,6 +103,18 @@ expect_rc(0 "${torture}" --sweep --points every-op --meta-faults
 expect_rc(0 "${torture}" --sweep --points microstep --budget 2
             --txns 2 --mode dolos-partial)
 
+# eADR flush-microstep sweep: power dies inside the power-fail
+# holdup flush itself — the exception-unwound flush loop, the
+# quarantine writer, and the anchored probe/replay machinery all
+# juggle captured cache lines whose lifetimes the sanitizers check.
+expect_rc(0 "${torture}" --sweep --points microstep --budget 2
+            --txns 2 --mode eadr)
+
+# Starved holdup budget through the replay driver: the quarantined
+# tail and the unrecoverable-media exit path under ASan.
+expect_rc(4 "${torture}" --mode eadr --eadr-budget 1
+            --replay w:1:7,w:2:8,w:3:9,c)
+
 # Media quarantine path through the full CLI, including the damage
 # report writer.
 expect_rc(4 "${sim}" --workload hashmap --mode dolos-partial

@@ -44,6 +44,14 @@ class CoreObserver
     virtual void onClwb(Addr) {}
     virtual void onSfence() {}
     virtual void onCrash() {}
+
+    /**
+     * The machine declared @p addr's block unrecoverably lost
+     * (media quarantine, or an eADR holdup flush that ran out of
+     * energy before covering it). The block reads as zero from now
+     * on; a reference machine must stop expecting its old contents.
+     */
+    virtual void onBlockLost(Addr) {}
 };
 
 /** In-order core bound to a hierarchy. */
@@ -54,6 +62,10 @@ class SimpleCore
 
     /** Attach (or detach, with nullptr) an operation observer. */
     void setObserver(CoreObserver *obs) { observer = obs; }
+
+    /** The attached observer, if any (the runner notifies it of
+     *  declared block loss after a crash+recovery). */
+    CoreObserver *currentObserver() const { return observer; }
 
     /**
      * Attach (or detach, with nullptr) an interval stats sampler.

@@ -50,6 +50,18 @@ enum class SecurityMode
 
     /** Dolos with the Post-WPQ-MiSU design (0 MACs in path, 10). */
     DolosPostWpq,
+
+    /**
+     * eADR-class machine: dirty cache lines are inside the
+     * persistence domain, so CLWB/fence leaves the critical path
+     * entirely. On power failure a holdup-energy flush drains every
+     * dirty line (and undrained WPQ entry) through the full security
+     * pipeline — counter bump, MAC, BMT update, NVM write — under the
+     * bounded eadr.energyBudgetCycles budget. Lines the budget cannot
+     * cover are quarantined with cause provenance, never silently
+     * corrupted.
+     */
+    EadrSecure,
 };
 
 /** Human-readable mode name (bench output). */
@@ -59,10 +71,17 @@ const char *securityModeName(SecurityMode mode);
 bool isDolosMode(SecurityMode mode);
 
 /**
+ * True for modes whose security engine runs *after* the WPQ and
+ * serves drains (Dolos modes, the post-WPQ strawman, and eADR):
+ * these persist at WPQ insertion and benefit from counter prefetch.
+ */
+bool securityAfterWpq(SecurityMode mode);
+
+/**
  * Parse a CLI mode name (ideal|baseline|post-unprotected|dolos-full|
- * dolos-partial|dolos-post, plus the full_wpq/partial_wpq/post_wpq
- * aliases). Unknown strings yield nullopt — callers must reject them,
- * never clamp to a default.
+ * dolos-partial|dolos-post|eadr, plus the full_wpq/partial_wpq/
+ * post_wpq aliases). Unknown strings yield nullopt — callers must
+ * reject them, never clamp to a default.
  */
 std::optional<SecurityMode> parseSecurityMode(const std::string &name);
 
@@ -119,6 +138,22 @@ struct WpqParams
     }
 };
 
+/** eADR holdup-energy parameters (EadrSecure mode only). */
+struct EadrParams
+{
+    /**
+     * Cycles of security-pipeline + NVM-write work the holdup
+     * capacitors can power after the failure. The flush admits a
+     * line only while used < budget; an admitted line always
+     * completes (the capacitor bank is provisioned with one
+     * worst-case line of margin). The default covers a worst-case
+     * full-hierarchy flush — the "big battery" an eADR platform
+     * ships; under-provision it deliberately to study truncated
+     * flushes. Zero is rejected by validateConfig, never clamped.
+     */
+    Cycles energyBudgetCycles = 2'000'000'000;
+};
+
 /** Everything needed to build a System. */
 struct SystemConfig
 {
@@ -128,6 +163,7 @@ struct SystemConfig
     NvmParams nvm;
     SecureParams secure;
     WpqParams wpq;
+    EadrParams eadr;
     std::uint64_t seed = 42;
 
     /** The paper's Table 1 configuration. */

@@ -35,6 +35,8 @@ securityModeName(SecurityMode mode)
         return "Dolos-Partial-WPQ";
       case SecurityMode::DolosPostWpq:
         return "Dolos-Post-WPQ";
+      case SecurityMode::EadrSecure:
+        return "Eadr-Secure";
     }
     return "?";
 }
@@ -45,6 +47,14 @@ isDolosMode(SecurityMode mode)
     return mode == SecurityMode::DolosFullWpq ||
            mode == SecurityMode::DolosPartialWpq ||
            mode == SecurityMode::DolosPostWpq;
+}
+
+bool
+securityAfterWpq(SecurityMode mode)
+{
+    return isDolosMode(mode) ||
+           mode == SecurityMode::PostWpqUnprotected ||
+           mode == SecurityMode::EadrSecure;
 }
 
 std::optional<SecurityMode>
@@ -62,6 +72,8 @@ parseSecurityMode(const std::string &name)
         return SecurityMode::DolosPartialWpq;
     if (name == "dolos-post" || name == "post_wpq")
         return SecurityMode::DolosPostWpq;
+    if (name == "eadr")
+        return SecurityMode::EadrSecure;
     return std::nullopt;
 }
 
@@ -96,6 +108,10 @@ validateConfig(const SystemConfig &cfg)
     if (cfg.secure.bmtPipeline && cfg.secure.bmtPipelineWindow == 0)
         return "secure.bmtPipelineWindow must be nonzero when "
                "bmtPipeline is enabled";
+    if (cfg.mode == SecurityMode::EadrSecure &&
+        cfg.eadr.energyBudgetCycles == 0)
+        return "eadr.energyBudgetCycles must be nonzero in eADR mode "
+               "(the holdup flush could never admit a line)";
     return "";
 }
 
@@ -385,8 +401,7 @@ SecureMemController::processDrainsUntil(Tick t)
         // A drain starts the cycle after the entry commits, once the
         // drain server (security engine / NVM issue point) frees up.
         Tick start = e.persistTick + 1;
-        if (isDolosMode(cfg.mode) ||
-            cfg.mode == SecurityMode::PostWpqUnprotected) {
+        if (securityAfterWpq(cfg.mode)) {
             start = std::max(start, engine.busyUntil());
         } else {
             start = std::max(start, lastDrainIssue);
@@ -460,6 +475,7 @@ SecureMemController::enqueueWrite(Addr addr, const Block &data, Tick now)
               }
               case SecurityMode::NonSecureIdeal:
               case SecurityMode::PostWpqUnprotected:
+              case SecurityMode::EadrSecure:
                 break;
               default:
                 t = misu_->acceptableAt(t) + misu_->insertLatency();
@@ -513,6 +529,7 @@ SecureMemController::enqueueWrite(Addr addr, const Block &data, Tick now)
     switch (cfg.mode) {
       case SecurityMode::NonSecureIdeal:
       case SecurityMode::PostWpqUnprotected:
+      case SecurityMode::EadrSecure:
         e.persistTick = t;
         break;
       case SecurityMode::PreWpqSecure:
@@ -545,8 +562,7 @@ SecureMemController::enqueueWrite(Addr addr, const Block &data, Tick now)
     // overlaps the queue wait. Only modes whose engine runs *after*
     // the WPQ benefit; the engine enforces the tagPrefetch knob and
     // the never-evict-dirty rule.
-    if (isDolosMode(cfg.mode) ||
-        cfg.mode == SecurityMode::PostWpqUnprotected)
+    if (securityAfterWpq(cfg.mode))
         engine.prefetchCounter(e.addr);
 
     statPersistLatency.sample(double(e.persistTick - now));
@@ -658,9 +674,149 @@ SecureMemController::finishDump()
     clearJournal();
 }
 
-CrashDumpReport
-SecureMemController::crash(Tick at, bool complete_in_flight)
+void
+SecureMemController::eadrHoldupFlush(Tick at, bool complete_in_flight,
+                                     const std::vector<DirtyLine> *lines,
+                                     CrashDumpReport &report)
 {
+    report.eadrBudgetCycles = cfg.eadr.energyBudgetCycles;
+
+    // Pre-failure lazy work: drains that were already due finish on
+    // the ADR grace window, not on holdup energy. An armed flush
+    // microstep can fire inside these too — the machine is then off
+    // before the flush proper even starts.
+    bool interrupted = false;
+    const char *interrupted_at = "";
+    if (complete_in_flight) {
+        try {
+            processDrainsUntil(at);
+        } catch (const crashpoint::MicrostepCrash &c) {
+            interrupted = true;
+            interrupted_at = crashpoint::stepName(c.step);
+        }
+    }
+
+    // An interrupted drain may have left a ready redo record whose
+    // ciphertext belongs to a counter the engine already committed.
+    // Apply and retire it now, before the owning entry re-drains
+    // below — replaying it at recovery, after the flush bumped the
+    // counter again, would pair stale ciphertext with a newer
+    // counter and false-alarm the MAC check.
+    if (redoLog.ready()) {
+        const auto &rec = redoLog.record();
+        nvm.writeFunctional(rec.addr, rec.ciphertext);
+        redoLog.clear();
+    }
+
+    // The flush list, in the documented deterministic order:
+    // undrained WPQ entries in FIFO order first (oldest data, so a
+    // later duplicate overwrites it), then the captured dirty cache
+    // lines (newest copies, L1 > L2 > LLC). Every item is inside the
+    // eADR persistence domain — whatever the flush cannot cover is
+    // committed-by-contract data that must be reported lost.
+    std::vector<DirtyLine> items;
+    for (const auto &e : wpq)
+        if (!e.drained)
+            items.push_back({e.addr, e.plaintext});
+    report.entriesDumped = unsigned(items.size());
+    if (lines)
+        items.insert(items.end(), lines->begin(), lines->end());
+
+    std::size_t flushed = 0;
+    if (!interrupted) {
+        try {
+            Tick t = at;
+            for (const auto &item : items) {
+                // Admission control: a line starts only while energy
+                // remains; an admitted line always completes (the
+                // capacitor bank keeps one worst-case line of
+                // margin). This is what makes the surviving prefix
+                // well-defined.
+                if (report.eadrEnergyUsedCycles >=
+                    cfg.eadr.energyBudgetCycles) {
+                    report.budgetExhausted = true;
+                    DOLOS_CRASH_POINT(EadrBudgetExhausted);
+                    break;
+                }
+                DOLOS_CRASH_POINT(EadrLineSelect);
+                const auto ctr0 = engine.ctrFetchCycles();
+                const auto aes0 = engine.aesCycles();
+                const auto mac0 = engine.macCycles();
+                const auto bmt0 = engine.bmtCycles();
+                const auto res =
+                    engine.secureWrite(item.addr, item.data, t);
+                engine.writeCiphertext(item.addr, res.ciphertext,
+                                       res.doneTick);
+                DOLOS_CRASH_POINT(EadrNvmWrite);
+                t = res.doneTick;
+                const Cycles ctr_c = engine.ctrFetchCycles() - ctr0;
+                const Cycles aes_c = engine.aesCycles() - aes0;
+                const Cycles mac_c = engine.macCycles() - mac0;
+                const Cycles bmt_c = engine.bmtCycles() - bmt0;
+                report.eadrCtrFetchCycles += ctr_c;
+                report.eadrAesCycles += aes_c;
+                report.eadrMacCycles += mac_c;
+                report.eadrBmtCycles += bmt_c;
+                report.eadrNvmWriteCycles += cfg.nvm.writeLatency;
+                report.eadrEnergyUsedCycles +=
+                    ctr_c + aes_c + mac_c + bmt_c + cfg.nvm.writeLatency;
+                ++flushed;
+            }
+        } catch (const crashpoint::MicrostepCrash &c) {
+            // Power died during the power-fail flush: the item being
+            // processed did not complete. Everything before it did.
+            interrupted = true;
+            interrupted_at = crashpoint::stepName(c.step);
+        }
+    }
+    report.linesFlushed = unsigned(flushed);
+    report.blocksFlushed = unsigned(flushed);
+    report.flushInterrupted = interrupted;
+
+    // Graceful degradation: the un-flushed tail would otherwise be
+    // silent corruption (under eADR a store is persistent-by-
+    // contract the moment it lands in the cache). Quarantine each
+    // lost address with cause provenance so reads degrade loudly and
+    // dumpDamageJson explains what happened.
+    if (flushed < items.size()) {
+        std::string cause = report.budgetExhausted
+                                ? "eadr_flush_budget_exhausted"
+                                : std::string("eadr_flush_interrupted@") +
+                                      interrupted_at;
+        for (std::size_t i = flushed; i < items.size(); ++i) {
+            if (nvm.isQuarantined(items[i].addr))
+                continue;
+            nvm.quarantine(items[i].addr,
+                           "eADR holdup flush could not cover this line",
+                           0, cause);
+            ++report.linesLost;
+        }
+    }
+    report.withinAdrBudget =
+        !report.budgetExhausted && !report.flushInterrupted;
+    report.energyBytes = unsigned(flushed) * 64;
+}
+
+CrashDumpReport
+SecureMemController::crash(Tick at, bool complete_in_flight,
+                           const std::vector<DirtyLine> *eadr_lines)
+{
+    if (cfg.mode == SecurityMode::EadrSecure) {
+        // eADR: no Mi-SU dump, no recovery journal — the holdup
+        // flush fully drains (or loudly quarantines) everything in
+        // the persistence domain, then the volatile state dies.
+        CrashDumpReport report;
+        eadrHoldupFlush(at, complete_in_flight, eadr_lines, report);
+        adrTear.reset();
+        wpq.clear();
+        tagArray.clear();
+        drainCursor = nextId;
+        lastDrainIssue = 0;
+        engine.crash();
+        nvm.crash();
+        return report;
+    }
+
     // An op-boundary power failure gives the drain server its ADR
     // grace: everything due by @p at finishes. A microstep crash is
     // *inside* a drain — re-running the interrupted entry's security

@@ -38,7 +38,7 @@
 namespace dolos
 {
 
-/** What the ADR crash path did (energy/bounds accounting). */
+/** What the ADR/eADR crash path did (energy/bounds accounting). */
 struct CrashDumpReport
 {
     unsigned entriesDumped = 0;   ///< undrained entries flushed
@@ -46,6 +46,19 @@ struct CrashDumpReport
     unsigned blocksFlushed = 0;   ///< 64B units written on ADR power
     unsigned energyBytes = 0;     ///< bytes + reserved-op equivalents
     bool withinAdrBudget = true;
+
+    // --- eADR holdup flush (EadrSecure only) ------------------------
+    unsigned linesFlushed = 0;  ///< items fully drained on holdup power
+    unsigned linesLost = 0;     ///< items quarantined (budget/interrupt)
+    bool budgetExhausted = false;  ///< holdup energy ran out mid-flush
+    bool flushInterrupted = false; ///< armed microstep killed the flush
+    Cycles eadrBudgetCycles = 0;     ///< configured energy budget
+    Cycles eadrEnergyUsedCycles = 0; ///< total cycles debited
+    Cycles eadrCtrFetchCycles = 0;   ///< per-stage debit breakdown...
+    Cycles eadrAesCycles = 0;
+    Cycles eadrMacCycles = 0;
+    Cycles eadrBmtCycles = 0;
+    Cycles eadrNvmWriteCycles = 0;
 };
 
 /** What recovery did. */
@@ -82,8 +95,15 @@ class SecureMemController : public PersistController
      * @p complete_in_flight = false so the interrupted drain is not
      * re-run before the dump — the entry stays undrained and the
      * redo log / re-drain reconcile it at recovery.
+     *
+     * In EadrSecure mode, @p eadr_lines carries the dirty cache
+     * lines System captured (the eADR persistence domain); the
+     * holdup flush drains them through the security pipeline under
+     * the energy budget, quarantining whatever it cannot cover.
      */
-    CrashDumpReport crash(Tick at, bool complete_in_flight = true);
+    CrashDumpReport crash(Tick at, bool complete_in_flight = true,
+                          const std::vector<DirtyLine> *eadr_lines =
+                              nullptr);
 
     /** Boot-time recovery (dump verification, drain, Ma-SU recover). */
     ControllerRecoveryReport recover();
@@ -187,6 +207,19 @@ class SecureMemController : public PersistController
 
     /** Pop released entries and retire their tag-array mappings. */
     void retireReleased(Tick t);
+
+    /**
+     * The eADR holdup flush: drain undrained WPQ entries then the
+     * captured dirty cache lines through the full security pipeline
+     * on residual energy, debiting per-stage cycles against the
+     * budget. Items the budget (or an armed flush microstep) cannot
+     * cover are quarantined with cause provenance — explicit loss,
+     * never silent corruption. Fills @p report; the caller resets
+     * the volatile state afterwards.
+     */
+    void eadrHoldupFlush(Tick at, bool complete_in_flight,
+                         const std::vector<DirtyLine> *lines,
+                         CrashDumpReport &report);
 
     /** Common write path (persists and evictions). */
     PersistTicket enqueueWrite(Addr addr, const Block &data, Tick now);

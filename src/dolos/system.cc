@@ -22,15 +22,33 @@ System::System(const SystemConfig &config) : cfg(config)
     nvm = std::make_unique<NvmDevice>(cfg.nvm);
     eng = std::make_unique<SecurityEngine>(cfg.secure, *nvm);
     mc = std::make_unique<SecureMemController>(cfg, *nvm, *eng);
-    hier = std::make_unique<CacheHierarchy>(cfg.hierarchy, *mc);
+    // The persistence-domain boundary is a machine property, not a
+    // user knob: EadrSecure pulls the caches inside it (CLWB becomes
+    // a completed no-op and crash() runs the holdup flush).
+    HierarchyParams hp = cfg.hierarchy;
+    hp.eadrDomain = cfg.mode == SecurityMode::EadrSecure;
+    hier = std::make_unique<CacheHierarchy>(hp, *mc);
     core_ = std::make_unique<SimpleCore>(*hier);
 }
 
 CrashDumpReport
 System::crash(bool mid_operation)
 {
-    const auto report =
-        mc->crash(core_->now(), /*complete_in_flight=*/!mid_operation);
+    CrashDumpReport report;
+    if (cfg.mode == SecurityMode::EadrSecure) {
+        // Capture the eADR persistence domain (every dirty line)
+        // before the caches die; the controller's holdup flush
+        // drains it through the security pipeline on residual
+        // energy.
+        std::vector<DirtyLine> lines;
+        hier->collectDirtyLines(lines);
+        report = mc->crash(core_->now(),
+                           /*complete_in_flight=*/!mid_operation,
+                           &lines);
+    } else {
+        report =
+            mc->crash(core_->now(), /*complete_in_flight=*/!mid_operation);
+    }
     hier->invalidateAll();
     core_->notifyCrash();
     return report;

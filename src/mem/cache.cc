@@ -166,6 +166,15 @@ Cache::markClean(Addr addr)
 }
 
 void
+Cache::forEachDirty(
+    const std::function<void(Addr, const Block &)> &fn) const
+{
+    for (const auto &line : lines)
+        if (line.valid && line.dirty)
+            fn(line.tag, line.data);
+}
+
+void
 Cache::invalidateAll()
 {
     for (auto &line : lines)
@@ -183,7 +192,7 @@ Cache::stateManifest(std::string instance) const
     DOLOS_MF_CONST(m, params);
     DOLOS_MF_CONST(m, downstream);
     DOLOS_MF_CONST(m, numSets);
-    DOLOS_MF_V(m, lines);
+    DOLOS_MF_EADR_FLUSHED(m, lines);
     DOLOS_MF_V(m, useClock);
     DOLOS_MF_CONST(m, stats_);
     DOLOS_MF_P(m, statHits);

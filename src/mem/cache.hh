@@ -12,6 +12,7 @@
 #define DOLOS_MEM_CACHE_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -61,6 +62,14 @@ class Cache : public MemDevice
 
     /** Clear the dirty bit if the block is present. */
     void markClean(Addr addr);
+
+    /**
+     * Visit every dirty line in set-major index order (set 0 way 0
+     * first) — the deterministic walk order the eADR holdup flush
+     * and the software flushAll() rely on.
+     */
+    void forEachDirty(
+        const std::function<void(Addr, const Block &)> &fn) const;
 
     /** Drop everything (crash / power loss). */
     void invalidateAll();
@@ -125,7 +134,10 @@ class Cache : public MemDevice
     DOLOS_PERSISTENT(params);
     DOLOS_PERSISTENT(downstream);
     DOLOS_PERSISTENT(numSets);
-    DOLOS_VOLATILE(lines);
+    // Cache contents sit in the eADR persistence domain: drained to
+    // NVM by the holdup flush when the machine runs in EadrSecure
+    // mode, plain volatile loss everywhere else.
+    DOLOS_EADR_FLUSHED(lines);
     DOLOS_VOLATILE(useClock);
     DOLOS_PERSISTENT(stats_);
     DOLOS_PERSISTENT(statHits);

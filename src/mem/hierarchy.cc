@@ -6,6 +6,7 @@
 #include "mem/hierarchy.hh"
 
 #include <cstring>
+#include <unordered_set>
 
 #include "sim/logging.hh"
 #include "sim/profiler.hh"
@@ -15,7 +16,7 @@ namespace dolos
 
 CacheHierarchy::CacheHierarchy(const HierarchyParams &p,
                                PersistController &controller)
-    : mc(controller), stats_("hierarchy")
+    : params(p), mc(controller), stats_("hierarchy")
 {
     llc_ = std::make_unique<Cache>(p.llc, mc);
     l2_ = std::make_unique<Cache>(p.l2, *llc_);
@@ -98,6 +99,14 @@ CacheHierarchy::clwb(Addr addr, Tick now)
     ++statClwbs;
     const Addr base = blockAlign(addr);
 
+    if (params.eadrDomain) {
+        // The caches are inside the persistence domain: the line is
+        // persistent where it sits, so CLWB completes immediately
+        // with no controller traffic and no fence stall to order.
+        const Tick issue = now + l1_->latency();
+        return {issue, issue};
+    }
+
     // Locate the newest copy: L1 > L2 > LLC.
     Block newest{};
     bool found = false;
@@ -142,10 +151,43 @@ CacheHierarchy::invalidateAll()
     llc_->invalidateAll();
 }
 
+void
+CacheHierarchy::collectDirtyLines(std::vector<DirtyLine> &out) const
+{
+    // Upper levels hold the newest copy, so the first capture of an
+    // address wins and lower-level (stale or equal) copies are
+    // skipped. Within a level, set-major index order makes the walk
+    // deterministic for a given machine history.
+    std::unordered_set<Addr> seen;
+    for (const Cache *c : {l1_.get(), l2_.get(), llc_.get()}) {
+        c->forEachDirty([&](Addr addr, const Block &data) {
+            if (seen.insert(addr).second)
+                out.push_back({addr, data});
+        });
+    }
+}
+
+void
+CacheHierarchy::flushAll(Tick now)
+{
+    std::vector<DirtyLine> dirty;
+    collectDirtyLines(dirty);
+    for (const auto &line : dirty) {
+        mc.persistBlock(line.addr, line.data, now);
+        for (Cache *c : {l1_.get(), l2_.get(), llc_.get()}) {
+            if (c->probe(line.addr)) {
+                c->updateIfPresent(line.addr, line.data);
+                c->markClean(line.addr);
+            }
+        }
+    }
+}
+
 persist::StateManifest
 CacheHierarchy::stateManifest() const
 {
     persist::StateManifest m("CacheHierarchy");
+    DOLOS_MF_CONST(m, params);
     DOLOS_MF_CONST(m, mc);
     DOLOS_MF_DELEGATED_V(m, llc_);
     DOLOS_MF_DELEGATED_V(m, l2_);

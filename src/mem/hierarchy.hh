@@ -44,6 +44,22 @@ struct HierarchyParams
     CacheParams l1{"l1", 32 * 1024, 2, 2};
     CacheParams l2{"l2", 512 * 1024, 8, 20};
     CacheParams llc{"llc", 8 * 1024 * 1024, 16, 32};
+
+    /**
+     * eADR persistence domain: dirty cache lines survive power
+     * failure (the holdup flush drains them), so CLWB becomes a
+     * completed no-op — the line persists where it sits. Set by
+     * System when cfg.mode == EadrSecure; data then reaches the
+     * controller only through natural writebacks.
+     */
+    bool eadrDomain = false;
+};
+
+/** One dirty cache line captured for the eADR holdup flush. */
+struct DirtyLine
+{
+    Addr addr = 0;
+    Block data{};
 };
 
 /**
@@ -74,6 +90,23 @@ class CacheHierarchy
     /** Drop all cached state (crash). */
     void invalidateAll();
 
+    /**
+     * Capture every dirty line for the eADR holdup flush, newest
+     * copy first: L1, then L2, then LLC, each level in set-major
+     * index order; a line already captured at an upper level is
+     * skipped. The walk is deterministic, which is what makes flush
+     * microsteps replayable crash points.
+     */
+    void collectDirtyLines(std::vector<DirtyLine> &out) const;
+
+    /**
+     * Software flush: push every dirty line through the controller's
+     * persist path (what a CLWB loop does on an ADR machine) and
+     * mark all copies clean. Maintenance/test helper for quiescing a
+     * machine; pairs with the controller's drainTo().
+     */
+    void flushAll(Tick now);
+
     Cache &l1() { return *l1_; }
     Cache &l2() { return *l2_; }
     Cache &llc() { return *llc_; }
@@ -88,6 +121,7 @@ class CacheHierarchy
   private:
     ReadResult readBlockTimed(Addr addr, Tick now);
 
+    HierarchyParams params;
     PersistController &mc;
     std::unique_ptr<Cache> llc_;
     std::unique_ptr<Cache> l2_;
@@ -101,6 +135,7 @@ class CacheHierarchy
 
     // --- crash-state model (see docs/static_analysis.md) ----------
     DOLOS_STATE_CLASS(CacheHierarchy);
+    DOLOS_PERSISTENT(params);
     DOLOS_PERSISTENT(mc);
     DOLOS_VOLATILE(llc_);
     DOLOS_VOLATILE(l2_);

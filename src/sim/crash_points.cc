@@ -27,6 +27,9 @@ stepName(Step s)
       case Step::PrefetchIssue: return "prefetchIssue";
       case Step::PrefetchDirtyBackoff: return "prefetchDirtyBackoff";
       case Step::PrefetchPromote: return "prefetchPromote";
+      case Step::EadrLineSelect: return "eadrLineSelect";
+      case Step::EadrNvmWrite: return "eadrNvmWrite";
+      case Step::EadrBudgetExhausted: return "eadrBudgetExhausted";
       case Step::NumSteps: break;
     }
     return "unknown";

@@ -55,6 +55,11 @@ enum class Step : std::uint8_t
     PrefetchDirtyBackoff,///< prefetch backed off a dirty victim line
     PrefetchPromote,     ///< demand fetch hit a pending prefetch
 
+    // --- eADR holdup flush (power already failed) -------------------
+    EadrLineSelect,      ///< flush admitted the next dirty line
+    EadrNvmWrite,        ///< flushed ciphertext written to NVM
+    EadrBudgetExhausted, ///< holdup energy ran out mid-flush
+
     NumSteps
 };
 

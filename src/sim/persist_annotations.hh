@@ -61,12 +61,27 @@ enum class Kind
 {
     Persistent, ///< survives crash() unchanged
     Volatile,   ///< reset by crash() to its reset value
+
+    /**
+     * Contents sit in the eADR persistence domain: on power failure
+     * the holdup flush drains them to NVM through the security
+     * pipeline, after which the field itself resets like a volatile
+     * one. Mechanically the differential checks it as Volatile; the
+     * distinct kind is the semantic declaration the flush walk and
+     * the lint key off.
+     */
+    EadrFlushed,
 };
 
 inline const char *
 kindName(Kind k)
 {
-    return k == Kind::Persistent ? "persistent" : "volatile";
+    switch (k) {
+      case Kind::Persistent: return "persistent";
+      case Kind::Volatile: return "volatile";
+      case Kind::EadrFlushed: return "eadr-flushed";
+    }
+    return "?";
 }
 
 // --- deterministic value serialization ------------------------------
@@ -324,6 +339,10 @@ class StateManifest
     static_assert(sizeof(decltype(field)) != 0,                       \
                   "DOLOS_VOLATILE(" #field "): no such member")
 
+#define DOLOS_EADR_FLUSHED(field)                                     \
+    static_assert(sizeof(decltype(field)) != 0,                       \
+                  "DOLOS_EADR_FLUSHED(" #field "): no such member")
+
 // --- manifest-builder macros ----------------------------------------
 //
 // Used inside <Class>::stateManifest() const. The field name token
@@ -337,6 +356,14 @@ class StateManifest
 /** Volatile field with the default reset-value check. */
 #define DOLOS_MF_V(m, field)                                          \
     (m).add(#field, ::dolos::persist::Kind::Volatile,                 \
+            [this] { return ::dolos::persist::describe(field); })
+
+/**
+ * eADR-flushed field: drained to NVM by the holdup flush, then reset.
+ * Differentially checked like a volatile field (reset-value check).
+ */
+#define DOLOS_MF_EADR_FLUSHED(m, field)                               \
+    (m).add(#field, ::dolos::persist::Kind::EadrFlushed,              \
             [this] { return ::dolos::persist::describe(field); })
 
 /** Persistent field with a custom post-crash predicate. */

@@ -189,6 +189,16 @@ GoldenModel::onLoad(Addr addr, const void *data, unsigned size)
     }
 }
 
+void
+GoldenModel::onBlockLost(Addr addr)
+{
+    // Declared loss (quarantine / truncated eADR flush): the block
+    // reads as zero from now on, so forget its history — loads then
+    // adjudicate against the untouched (must-read-zero) rule, and a
+    // later store simply starts tracking it afresh.
+    blocks.erase(blockAlign(addr));
+}
+
 ByteClass
 GoldenModel::classify(Addr addr) const
 {

@@ -57,6 +57,7 @@ class GoldenModel : public CoreObserver
     void onClwb(Addr addr) override;
     void onSfence() override;
     void onCrash() override;
+    void onBlockLost(Addr addr) override;
     /** @} */
 
     /** Classification of @p addr right now. */

@@ -112,7 +112,20 @@ verifyCrashManifest(SecurityMode mode, std::uint64_t seed)
 
     // Quiesce in-window drains at the crash tick so the pre-crash
     // snapshot and crash() observe the same drain frontier (the
-    // drain pipeline is idempotent at a fixed tick).
+    // drain pipeline is idempotent at a fixed tick). In eADR mode
+    // crash() is not a pure power-off: a non-empty holdup flush
+    // legitimately advances PERSISTENT engine state (counters, BMT,
+    // ciphertext), so flush the caches through the ordinary persist
+    // path first — the holdup flush then finds nothing and the
+    // differential compares a pure reset.
+    if (mode == SecurityMode::EadrSecure) {
+        dirty.hierarchy().flushAll(dirty.core().now());
+        // The flushed lines enter the WPQ with transit latency, so
+        // draining "to now" would leave them undrained and the
+        // holdup flush non-empty; run the drain pipeline far enough
+        // ahead to retire every enqueued write.
+        dirty.controller().drainTo(dirty.core().now() + 50'000'000);
+    }
     dirty.controller().drainTo(dirty.core().now());
 
     const auto manifests = dirty.collectStateManifests();
@@ -192,7 +205,7 @@ verifyCrashManifestAllModes(std::uint64_t seed)
     std::vector<ManifestCheckResult> out;
     for (const auto mode :
          {SecurityMode::DolosFullWpq, SecurityMode::DolosPartialWpq,
-          SecurityMode::DolosPostWpq})
+          SecurityMode::DolosPostWpq, SecurityMode::EadrSecure})
         out.push_back(verifyCrashManifest(mode, seed));
     return out;
 }

@@ -66,7 +66,8 @@ struct ManifestCheckResult
 ManifestCheckResult verifyCrashManifest(SecurityMode mode,
                                         std::uint64_t seed = 1);
 
-/** Run the differential in all three Dolos (Mi-SU) modes. */
+/** Run the differential in the three Dolos (Mi-SU) modes plus
+ *  EadrSecure (quiesced, so its holdup flush is a no-op). */
 std::vector<ManifestCheckResult>
 verifyCrashManifestAllModes(std::uint64_t seed = 1);
 

@@ -10,6 +10,7 @@
 
 #include "sim/crash_points.hh"
 #include "sim/heartbeat.hh"
+#include "sim/logging.hh"
 #include "sim/random.hh"
 #include "verify/fault_injector.hh"
 #include "workloads/pmem.hh"
@@ -26,6 +27,63 @@ configFor(const SweepOptions &opt)
     SystemConfig cfg = opt.base;
     cfg.mode = opt.mode;
     return cfg;
+}
+
+/** eADR flush microsteps encode (anchor_op << 24) | firing. */
+constexpr std::uint64_t kFlushAnchorShift = 24;
+constexpr std::uint64_t kFlushFiringMask = (1ull << kFlushAnchorShift) - 1;
+
+/** Probe run: total environment operations of the measured run. */
+std::uint64_t
+measuredOps(const SweepOptions &opt)
+{
+    System sys(configFor(opt));
+    const auto workload = workloads::makeWorkload(opt.workload, opt.params);
+    workloads::PmemEnv env(sys);
+    workload->setup(env);
+    const std::uint64_t ops0 = env.opCount();
+    for (std::uint64_t i = 0; i < opt.numTx; ++i)
+        workload->transaction(env, i);
+    return env.opCount() - ops0;
+}
+
+/**
+ * eADR probe: run to @p anchor_op, kill power there, and count how
+ * many crash points fire *inside* the crash path (grace drains plus
+ * the holdup flush). Every recorded firing index is a valid arm()
+ * target for CrashPlan::atFlushMicrostep at the same anchor, because
+ * the armed run replays the identical deterministic machine. Returns
+ * 0 when the anchor lies beyond the run (nothing to enumerate).
+ */
+std::uint64_t
+probeFlushFirings(const SweepOptions &opt, std::uint64_t anchor_op)
+{
+    System sys(configFor(opt));
+    const auto workload = workloads::makeWorkload(opt.workload, opt.params);
+    workloads::PmemEnv env(sys);
+    workload->setup(env);
+    const std::uint64_t ops0 = env.opCount();
+    env.setOpHook([&env, ops0, anchor_op] {
+        if (env.opCount() - ops0 >= anchor_op)
+            throw workloads::CrashRequested{};
+    });
+    bool reached = false;
+    try {
+        for (std::uint64_t i = 0; i < opt.numTx; ++i)
+            workload->transaction(env, i);
+    } catch (const workloads::CrashRequested &) {
+        reached = true;
+    }
+    env.setOpHook(nullptr);
+    if (!reached)
+        return 0;
+    auto &reg = crashpoint::Registry::instance();
+    reg.reset();
+    reg.enableCounting();
+    sys.crash(/*mid_operation=*/false);
+    const std::uint64_t firings = reg.firings();
+    reg.reset();
+    return firings;
 }
 
 const char *
@@ -113,6 +171,38 @@ enumerateCrashPoints(const SweepOptions &opt)
     if (opt.pointSet == CrashPoints::WpqBoundaries)
         return enumerateWpqBoundaries(opt);
 
+    if (opt.pointSet == CrashPoints::Microstep &&
+        opt.mode == SecurityMode::EadrSecure) {
+        // eADR: the interesting microsteps fire inside crash()
+        // itself — the holdup flush. Pick a few anchor operations
+        // across the run (the flush's contents change with the dirty
+        // working set, not with every op), probe each anchor's
+        // in-crash firing count, and enumerate every firing at every
+        // anchor as (anchor_op << 24) | firing.
+        const std::uint64_t total = measuredOps(opt);
+        if (total == 0)
+            return {};
+        std::vector<std::uint64_t> anchors = {
+            std::max<std::uint64_t>(1, total / 3),
+            std::max<std::uint64_t>(1, 2 * total / 3), total};
+        std::sort(anchors.begin(), anchors.end());
+        anchors.erase(std::unique(anchors.begin(), anchors.end()),
+                      anchors.end());
+
+        std::vector<std::uint64_t> points;
+        for (const std::uint64_t anchor : anchors) {
+            const std::uint64_t firings = probeFlushFirings(opt, anchor);
+            DOLOS_ASSERT(firings <= kFlushFiringMask,
+                         "eADR flush fired %llu points at anchor %llu "
+                         "(encoding holds < 2^24)",
+                         (unsigned long long)firings,
+                         (unsigned long long)anchor);
+            for (std::uint64_t f = 0; f < firings; ++f)
+                points.push_back((anchor << kFlushAnchorShift) | f);
+        }
+        return points;
+    }
+
     if (opt.pointSet == CrashPoints::Microstep) {
         // Probe run with the crash-point registry counting (never
         // throwing): every firing index it records is a valid arm()
@@ -165,11 +255,20 @@ runCrashPoint(const SweepOptions &opt, std::uint64_t crash_op)
     sys.core().setObserver(&golden);
 
     const auto workload = workloads::makeWorkload(opt.workload, opt.params);
+    const bool eadr = opt.mode == SecurityMode::EadrSecure;
+    const bool eadr_flush =
+        eadr && opt.pointSet == CrashPoints::Microstep;
     workloads::CrashPlan plan;
-    if (opt.pointSet == CrashPoints::Microstep)
+    if (eadr_flush) {
+        // Decode (anchor_op << 24) | firing: crash at the anchor,
+        // then kill the holdup flush at that in-crash firing.
+        plan.atOp = crash_op >> kFlushAnchorShift;
+        plan.atFlushMicrostep = crash_op & kFlushFiringMask;
+    } else if (opt.pointSet == CrashPoints::Microstep) {
         plan.atMicrostep = crash_op;
-    else
+    } else {
         plan.atOp = crash_op;
+    }
     plan.recoveryCrashStep = opt.recoveryCrashStep;
     if (opt.metadataFaults) {
         // After the power dies, stick one metadata bit before the
@@ -202,7 +301,13 @@ runCrashPoint(const SweepOptions &opt, std::uint64_t crash_op)
             out.microstep = crashpoint::stepName(*step);
         reg.reset();
     }
-    out.oracle = opt.metadataFaults
+    // eADR: an under-provisioned (or interrupted) holdup flush
+    // quarantines the lines it could not cover — a declared,
+    // attributed loss the oracle must not count as divergence. The
+    // skip set excludes exactly the quarantined blocks; every
+    // surviving block must still match the golden committed prefix.
+    out.expectedLoss = eadr && sys.nvmDevice().quarantineCount() != 0;
+    out.oracle = (opt.metadataFaults || eadr)
                      ? checkAgainstGolden(sys, golden,
                                           mediaSkipSet(sys, golden))
                      : checkAgainstGolden(sys, golden);

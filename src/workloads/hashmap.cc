@@ -85,6 +85,15 @@ class HashmapWorkload : public Workload
     {
         headerAddr = env.rootPtr(0);
         numBuckets = env.read<std::uint64_t>(headerAddr);
+        if (numBuckets == 0) {
+            // The header block reads as zero — lost to a quarantined
+            // media fault or a truncated eADR flush. The structure is
+            // unverifiable (and bucketAddr's modulo undefined), which
+            // is a loud failure, not a crash of the verifier.
+            if (why)
+                *why = "hashmap header lost (zero bucket count)";
+            return false;
+        }
         for (const auto &[key, version] : expected) {
             const Addr node = findNode(env, key);
             if (node == 0) {

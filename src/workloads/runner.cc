@@ -52,14 +52,34 @@ runWorkload(System &sys, Workload &workload, std::uint64_t num_tx,
     const auto powerFail = [&](bool mid_operation) {
         res.crashed = true;
         env.setOpHook(nullptr);
-        reg.disarm();
+        if (crash->atFlushMicrostep) {
+            // Arm inside the crash path itself: firings count from
+            // the moment power dies, the same origin the sweep's
+            // probe run counts from. The eADR controller catches the
+            // throw internally (the flush is the crash surface).
+            reg.reset();
+            reg.arm(*crash->atFlushMicrostep);
+        } else {
+            reg.disarm();
+        }
         sys.crash(mid_operation);
+        reg.disarm();
         if (crash->atPowerOff)
             crash->atPowerOff(sys);
         if (crash->recoveryCrashStep)
             sys.controller().armRecoveryCrash(
                 *crash->recoveryCrashStep);
         sys.recoverToCompletion(&res.recoveryAttempts);
+        // Declared loss is part of the architectural record: any
+        // block the machine quarantined (media retirement, or an
+        // eADR holdup flush that ran out of energy) reads as zero
+        // from now on. Tell the observer so reference machines stop
+        // expecting the lost contents — the loss stays loud through
+        // the quarantine log and the exit-code contract, not through
+        // oracle divergence.
+        if (auto *obs = sys.core().currentObserver())
+            for (const auto &[addr, rec] : sys.nvmDevice().quarantineLog())
+                obs->onBlockLost(addr);
         env.reattach();
         TxContext::recover(env);
     };

@@ -68,6 +68,17 @@ struct CrashPlan
     std::optional<std::uint64_t> atMicrostep;
 
     /**
+     * eADR flush microstep: crash at atOp as usual, but arm the
+     * crash-point registry at this firing index *counting from the
+     * moment power dies* — the armed point then fires inside the
+     * crash path itself (grace drains or the eADR holdup flush),
+     * modeling the holdup energy dying during the power-fail flush.
+     * The controller catches the throw internally and quarantines
+     * whatever the truncated flush left behind. EadrSecure only.
+     */
+    std::optional<std::uint64_t> atFlushMicrostep;
+
+    /**
      * Cold-boot hook: runs after the power failure (ADR dump done,
      * volatile state gone) and before recovery boots. Fault
      * injectors use it to tamper with the powered-off NVM image.

@@ -1,0 +1,23 @@
+// Planted violation [manifest]: the header tags 'lines' as
+// eadr-flushed (inside the eADR persistence domain, drained by the
+// holdup flush) but the manifest registers it persistent.
+
+class FixtureEadrKind
+{
+  public:
+    persist::StateManifest stateManifest() const;
+
+  private:
+    int lines = 0;
+
+    DOLOS_STATE_CLASS(FixtureEadrKind);
+    DOLOS_EADR_FLUSHED(lines);
+};
+
+persist::StateManifest
+FixtureEadrKind::stateManifest() const
+{
+    persist::StateManifest m("FixtureEadrKind");
+    DOLOS_MF_P(m, lines);
+    return m;
+}

@@ -106,6 +106,8 @@ modeCliName(SecurityMode mode)
         return "dolos-partial";
       case SecurityMode::DolosPostWpq:
         return "dolos-post";
+      case SecurityMode::EadrSecure:
+        return "eadr";
     }
     return "?";
 }

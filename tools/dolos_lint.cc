@@ -8,9 +8,9 @@
  *
  *  state-class   Every data member of a class carrying a
  *                DOLOS_STATE_CLASS marker is tagged exactly once with
- *                DOLOS_PERSISTENT / DOLOS_VOLATILE, tags name real
- *                members, and the crash-relevant core classes all
- *                carry the marker.
+ *                DOLOS_PERSISTENT / DOLOS_VOLATILE /
+ *                DOLOS_EADR_FLUSHED, tags name real members, and the
+ *                crash-relevant core classes all carry the marker.
  *  manifest      Each state class has a stateManifest() definition
  *                whose registered fields (DOLOS_MF_* or raw add())
  *                match the header tags name-for-name with consistent
@@ -427,8 +427,11 @@ processMemberStatement(const std::string &file, ClassInfo &info,
         return;
     }
     if (isIdent(head, "DOLOS_PERSISTENT") ||
-        isIdent(head, "DOLOS_VOLATILE")) {
-        const char kind = head.text == "DOLOS_PERSISTENT" ? 'P' : 'V';
+        isIdent(head, "DOLOS_VOLATILE") ||
+        isIdent(head, "DOLOS_EADR_FLUSHED")) {
+        const char kind = head.text == "DOLOS_PERSISTENT" ? 'P'
+                          : head.text == "DOLOS_VOLATILE" ? 'V'
+                                                          : 'E';
         if (stmt.size() < 4 || !isPunct(stmt[1], "(")) {
             report(file, head.line, "state-class",
                    head.text + ": malformed tag");
@@ -621,7 +624,18 @@ manifestMacroKind(const std::string &name)
     if (name == "DOLOS_MF_V" || name == "DOLOS_MF_V_CHECK" ||
         name == "DOLOS_MF_DELEGATED_V")
         return 'V';
+    if (name == "DOLOS_MF_EADR_FLUSHED")
+        return 'E';
     return 0;
+}
+
+/** Human word for a tag kind letter ('P'/'V'/'E'). */
+const char *
+kindWord(char kind)
+{
+    return kind == 'P' ? "persistent"
+           : kind == 'V' ? "volatile"
+                         : "eadr-flushed";
 }
 
 /** Strip quotes from a cooked string-literal token. */
@@ -709,6 +723,8 @@ scanManifests(const std::string &file, const std::vector<Token> &toks)
                             kind = 'P';
                         else if (isIdent(toks[a], "Volatile"))
                             kind = 'V';
+                        else if (isIdent(toks[a], "EadrFlushed"))
+                            kind = 'E';
                         if (kind)
                             break;
                     }
@@ -748,7 +764,7 @@ crossCheckStateClasses()
                        "member '" + member + "' of state class '" +
                            cls +
                            "' lacks a DOLOS_PERSISTENT / "
-                           "DOLOS_VOLATILE tag");
+                           "DOLOS_VOLATILE / DOLOS_EADR_FLUSHED tag");
         for (const auto &[tag, kind] : info.tags)
             if (!info.members.count(tag))
                 report(info.file, info.tagLines.at(tag), "state-class",
@@ -773,12 +789,9 @@ crossCheckStateClasses()
                 } else if (fit->second != kind) {
                     report(mi.file, mi.line, "manifest",
                            cls + "::stateManifest registers '" + tag +
-                               "' as " +
-                               (fit->second == 'P' ? "persistent"
-                                                   : "volatile") +
+                               "' as " + kindWord(fit->second) +
                                " but the header tags it " +
-                               (kind == 'P' ? "persistent"
-                                            : "volatile"));
+                               kindWord(kind));
                 }
             }
             for (const auto &[field, kind] : mi.fields)

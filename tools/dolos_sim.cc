@@ -58,6 +58,7 @@ struct Options
     std::string damageJsonFile; ///< --damage-json: media damage report
     std::uint64_t scrubInterval = 0;  ///< --scrub-interval (0 = off)
     std::optional<unsigned> spares;   ///< --spares: NVM spare frames
+    std::optional<std::uint64_t> eadrBudget; ///< --eadr-budget cycles
     bool verifyManifest = false; ///< --verify-manifest: crash-state check
     bool verifyPerfEquiv = false; ///< --verify-perf-equiv: timing diff
     std::string optKnobs; ///< --opt-knobs: none|all|comma list
@@ -74,8 +75,11 @@ usage(int code)
         "  --workload NAME     hashmap|ctree|btree|rbtree|nstore-ycsb|"
         "redis (--list)\n"
         "  --mode MODE         ideal|baseline|post-unprotected|"
-        "dolos-full|dolos-partial|dolos-post\n"
+        "dolos-full|dolos-partial|dolos-post|eadr\n"
         "                      (aliases: full_wpq|partial_wpq|post_wpq)\n"
+        "  --eadr-budget N     eADR holdup energy budget in cycles\n"
+        "                      (nonzero; an under-provisioned budget\n"
+        "                      quarantines the unflushed tail -> exit 4)\n"
         "  --txns N            transactions to run (default 1000)\n"
         "  --tx-size BYTES     payload per transaction (default 1024)\n"
         "  --keys N            key-space size (default 1024)\n"
@@ -105,8 +109,9 @@ usage(int code)
         "  --damage-json FILE  write the media damage report "
         "('-' = stdout)\n"
         "  --verify-manifest   run the power-loss differential of the\n"
-        "                      annotated crash-state model in all three\n"
-        "                      Mi-SU modes, then exit (uses --seed)\n"
+        "                      annotated crash-state model in the three\n"
+        "                      Mi-SU modes plus eadr, then exit "
+        "(uses --seed)\n"
         "  --verify-perf-equiv run the timing-vs-state differential of\n"
         "                      the persist-path optimization knobs\n"
         "                      (off vs on) over the tier-1 workloads in\n"
@@ -199,6 +204,8 @@ parse(int argc, char **argv)
             o.scrubInterval = numValue();
         else if (a == "--spares")
             o.spares = unsigned(numValue());
+        else if (a == "--eadr-budget")
+            o.eadrBudget = numValue();
         else if (a == "--damage-json")
             o.damageJsonFile = value();
         else if (a == "--verify-manifest")
@@ -378,6 +385,10 @@ main(int argc, char **argv)
     cfg.secure.scrubIntervalWrites = o.scrubInterval;
     if (o.spares)
         cfg.nvm.spareBlocks = *o.spares;
+    // A zero budget is rejected by validateConfig below (loudly, via
+    // the invalid_argument catch), not clamped.
+    if (o.eadrBudget)
+        cfg.eadr.energyBudgetCycles = *o.eadrBudget;
     std::optional<System> sys_storage;
     try {
         sys_storage.emplace(cfg);

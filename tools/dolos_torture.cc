@@ -118,15 +118,19 @@ usage(int code)
         "                     [--points every-op|wpq|microstep] "
         "[--recovery-crash K]\n"
         "  --mode MODE   ideal|baseline|post-unprotected|dolos-full|"
-        "dolos-partial|dolos-post\n"
+        "dolos-partial|dolos-post|eadr\n"
         "  SPEC          comma-separated ops: w:SLOT:VAL f:SLOT s c"
         " r:K m:K t:SLOT:BIT k:SLOT:BIT x:SLOT:N\n"
         "                FC:SLOT:BIT FB:SLOT:BIT FM:SLOT:BIT "
         "(stuck-at in counter/tree/MAC metadata)\n"
         "                m:K arms a power failure K persist-path "
-        "crash-point firings ahead (Dolos modes)\n"
+        "crash-point firings ahead (dolos-*|eadr)\n"
         "  --points microstep sweeps the named persist-path crash "
-        "points (Dolos modes only)\n"
+        "points (dolos-*; eadr sweeps its\n"
+        "                power-fail holdup flush instead)\n"
+        "  --eadr-budget N\n"
+        "                eADR holdup energy budget in cycles "
+        "(nonzero; default covers a full flush)\n"
         "  --plant-bug   drop-clwb:K | bad-counter-repair\n"
         "  --meta-faults (sweep) stick a metadata bit at every crash "
         "point\n"
@@ -147,11 +151,20 @@ usage(int code)
  */
 OptKnobs gOptKnobs;
 
+/**
+ * eADR holdup energy budget override (--eadr-budget). Validated
+ * nonzero at parse time; the config validator would reject 0 anyway,
+ * but a CLI typo deserves a CLI-shaped error.
+ */
+std::optional<std::uint64_t> gEadrBudget;
+
 SystemConfig
 tortureConfig(SecurityMode mode)
 {
     auto cfg = SystemConfig::paperDefault();
     cfg.mode = mode;
+    if (gEadrBudget)
+        cfg.eadr.energyBudgetCycles = *gEadrBudget;
     cfg.secure.functionalLeaves = 2048;
     cfg.secure.map.protectedBytes = Addr(2048) * pageBytes;
     cfg.hierarchy.l1 = {"l1", 1024, 2, 2};
@@ -269,8 +282,9 @@ parseOps(const std::string &spec)
 /**
  * Seeded op-program generator (weights favor stores + crashes).
  * @p microstep_ops adds the m:K microstep-crash op to the mix —
- * Dolos modes only, because mid-engine crashes are unreconcilable
- * without the ADR dump's re-drain.
+ * Dolos modes (the ADR dump re-drains what the interrupted engine
+ * left behind) and eADR (the holdup flush quarantines whatever it
+ * could not cover); mid-engine crashes are unreconcilable elsewhere.
  */
 std::vector<Op>
 genProgram(std::uint64_t seed, unsigned len, bool microstep_ops)
@@ -515,6 +529,8 @@ modeCliName(SecurityMode mode)
         return "dolos-partial";
       case SecurityMode::DolosPostWpq:
         return "dolos-post";
+      case SecurityMode::EadrSecure:
+        return "eadr";
     }
     return "?";
 }
@@ -528,11 +544,14 @@ printRepro(SecurityMode mode, const std::vector<Op> &ops,
         bug = " --plant-bug drop-clwb:" + std::to_string(*plant.clwbDrop);
     else if (plant.badCounterRepair)
         bug = " --plant-bug bad-counter-repair";
+    std::string budget;
+    if (gEadrBudget)
+        budget = " --eadr-budget " + std::to_string(*gEadrBudget);
     // Always name the lever set: a repro line recorded before a
     // default flip must rebuild the same machine after it.
-    std::printf("REPRO: dolos_torture --mode %s%s --opt-knobs %s "
+    std::printf("REPRO: dolos_torture --mode %s%s%s --opt-knobs %s "
                 "--replay %s\n",
-                modeCliName(mode), bug.c_str(),
+                modeCliName(mode), bug.c_str(), budget.c_str(),
                 formatOptKnobs(gOptKnobs).c_str(),
                 formatOps(ops).c_str());
 }
@@ -627,6 +646,16 @@ main(int argc, char **argv)
         } else if (a == "--recovery-crash") {
             recoveryCrash =
                 unsigned(std::strtoull(value(), nullptr, 0));
+        } else if (a == "--eadr-budget") {
+            const std::uint64_t v =
+                std::strtoull(value(), nullptr, 0);
+            if (v == 0) {
+                std::fprintf(stderr,
+                             "--eadr-budget must be nonzero (a zero "
+                             "budget could never admit a line)\n");
+                usage(ExitUsage);
+            }
+            gEadrBudget = v;
         } else if (a == "--meta-faults") {
             metaFaults = true;
         } else if (a == "--heartbeat") {
@@ -671,10 +700,14 @@ main(int argc, char **argv)
         } else if (sweepPoints == "wpq") {
             opt.pointSet = CrashPoints::WpqBoundaries;
         } else if (sweepPoints == "microstep") {
-            if (!isDolosMode(mode)) {
+            if (!isDolosMode(mode) &&
+                mode != SecurityMode::EadrSecure) {
                 std::fprintf(stderr,
-                             "--points microstep needs a Dolos mode "
-                             "(the re-drainable ADR dump); got %s\n",
+                             "--points microstep needs a mode with an "
+                             "interruptible persist surface: "
+                             "dolos-full|dolos-partial|dolos-post "
+                             "(the re-drainable ADR dump) or eadr "
+                             "(the holdup flush); got %s\n",
                              modeCliName(mode));
                 usage(ExitUsage);
             }
@@ -706,9 +739,13 @@ main(int argc, char **argv)
         }
         if (!result.allPassed()) {
             std::printf("FAIL: %s\n", result.firstFailure().c_str());
+            const std::string budget_arg =
+                gEadrBudget ? " --eadr-budget " +
+                                  std::to_string(*gEadrBudget)
+                            : std::string();
             std::printf("REPRO: dolos_torture --sweep --mode %s "
                         "--workload %s --txns %llu --budget %zu "
-                        "--seed %llu --points %s%s%s%s "
+                        "--seed %llu --points %s%s%s%s%s "
                         "--opt-knobs %s\n",
                         modeCliName(mode), sweepWorkload.c_str(),
                         (unsigned long long)sweepTxns, sweepBudget,
@@ -718,6 +755,7 @@ main(int argc, char **argv)
                             ? std::to_string(*recoveryCrash).c_str()
                             : "",
                         metaFaults ? " --meta-faults" : "",
+                        budget_arg.c_str(),
                         formatOptKnobs(gOptKnobs).c_str());
             return ExitViolation;
         }
@@ -757,8 +795,10 @@ main(int argc, char **argv)
         const auto hunt = [&](const PlantSpec &spec,
                               const char *label) -> bool {
             for (unsigned ep = 0; ep < 50; ++ep) {
-                const auto ops = genProgram(seed + ep, opsPerEpisode,
-                                            isDolosMode(mode));
+                const auto ops = genProgram(
+                    seed + ep, opsPerEpisode,
+                    isDolosMode(mode) ||
+                        mode == SecurityMode::EadrSecure);
                 const auto out = runProgram(mode, ops, spec);
                 if (!out.failed)
                     continue;
@@ -815,8 +855,9 @@ main(int argc, char **argv)
     CampaignMonitor monitor("torture", campaign, heartbeat);
     for (unsigned ep = 0; ep < campaign; ++ep) {
         const std::uint64_t ep_seed = seed + ep;
-        const auto ops =
-            genProgram(ep_seed, opsPerEpisode, isDolosMode(mode));
+        const auto ops = genProgram(
+            ep_seed, opsPerEpisode,
+            isDolosMode(mode) || mode == SecurityMode::EadrSecure);
         const auto out = runProgram(mode, ops, PlantSpec{});
         monitor.caseDone(ep_seed, out.failed);
         if (!out.failed)
