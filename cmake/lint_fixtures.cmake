@@ -63,6 +63,22 @@ expect_flag(format_mismatch.cc 3
     "consumes 2 argument(s) but 1 provided")
 expect_flag(raw_alloc.cc 1
     "raw 'new'")
+# 2 planted (namespace global + static local); the annotated,
+# const/constexpr, and thread_local neighbors must not be flagged.
+expect_flag(thread_shared_global.cc 2
+    "namespace-scope mutable variable 'unannotated_counter' lacks a")
+expect_flag(crash_orphan_step.cc 1
+    "registered step 'OrphanStep' has no DOLOS_CRASH_POINT hook site")
+expect_flag(crash_unknown_step.cc 1
+    "DOLOS_CRASH_POINT names unregistered step 'GhostStep'")
+expect_flag(crash_hook_distance.cc 1
+    "mutation 'writeCiphertext' in drain/flush function 'drainEntry'")
+# 1 planted call; the same-named member call and the suppressed call
+# must not be flagged.
+expect_flag(determinism_rand.cc 1
+    "call to 'rand()' is not seed-reproducible")
+expect_flag(determinism_unordered.cc 1
+    "range-for over unordered container 'dirty'")
 
 # The real tree must be clean.
 execute_process(COMMAND ${LINT} ${SOURCE_DIR}/src ${SOURCE_DIR}/tools

@@ -105,9 +105,11 @@ MerkleTree::rebuild(const std::unordered_map<Addr, CounterPage> &pages)
 {
     nodes.clear();
     // Install leaves, then recompute touched parents level by level.
+    // Leaf installation order is immaterial (distinct keys, and
+    // `touched` is sorted before the climb below).
     std::vector<Addr> touched;
     touched.reserve(pages.size());
-    for (const auto &[leaf_idx, page] : pages) {
+    for (const auto &[leaf_idx, page] : pages) { // dolos-lint: allow(determinism)
         DOLOS_ASSERT(leaf_idx < numLeaves, "leaf %llu out of range",
                      (unsigned long long)leaf_idx);
         nodes[key(0, leaf_idx)] = leafTagOf(page);

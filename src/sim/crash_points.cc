@@ -38,7 +38,10 @@ stepName(Step s)
 Registry &
 Registry::instance()
 {
-    static Registry r;
+    // One registry per thread: each parallel sweep worker (--jobs N)
+    // arms and probes its own crash plan against its own System, so
+    // worker A's countdown never fires inside worker B's machine.
+    static thread_local Registry r;
     return r;
 }
 

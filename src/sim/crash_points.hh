@@ -13,11 +13,13 @@
  * index, which the workload runner converts into a mid-operation
  * power failure checked against the committed-prefix oracle.
  *
- * Like the tracer and the self-profiler this is a host-side,
- * process-global test facility: it carries no simulated machine
- * state, so it sits outside the persist-domain crash-state model.
- * The simulator is single-threaded and runs one System at a time;
- * call reset() between runs.
+ * Like the tracer and the self-profiler this is a host-side test
+ * facility: it carries no simulated machine state, so it sits outside
+ * the persist-domain crash-state model. The registry instance is
+ * thread_local: each parallel sweep worker (--jobs N) arms and probes
+ * its own crash plan against the one System it runs, so workers never
+ * observe each other's countdowns. Call reset() between runs on the
+ * same thread.
  */
 
 #ifndef DOLOS_SIM_CRASH_POINTS_HH

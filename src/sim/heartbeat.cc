@@ -5,6 +5,7 @@
 
 #include "sim/heartbeat.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <sstream>
@@ -90,12 +91,19 @@ CampaignMonitor::emitHeartbeat()
 void
 CampaignMonitor::caseDone(std::uint64_t seed, bool failed)
 {
+    const std::lock_guard<std::mutex> g(mu_);
     ++done_;
     lastSeed_ = seed;
     if (failed) {
         ++failures_;
-        if (failedSeeds_.size() < maxFailedSeeds)
-            failedSeeds_.push_back(seed);
+        // Keep the lowest failing seeds, not the first to finish:
+        // parallel workers complete out of order, and the summary
+        // must not depend on scheduling.
+        const auto pos = std::lower_bound(failedSeeds_.begin(),
+                                          failedSeeds_.end(), seed);
+        failedSeeds_.insert(pos, seed);
+        if (failedSeeds_.size() > maxFailedSeeds)
+            failedSeeds_.pop_back();
     }
     if (every_ && ++sinceBeat_ >= every_) {
         sinceBeat_ = 0;
@@ -106,6 +114,7 @@ CampaignMonitor::caseDone(std::uint64_t seed, bool failed)
 void
 CampaignMonitor::recordBatch(std::uint64_t done, std::uint64_t failed)
 {
+    const std::lock_guard<std::mutex> g(mu_);
     done_ += done;
     failures_ += failed;
 }
@@ -113,6 +122,7 @@ CampaignMonitor::recordBatch(std::uint64_t done, std::uint64_t failed)
 void
 CampaignMonitor::finish()
 {
+    const std::lock_guard<std::mutex> g(mu_);
     if (!sink_)
         return;
     const std::string line = record("summary", false, false);
@@ -124,6 +134,7 @@ CampaignMonitor::finish()
 bool
 CampaignMonitor::writeSummary(const std::string &path) const
 {
+    const std::lock_guard<std::mutex> g(mu_);
     std::ofstream out(path);
     if (!out)
         return false;

@@ -30,13 +30,21 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <mutex>
 #include <string>
 #include <vector>
 
 namespace dolos
 {
 
-/** Progress tracker + heartbeat emitter for one campaign. */
+/**
+ * Progress tracker + heartbeat emitter for one campaign.
+ *
+ * Thread-safe: parallel sweep workers (--jobs N) report finished
+ * cases concurrently; an internal mutex serializes the counters and
+ * the sink writes, and the summary's failedSeeds list is sorted so
+ * worker completion order never leaks into the output.
+ */
 class CampaignMonitor
 {
   public:
@@ -67,18 +75,32 @@ class CampaignMonitor
     /** Write the summary record to @p path; false on I/O error. */
     bool writeSummary(const std::string &path) const;
 
-    std::uint64_t done() const { return done_; }
-    std::uint64_t failures() const { return failures_; }
+    std::uint64_t
+    done() const
+    {
+        const std::lock_guard<std::mutex> g(mu_);
+        return done_;
+    }
 
-    /** Failing seeds kept for the summary (first maxFailedSeeds). */
+    std::uint64_t
+    failures() const
+    {
+        const std::lock_guard<std::mutex> g(mu_);
+        return failures_;
+    }
+
+    /** Failing seeds kept for the summary (lowest maxFailedSeeds). */
     static constexpr std::size_t maxFailedSeeds = 32;
 
   private:
     double elapsedSec() const;
+    /** Caller holds mu_. */
     std::string record(const char *type, bool withEta,
                        bool withSeed) const;
+    /** Caller holds mu_. */
     void emitHeartbeat();
 
+    mutable std::mutex mu_;
     std::string campaign_;
     std::uint64_t total_;
     std::uint64_t every_;

@@ -5,6 +5,8 @@
 
 #include "sim/logging.hh"
 
+#include "sim/thread_annotations.hh"
+
 #include <mutex>
 #include <set>
 
@@ -14,9 +16,19 @@ namespace dolos
 namespace
 {
 
+/** Serializes every access to the debug-flag set (see flagSet()). */
+std::mutex &
+flagsMutex()
+{
+    DOLOS_THREAD_SHARED(flagsMutex); // the lock itself is the lock
+    static std::mutex mu;
+    return mu;
+}
+
 std::set<std::string> &
 rawFlagSet()
 {
+    DOLOS_THREAD_SHARED(flagsMutex);
     static std::set<std::string> flags;
     return flags;
 }
@@ -46,25 +58,35 @@ vreport(std::FILE *out, const char *prefix, const char *fmt, va_list ap)
 void
 DebugFlags::enable(const std::string &flag)
 {
-    flagSet().insert(flag);
+    // Resolve flagSet() first: its magic-static env init calls
+    // initFromEnvironment(), which takes the mutex itself.
+    auto &set = flagSet();
+    const std::lock_guard<std::mutex> g(flagsMutex());
+    set.insert(flag);
 }
 
 void
 DebugFlags::disable(const std::string &flag)
 {
-    flagSet().erase(flag);
+    auto &set = flagSet();
+    const std::lock_guard<std::mutex> g(flagsMutex());
+    set.erase(flag);
 }
 
 bool
 DebugFlags::enabled(const std::string &flag)
 {
-    return flagSet().count(flag) != 0;
+    auto &set = flagSet();
+    const std::lock_guard<std::mutex> g(flagsMutex());
+    return set.count(flag) != 0;
 }
 
 void
 DebugFlags::clear()
 {
-    flagSet().clear();
+    auto &set = flagSet();
+    const std::lock_guard<std::mutex> g(flagsMutex());
+    set.clear();
 }
 
 void
@@ -73,6 +95,7 @@ DebugFlags::initFromEnvironment()
     const char *env = std::getenv("DOLOS_DEBUG");
     if (!env)
         return;
+    const std::lock_guard<std::mutex> g(flagsMutex());
     std::string token;
     // Insert into the raw set: this runs during flagSet()'s first-use
     // initialization, and must not recurse into it.

@@ -60,7 +60,9 @@ compName(Comp c)
 Profiler &
 Profiler::instance()
 {
-    static Profiler p;
+    // Per-thread accumulation: parallel sweep workers profile their
+    // own System without contending; reports are per-thread too.
+    static thread_local Profiler p;
     return p;
 }
 

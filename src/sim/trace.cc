@@ -66,7 +66,9 @@ stageLane(Stage s)
 Tracer &
 Tracer::instance()
 {
-    static Tracer tracer;
+    // Per-thread ring: each parallel sweep worker traces its own
+    // System; interleaving two machines in one ring would be noise.
+    static thread_local Tracer tracer;
     return tracer;
 }
 

@@ -107,6 +107,16 @@ struct SweepOptions
      * crash op as its "seed". See sim/heartbeat.hh for the schema.
      */
     std::uint64_t heartbeatEvery = 0;
+
+    /**
+     * Worker threads running crash points (<=1 = serial). Each point
+     * is fully self-contained (fresh System, golden model, and
+     * thread-local crash-point registry), so the sweep verdict is
+     * bit-identical to the serial run for any jobs value: results
+     * land in the slot of their chosen-point index, and only the
+     * heartbeat interleaving on stderr varies.
+     */
+    unsigned jobs = 1;
 };
 
 /** Outcome of one crash point. */

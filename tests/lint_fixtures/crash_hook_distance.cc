@@ -1,0 +1,32 @@
+// Planted crash-cover violation: a persistent-state mutation inside
+// a drain function sits more than one statement from the nearest
+// DOLOS_CRASH_POINT hook, so the microstep sweep cannot bracket it.
+
+#define DOLOS_CRASH_POINT(step) (void)0
+
+namespace fixture
+{
+
+struct Engine
+{
+    int secureWrite(int addr) { return addr; }
+    int writeCiphertext(int addr) { return addr; }
+};
+
+enum class Step
+{
+    DrainIssue,
+    NumSteps,
+};
+
+int
+drainEntry(Engine &engine)
+{
+    DOLOS_CRASH_POINT(DrainIssue);
+    const int a = engine.secureWrite(1); // ok: adjacent to the hook
+    int pad1 = a + 1;
+    int pad2 = pad1 + 1;
+    return engine.writeCiphertext(pad2); // violation: 3 stmts away
+}
+
+} // namespace fixture

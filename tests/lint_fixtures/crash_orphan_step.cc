@@ -1,0 +1,23 @@
+// Planted crash-cover violation: the Step taxonomy registers two
+// steps but only one has a DOLOS_CRASH_POINT hook site — the sweep
+// could never land on the orphan.
+
+#define DOLOS_CRASH_POINT(step) (void)0
+
+namespace fixture
+{
+
+enum class Step
+{
+    HookedStep,
+    OrphanStep, // violation: no hook anywhere
+    NumSteps,
+};
+
+void
+persistPath()
+{
+    DOLOS_CRASH_POINT(HookedStep);
+}
+
+} // namespace fixture

@@ -1,0 +1,23 @@
+// Planted crash-cover violation: a DOLOS_CRASH_POINT hook names a
+// step the Step taxonomy never registered — the sweep enumerates it
+// from the enum, so the hook is unreachable by any armed plan.
+
+#define DOLOS_CRASH_POINT(step) (void)0
+
+namespace fixture
+{
+
+enum class Step
+{
+    RealStep,
+    NumSteps,
+};
+
+void
+persistPath()
+{
+    DOLOS_CRASH_POINT(RealStep);
+    DOLOS_CRASH_POINT(GhostStep); // violation: not a Step member
+}
+
+} // namespace fixture

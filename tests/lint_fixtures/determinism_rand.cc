@@ -1,0 +1,24 @@
+// Planted determinism violation: host entropy via rand() instead of
+// the seeded dolos::Random streams. The member call named rand and
+// the suppressed call must NOT be flagged.
+
+#include <cstdlib>
+
+namespace fixture
+{
+
+struct OwnRng
+{
+    int rand() { return 4; }
+};
+
+int
+episodeSeed()
+{
+    OwnRng rng;
+    const int member = rng.rand(); // ok: member, not host entropy
+    const int allowed = std::rand(); // dolos-lint: allow(determinism)
+    return member + allowed + std::rand(); // violation
+}
+
+} // namespace fixture

@@ -1,0 +1,29 @@
+// Planted determinism violation: range-for over an unordered
+// container feeding accumulation — iteration order is
+// host-dependent. The ordered-map loop must NOT be flagged.
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+namespace fixture
+{
+
+struct Tracker
+{
+    std::unordered_map<std::uint64_t, int> dirty;
+    std::map<std::uint64_t, int> ordered;
+
+    int
+    drainAll()
+    {
+        int sum = 0;
+        for (const auto &[addr, v] : ordered) // ok: sorted by key
+            sum += int(addr) + v;
+        for (const auto &[addr, v] : dirty) // violation
+            sum += int(addr) * v;
+        return sum;
+    }
+};
+
+} // namespace fixture

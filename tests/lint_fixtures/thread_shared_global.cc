@@ -1,0 +1,31 @@
+// Planted thread-shared violations: a namespace-scope mutable global
+// and a function-local static, both unannotated. The annotated and
+// immutable neighbors must NOT be flagged.
+
+#include "sim/thread_annotations.hh"
+
+namespace fixture
+{
+
+int unannotated_counter = 0; // violation: no annotation
+
+DOLOS_THREAD_LOCAL_OK; // CLI global written before workers start
+int annotated_ok = 0;
+
+DOLOS_THREAD_SHARED(fixtureMutex);
+int annotated_shared = 0;
+
+const int immutable = 3;
+constexpr int compile_time = 4;
+thread_local int per_thread = 5;
+
+int
+bump()
+{
+    static int calls = 0; // violation: unannotated static local
+    static const int base = 10;
+    return ++calls + base + unannotated_counter + annotated_ok +
+           annotated_shared + immutable + compile_time + per_thread;
+}
+
+} // namespace fixture

@@ -26,14 +26,17 @@
  *   dolos_fuzz --campaign nightly   (8 episodes per mode+workload)
  */
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sim/exit_codes.hh"
 #include "sim/heartbeat.hh"
+#include "sim/thread_annotations.hh"
 #include "verify/diff_oracle.hh"
 #include "verify/fault_injector.hh"
 #include "workloads/runner.hh"
@@ -85,6 +88,9 @@ usage(int code)
         "  --heartbeat N    emit an NDJSON progress record to "
         "stderr every N episodes\n"
         "                   (campaigns; default 5, 0 = off)\n"
+        "  --jobs N         worker threads for campaign episodes "
+        "(default 1;\n"
+        "                   verdicts are bit-identical to --jobs 1)\n"
         "  --summary-json FILE  write the campaign-summary record\n"
         "  --seed N | --crash-op N | --txns N | --help\n");
     std::exit(code);
@@ -112,7 +118,9 @@ modeCliName(SecurityMode mode)
     return "?";
 }
 
+DOLOS_THREAD_LOCAL_OK; // parsed in main() before any worker starts
 std::uint64_t episodeTxns = 4;
+DOLOS_THREAD_LOCAL_OK; // parsed in main() before any worker starts
 OptKnobs gOptKnobs; ///< defaults to all levers on
 
 SystemConfig
@@ -326,8 +334,12 @@ printRepro(const EpisodeSpec &spec)
                 formatOptKnobs(gOptKnobs).c_str());
 }
 
+DOLOS_THREAD_LOCAL_OK; // parsed in main() before any worker starts
 std::uint64_t heartbeatEvery = 5;
+DOLOS_THREAD_LOCAL_OK; // parsed in main() before any worker starts
 std::string summaryJsonFile;
+DOLOS_THREAD_LOCAL_OK; // parsed in main() before any worker starts
+unsigned campaignJobs = 1;
 
 int
 runCampaign(const std::string &name, std::uint64_t base_seed)
@@ -353,18 +365,19 @@ runCampaign(const std::string &name, std::uint64_t base_seed)
 
     // Always announce the base seed: a red campaign must be
     // re-runnable from the log alone.
-    std::printf("campaign %s: base seed %llu, opt-knobs %s (replay: "
-                "dolos_fuzz --campaign %s --seed %llu --opt-knobs %s)\n",
+    std::printf("campaign %s: base seed %llu, opt-knobs %s, jobs %u "
+                "(replay: dolos_fuzz --campaign %s --seed %llu "
+                "--opt-knobs %s)\n",
                 name.c_str(), (unsigned long long)base_seed,
-                formatOptKnobs(gOptKnobs).c_str(), name.c_str(),
-                (unsigned long long)base_seed,
+                formatOptKnobs(gOptKnobs).c_str(), campaignJobs,
+                name.c_str(), (unsigned long long)base_seed,
                 formatOptKnobs(gOptKnobs).c_str());
 
-    unsigned total = 0, failed = 0, detected = 0, oracle_catches = 0;
-    const std::uint64_t planned = std::uint64_t(episodes_per_combo) *
-                                  std::size(modes) *
-                                  workloadNames().size();
-    CampaignMonitor monitor("fuzz-" + name, planned, heartbeatEvery);
+    // Materialize the episode list first: the spec for every episode
+    // is a pure function of (base seed, mode, workload, episode
+    // index), so the parallel phase can hand specs to workers by
+    // index and the verdict set is identical for any --jobs value.
+    std::vector<EpisodeSpec> specs;
     for (const auto mode : modes) {
         const auto faults = applicableFaults(mode);
         unsigned fault_cursor = unsigned(base_seed % faults.size());
@@ -380,21 +393,56 @@ runCampaign(const std::string &name, std::uint64_t base_seed)
                             std::hash<std::string>{}(wl) % 1009 +
                             ep * 7919ULL;
                 spec.crashOp = 1 + spec.seed % 1500;
-
-                const auto out = runEpisode(spec);
-                monitor.caseDone(spec.seed, !out.passed);
-                ++total;
-                detected += out.attackDetected;
-                oracle_catches += out.oracleViolations > 0;
-                if (!out.passed) {
-                    ++failed;
-                    std::printf("FAIL [%s/%s fault=%s]: %s\n",
-                                securityModeName(mode), wl.c_str(),
-                                faultKindName(spec.fault),
-                                out.note.c_str());
-                    printRepro(spec);
-                }
+                specs.push_back(spec);
             }
+        }
+    }
+
+    unsigned total = 0, failed = 0, detected = 0, oracle_catches = 0;
+    CampaignMonitor monitor("fuzz-" + name, specs.size(),
+                            heartbeatEvery);
+    std::vector<EpisodeOutcome> outcomes(specs.size());
+    const unsigned jobs = unsigned(std::min<std::size_t>(
+        std::max(1u, campaignJobs), specs.size()));
+    if (jobs <= 1) {
+        for (std::size_t k = 0; k < specs.size(); ++k) {
+            outcomes[k] = runEpisode(specs[k]);
+            monitor.caseDone(specs[k].seed, !outcomes[k].passed);
+        }
+    } else {
+        std::atomic<std::size_t> next{0};
+        std::vector<std::thread> workers;
+        workers.reserve(jobs);
+        for (unsigned w = 0; w < jobs; ++w)
+            workers.emplace_back([&] {
+                for (;;) {
+                    const std::size_t k =
+                        next.fetch_add(1, std::memory_order_relaxed);
+                    if (k >= specs.size())
+                        return;
+                    outcomes[k] = runEpisode(specs[k]);
+                    monitor.caseDone(specs[k].seed,
+                                     !outcomes[k].passed);
+                }
+            });
+        for (auto &t : workers)
+            t.join();
+    }
+    // Report serially in campaign order: the failure log and REPRO
+    // lines read the same however many workers ran the episodes.
+    for (std::size_t k = 0; k < specs.size(); ++k) {
+        const auto &out = outcomes[k];
+        ++total;
+        detected += out.attackDetected;
+        oracle_catches += out.oracleViolations > 0;
+        if (!out.passed) {
+            ++failed;
+            std::printf("FAIL [%s/%s fault=%s]: %s\n",
+                        securityModeName(specs[k].mode),
+                        specs[k].workload.c_str(),
+                        faultKindName(specs[k].fault),
+                        out.note.c_str());
+            printRepro(specs[k]);
         }
     }
     monitor.finish();
@@ -452,6 +500,13 @@ main(int argc, char **argv)
             episodeTxns = std::strtoull(value(), nullptr, 0);
         } else if (a == "--heartbeat") {
             heartbeatEvery = std::strtoull(value(), nullptr, 0);
+        } else if (a == "--jobs") {
+            campaignJobs =
+                unsigned(std::strtoull(value(), nullptr, 0));
+            if (campaignJobs == 0) {
+                std::fprintf(stderr, "--jobs must be >= 1\n");
+                usage(ExitUsage);
+            }
         } else if (a == "--summary-json") {
             summaryJsonFile = value();
         } else if (a == "--opt-knobs") {

@@ -27,13 +27,32 @@
  *  raw-alloc     No raw new/malloc/calloc/realloc outside approved
  *                files (arena types own allocation; everything else
  *                uses std:: containers and smart pointers).
+ *  thread-shared Every mutable namespace-scope or function-local
+ *                static variable is thread_local or carries a
+ *                DOLOS_THREAD_SHARED(lock) / DOLOS_THREAD_LOCAL_OK
+ *                annotation (sim/thread_annotations.hh) — the audit
+ *                the parallel sweep lanes (--jobs N) rest on.
+ *  crash-cover   The enum class Step taxonomy (sim/crash_points.hh)
+ *                and the DOLOS_CRASH_POINT hook sites cover each
+ *                other: every registered step has >= 1 hook, every
+ *                hook names a registered step, and persistent-state
+ *                mutations inside drain/flush functions sit within
+ *                one statement of a hook (keeps the microstep sweep
+ *                exhaustive as new levers land).
+ *  determinism   No rand()/srand()/time()/std random engines (the
+ *                seeded sim/random.hh streams are the only sanctioned
+ *                RNG) and no range-for over unordered containers
+ *                (iteration order must never feed sim state).
  *
  * Suppress one finding with a trailing comment on the same line:
  *   // dolos-lint: allow(raw-alloc)
  *
- * Usage: dolos_lint PATH...   (files, or directories searched
- * recursively for .hh/.cc/.cpp). Exit 0 clean, 1 violations found,
- * 2 usage/IO error. Diagnostics are file:line: [check] message.
+ * Usage: dolos_lint [--list-checks] [--only A,B] [--skip A,B] PATH...
+ * (files, or directories searched recursively for .hh/.cc/.cpp).
+ * Exit 0 clean, 1 violations found, 2 usage/IO error. Diagnostics
+ * are file:line: [check] message. The check registry printed by
+ * --list-checks must match docs/static_analysis.md's table — the
+ * lint_checks_doc ctest enforces it.
  */
 
 #include <algorithm>
@@ -48,10 +67,72 @@
 #include <string>
 #include <vector>
 
+#include "sim/thread_annotations.hh"
+
 namespace
 {
 
 namespace fs = std::filesystem;
+
+// --- check registry -------------------------------------------------
+//
+// One row per check family. --list-checks prints this table; the
+// lint_checks_doc ctest asserts it matches docs/static_analysis.md's
+// check table, so a new check cannot land undocumented.
+
+struct CheckDef
+{
+    const char *name;
+    const char *summary;
+};
+
+constexpr CheckDef g_checkTable[] = {
+    {"state-class",
+     "every DOLOS_STATE_CLASS member is tagged exactly once and the "
+     "crash-relevant classes carry the marker"},
+    {"manifest",
+     "stateManifest() registrations match the header tags "
+     "name-for-name with consistent persistence kinds"},
+    {"stat-name",
+     "no two statistics on one group in one file share a name"},
+    {"trace-arity", "DOLOS_TRACE sites pass exactly 5 arguments"},
+    {"prof-scope",
+     "DOLOS_PROF_SCOPE names a real prof::Comp component"},
+    {"format",
+     "printf-family literal format strings consume exactly the "
+     "supplied arguments"},
+    {"raw-alloc",
+     "no raw new/malloc/calloc/realloc outside approved files"},
+    {"thread-shared",
+     "mutable namespace-scope / static-local state is thread_local "
+     "or carries DOLOS_THREAD_SHARED / DOLOS_THREAD_LOCAL_OK"},
+    {"crash-cover",
+     "every Step has a DOLOS_CRASH_POINT hook, every hook names a "
+     "registered step, drain/flush persist mutations sit within one "
+     "statement of a hook"},
+    {"determinism",
+     "no rand()/time()/std random engines and no range-for over "
+     "unordered containers (sim/random.hh streams only)"},
+};
+
+bool
+isKnownCheck(const std::string &name)
+{
+    for (const auto &c : g_checkTable)
+        if (name == c.name)
+            return true;
+    return false;
+}
+
+/** Checks selected by --only/--skip; empty = all enabled. */
+DOLOS_THREAD_LOCAL_OK; // single-threaded tool
+std::set<std::string> g_enabledChecks;
+
+bool
+checkEnabled(const std::string &name)
+{
+    return g_enabledChecks.empty() || g_enabledChecks.count(name) != 0;
+}
 
 // --- diagnostics ----------------------------------------------------
 
@@ -73,15 +154,19 @@ struct Violation
     }
 };
 
+DOLOS_THREAD_LOCAL_OK; // single-threaded tool
 std::vector<Violation> g_violations;
 
 /** Per-file, per-line suppressions from `dolos-lint: allow(...)`. */
+DOLOS_THREAD_LOCAL_OK; // single-threaded tool
 std::map<std::string, std::map<int, std::set<std::string>>> g_allows;
 
 void
 report(const std::string &file, int line, const std::string &check,
        const std::string &msg)
 {
+    if (!checkEnabled(check))
+        return;
     const auto fit = g_allows.find(file);
     if (fit != g_allows.end()) {
         const auto lit = fit->second.find(line);
@@ -380,7 +465,9 @@ struct ManifestInfo
     std::map<std::string, char> fields; ///< name -> 'P' / 'V'
 };
 
+DOLOS_THREAD_LOCAL_OK; // single-threaded tool
 std::map<std::string, ClassInfo> g_classes;
+DOLOS_THREAD_LOCAL_OK; // single-threaded tool
 std::map<std::string, std::vector<ManifestInfo>> g_manifests;
 
 /**
@@ -1060,6 +1147,548 @@ scanRawAllocs(const std::string &file, const std::vector<Token> &toks)
     }
 }
 
+// --- check: shared-mutable-state audit ------------------------------
+//
+// Parallel sweep workers (--jobs N) each run a fully self-contained
+// System; the only state that can leak between them is mutable state
+// outside a System: namespace-scope variables and function-local
+// statics. Every such variable must be thread_local, immutable, or
+// carry a DOLOS_THREAD_SHARED(lock) / DOLOS_THREAD_LOCAL_OK
+// annotation (sim/thread_annotations.hh) on the line or the two
+// lines above it.
+
+/** Last Ident in stmt before an initializer, for the diagnostic. */
+std::string
+declaredName(const std::vector<Token> &stmt)
+{
+    std::size_t end = stmt.size();
+    for (std::size_t i = 0; i < stmt.size(); ++i)
+        if (isPunct(stmt[i], "=") || isPunct(stmt[i], "{}") ||
+            isPunct(stmt[i], "[]")) {
+            end = i;
+            break;
+        }
+    for (std::size_t i = end; i-- > 0;)
+        if (stmt[i].type == Token::Ident)
+            return stmt[i].text;
+    return "?";
+}
+
+void
+scanThreadShared(const std::string &file, const std::vector<Token> &toks)
+{
+    enum class Scope { Namespace, Type, Function };
+    std::vector<Scope> scopes;
+    std::vector<Token> stmt;
+    // Line of the newest un-consumed annotation statement; a
+    // declaration within two lines of it passes.
+    int pendingAnnotation = -1000;
+
+    const auto atNamespaceScope = [&scopes] {
+        for (const Scope s : scopes)
+            if (s != Scope::Namespace)
+                return false;
+        return true;
+    };
+
+    const auto evaluate = [&](const std::vector<Token> &st) {
+        if (st.empty())
+            return;
+        const Token &head = st.front();
+        if (isIdent(head, "DOLOS_THREAD_SHARED") ||
+            isIdent(head, "DOLOS_THREAD_LOCAL_OK")) {
+            pendingAnnotation = st.back().line;
+            return;
+        }
+        const bool inFunction =
+            !scopes.empty() && scopes.back() == Scope::Function;
+        bool flaggable = false;
+        const char *what = "";
+        if (atNamespaceScope()) {
+            for (const char *kw :
+                 {"const", "constexpr", "constinit", "thread_local",
+                  "using", "typedef", "extern", "friend", "template",
+                  "namespace", "operator", "static_assert", "class",
+                  "struct", "union", "enum", "concept", "requires"})
+                if (containsIdent(st, kw)) {
+                    pendingAnnotation = -1000;
+                    return;
+                }
+            const bool hasInit =
+                containsPunct(st, "=") || containsPunct(st, "{}");
+            if (!hasInit && containsPunct(st, "()")) {
+                pendingAnnotation = -1000;
+                return; // function declaration
+            }
+            std::size_t idents = 0;
+            for (const auto &t : st)
+                idents += t.type == Token::Ident;
+            if (!hasInit && idents < 2) {
+                pendingAnnotation = -1000;
+                return; // not a declaration we can classify
+            }
+            flaggable = true;
+            what = "namespace-scope mutable variable";
+        } else if (inFunction) {
+            if (!containsIdent(st, "static")) {
+                pendingAnnotation = -1000;
+                return;
+            }
+            for (const char *kw : {"const", "constexpr", "constinit",
+                                   "thread_local", "static_assert"})
+                if (containsIdent(st, kw)) {
+                    pendingAnnotation = -1000;
+                    return;
+                }
+            flaggable = true;
+            what = "function-local static mutable variable";
+        } else {
+            pendingAnnotation = -1000;
+            return; // class scope: members are per-instance state
+        }
+        if (flaggable) {
+            if (head.line - pendingAnnotation <= 2) {
+                pendingAnnotation = -1000; // consumed
+                return;
+            }
+            report(file, head.line, "thread-shared",
+                   std::string(what) + " '" + declaredName(st) +
+                       "' lacks a DOLOS_THREAD_SHARED(lock) / "
+                       "DOLOS_THREAD_LOCAL_OK annotation (or "
+                       "thread_local); see "
+                       "src/sim/thread_annotations.hh");
+        }
+    };
+
+    std::size_t i = 0;
+    while (i < toks.size()) {
+        const Token &t = toks[i];
+        if (isPunct(t, "(") || isPunct(t, "[")) {
+            const std::size_t close = matchBracket(toks, i);
+            stmt.push_back({Token::Punct,
+                            t.text == "(" ? "()" : "[]", t.line});
+            i = close + 1;
+            continue;
+        }
+        if (isPunct(t, "{")) {
+            Scope s;
+            if (containsIdent(stmt, "namespace") ||
+                containsIdent(stmt, "extern")) {
+                s = Scope::Namespace;
+            } else if (containsIdent(stmt, "class") ||
+                       containsIdent(stmt, "struct") ||
+                       containsIdent(stmt, "union") ||
+                       containsIdent(stmt, "enum")) {
+                s = Scope::Type;
+            } else if (containsIdent(stmt, "concept") ||
+                       containsIdent(stmt, "requires")) {
+                // requires-expression body: part of the enclosing
+                // declaration, not a scope.
+                const std::size_t close = matchBracket(toks, i);
+                stmt.push_back({Token::Punct, "{}", t.line});
+                i = close + 1;
+                continue;
+            } else if (stmt.empty() || containsPunct(stmt, "()") ||
+                       containsIdent(stmt, "else") ||
+                       containsIdent(stmt, "do") ||
+                       containsIdent(stmt, "try")) {
+                s = Scope::Function;
+            } else {
+                // Brace initializer on a declaration: consume the
+                // braces, keep accumulating the statement.
+                const std::size_t close = matchBracket(toks, i);
+                stmt.push_back({Token::Punct, "{}", t.line});
+                i = close + 1;
+                continue;
+            }
+            scopes.push_back(s);
+            stmt.clear();
+            ++i;
+            continue;
+        }
+        if (isPunct(t, "}")) {
+            if (!scopes.empty())
+                scopes.pop_back();
+            stmt.clear();
+            ++i;
+            continue;
+        }
+        if (isPunct(t, ";")) {
+            evaluate(stmt);
+            stmt.clear();
+            ++i;
+            continue;
+        }
+        stmt.push_back(t);
+        ++i;
+    }
+}
+
+// --- check: crash-point coverage ------------------------------------
+//
+// The microstep sweep is exhaustive only while the Step taxonomy and
+// the DOLOS_CRASH_POINT hook sites cover each other. Collected per
+// file, cross-checked once all files are scanned.
+
+struct StepEnumInfo
+{
+    std::string file;
+    int line = 0;
+    std::map<std::string, int> steps; ///< enumerator -> line
+};
+
+DOLOS_THREAD_LOCAL_OK; // single-threaded tool
+std::vector<StepEnumInfo> g_stepEnums;
+
+struct HookSite
+{
+    std::string file;
+    int line = 0;
+    std::string step;
+};
+
+DOLOS_THREAD_LOCAL_OK; // single-threaded tool
+std::vector<HookSite> g_hookSites;
+
+void
+scanCrashPoints(const std::string &file, const std::vector<Token> &toks)
+{
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+        if (isIdent(toks[i], "enum")) {
+            std::size_t k = i + 1;
+            if (isIdent(toks[k], "class") || isIdent(toks[k], "struct"))
+                ++k;
+            if (k >= toks.size() || !isIdent(toks[k], "Step"))
+                continue;
+            std::size_t j = k + 1;
+            while (j < toks.size() && !isPunct(toks[j], "{") &&
+                   !isPunct(toks[j], ";"))
+                ++j;
+            if (j >= toks.size() || !isPunct(toks[j], "{"))
+                continue; // forward declaration
+            const std::size_t close = matchBracket(toks, j);
+            StepEnumInfo info;
+            info.file = file;
+            info.line = toks[k].line;
+            bool expectName = true;
+            for (std::size_t m = j + 1; m < close; ++m) {
+                if (expectName && toks[m].type == Token::Ident) {
+                    if (toks[m].text != "NumSteps")
+                        info.steps.emplace(toks[m].text, toks[m].line);
+                    expectName = false;
+                } else if (isPunct(toks[m], ",")) {
+                    expectName = true;
+                }
+            }
+            g_stepEnums.push_back(std::move(info));
+            i = close;
+            continue;
+        }
+        if (isIdent(toks[i], "DOLOS_CRASH_POINT") &&
+            isPunct(toks[i + 1], "(")) {
+            const std::size_t cp = matchBracket(toks, i + 1);
+            std::string step;
+            for (std::size_t m = i + 2; m < cp; ++m)
+                if (toks[m].type == Token::Ident)
+                    step = toks[m].text;
+            if (step.empty())
+                report(file, toks[i].line, "crash-cover",
+                       "DOLOS_CRASH_POINT with no step argument");
+            else
+                g_hookSites.push_back({file, toks[i].line, step});
+            i = cp;
+        }
+    }
+}
+
+/**
+ * Hook adjacency: inside a function whose name contains drain/flush,
+ * every persistent-state mutation (engine secureWrite /
+ * writeCiphertext, NVM writeFunctional, redoLog fill/clear) must sit
+ * within one statement of a DOLOS_CRASH_POINT hook, so the microstep
+ * sweep can land a power failure on either side of it.
+ */
+void
+scanHookAdjacency(const std::string &file,
+                  const std::vector<Token> &toks)
+{
+    const auto nameMatches = [](const std::string &name) {
+        std::string lower;
+        for (const char c : name)
+            lower += char(std::tolower(static_cast<unsigned char>(c)));
+        return lower.find("drain") != std::string::npos ||
+               lower.find("flush") != std::string::npos;
+    };
+
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (toks[i].type != Token::Ident || !isPunct(toks[i + 1], "(") ||
+            !nameMatches(toks[i].text))
+            continue;
+        const std::size_t params = matchBracket(toks, i + 1);
+        // A definition header runs from the parameter list to '{'
+        // without hitting statement punctuation (calls end in ';' or
+        // sit inside a larger expression).
+        std::size_t j = params + 1;
+        while (j < toks.size() && !isPunct(toks[j], "{") &&
+               !isPunct(toks[j], ";") && !isPunct(toks[j], ")") &&
+               !isPunct(toks[j], ",") && !isPunct(toks[j], "="))
+            ++j;
+        if (j >= toks.size() || !isPunct(toks[j], "{"))
+            continue;
+        const std::size_t body = matchBracket(toks, j);
+
+        // Flatten the body into a linear statement list; braces are
+        // statement boundaries too, so "one statement away" crosses
+        // into and out of blocks.
+        struct Stmt
+        {
+            bool hook = false;
+            bool mutation = false;
+            int line = 0;
+            std::string what;
+        };
+        std::vector<Stmt> stmts;
+        Stmt cur;
+        const auto flush_stmt = [&] {
+            if (cur.line)
+                stmts.push_back(cur);
+            cur = Stmt{};
+        };
+        std::size_t m = j + 1;
+        while (m < body) {
+            const Token &t = toks[m];
+            if (isPunct(t, "(")) {
+                m = matchBracket(toks, m) + 1;
+                continue;
+            }
+            if (isPunct(t, ";") || isPunct(t, "{") || isPunct(t, "}")) {
+                flush_stmt();
+                ++m;
+                continue;
+            }
+            if (!cur.line)
+                cur.line = t.line;
+            if (isIdent(t, "DOLOS_CRASH_POINT"))
+                cur.hook = true;
+            if (t.type == Token::Ident && m > 0 &&
+                (isPunct(toks[m - 1], ".") ||
+                 isPunct(toks[m - 1], "->")) &&
+                (t.text == "secureWrite" ||
+                 t.text == "writeCiphertext" ||
+                 t.text == "writeFunctional")) {
+                cur.mutation = true;
+                cur.what = t.text;
+            }
+            if (isIdent(t, "redoLog") && m + 2 < body &&
+                isPunct(toks[m + 1], ".") &&
+                (isIdent(toks[m + 2], "fill") ||
+                 isIdent(toks[m + 2], "clear"))) {
+                cur.mutation = true;
+                cur.what = "redoLog." + toks[m + 2].text;
+            }
+            ++m;
+        }
+        flush_stmt();
+
+        for (std::size_t s = 0; s < stmts.size(); ++s) {
+            if (!stmts[s].mutation)
+                continue;
+            const bool near_hook =
+                stmts[s].hook || (s > 0 && stmts[s - 1].hook) ||
+                (s + 1 < stmts.size() && stmts[s + 1].hook);
+            if (!near_hook)
+                report(file, stmts[s].line, "crash-cover",
+                       "persistent-state mutation '" + stmts[s].what +
+                           "' in drain/flush function '" +
+                           toks[i].text +
+                           "' has no DOLOS_CRASH_POINT hook within "
+                           "one statement");
+        }
+        i = body;
+    }
+}
+
+/** After all files: steps and hooks must cover each other. */
+void
+crossCheckCrashPoints()
+{
+    if (g_stepEnums.empty())
+        return; // no taxonomy in the linted set: nothing to check
+    std::map<std::string, std::pair<std::string, int>> steps;
+    for (const auto &e : g_stepEnums)
+        for (const auto &[name, line] : e.steps)
+            steps.emplace(name, std::make_pair(e.file, line));
+    std::set<std::string> hooked;
+    for (const auto &h : g_hookSites) {
+        if (!steps.count(h.step))
+            report(h.file, h.line, "crash-cover",
+                   "DOLOS_CRASH_POINT names unregistered step '" +
+                       h.step + "' (not an enum class Step member)");
+        hooked.insert(h.step);
+    }
+    for (const auto &[name, loc] : steps)
+        if (!hooked.count(name))
+            report(loc.first, loc.second, "crash-cover",
+                   "registered step '" + name +
+                       "' has no DOLOS_CRASH_POINT hook site");
+}
+
+// --- check: determinism ---------------------------------------------
+//
+// Reproducibility is the sweep/torture contract: the same seed must
+// replay the same machine, single-threaded or per worker. Two ways
+// code silently breaks that: host entropy (rand/time/std engines
+// instead of the seeded sim/random.hh streams), and iteration over
+// unordered containers feeding sim state (iteration order is
+// host-dependent).
+
+/**
+ * Names declared with an unordered type, keyed by the declaring
+ * file's stem (path minus extension). Resolution is per stem so the
+ * header/impl pair share declarations (a member declared in
+ * golden_model.hh is visible to loops in golden_model.cc) without
+ * common names like 'blocks' colliding across unrelated modules.
+ */
+DOLOS_THREAD_LOCAL_OK; // single-threaded tool
+std::map<std::string, std::set<std::string>> g_unorderedNames;
+
+/** file path -> stem key shared by its header/impl siblings. */
+std::string
+stemKey(const std::string &file)
+{
+    fs::path p(file);
+    return (p.parent_path() / p.stem()).string();
+}
+
+struct RangeForSite
+{
+    std::string file;
+    int line = 0;
+    std::string name;
+};
+
+DOLOS_THREAD_LOCAL_OK; // single-threaded tool
+std::vector<RangeForSite> g_rangeForSites;
+
+void
+scanDeterminism(const std::string &file, const std::vector<Token> &toks)
+{
+    static const std::set<std::string> engines = {
+        "random_device", "mt19937",      "mt19937_64",
+        "minstd_rand",   "minstd_rand0", "default_random_engine",
+        "knuth_b",       "ranlux24",     "ranlux48"};
+    static const std::set<std::string> calls = {
+        "rand", "srand", "rand_r", "drand48", "lrand48", "mrand48"};
+    static const std::set<std::string> unordered = {
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset"};
+
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.type != Token::Ident)
+            continue;
+        const bool member_access =
+            i > 0 &&
+            (isPunct(toks[i - 1], ".") || isPunct(toks[i - 1], "->"));
+        if (engines.count(t.text) && !member_access) {
+            report(file, t.line, "determinism",
+                   "'" + t.text +
+                       "' bypasses the seeded dolos::Random streams "
+                       "(use sim/random.hh)");
+            continue;
+        }
+        bool call = i + 1 < toks.size() && isPunct(toks[i + 1], "(");
+        if (call) {
+            // A definition/declaration of a same-named member is not
+            // a call: its parameter list is followed by a body.
+            const std::size_t close = matchBracket(toks, i + 1);
+            if (close + 1 < toks.size() &&
+                isPunct(toks[close + 1], "{"))
+                call = false;
+        }
+        if (call && !member_access &&
+            (calls.count(t.text) || t.text == "time")) {
+            report(file, t.line, "determinism",
+                   "call to '" + t.text +
+                       "()' is not seed-reproducible; use "
+                       "dolos::Random (sim/random.hh)");
+            continue;
+        }
+        // Unordered-container declaration: remember the variable name
+        // so range-for sites over it can be flagged, cross-file.
+        if (unordered.count(t.text) && i + 1 < toks.size() &&
+            isPunct(toks[i + 1], "<")) {
+            int depth = 0;
+            std::size_t k = i + 1;
+            for (; k < toks.size(); ++k) {
+                if (isPunct(toks[k], "<"))
+                    depth += 1;
+                else if (isPunct(toks[k], "<<"))
+                    depth += 2;
+                else if (isPunct(toks[k], ">"))
+                    depth -= 1;
+                else if (isPunct(toks[k], ">>"))
+                    depth -= 2;
+                if (depth <= 0)
+                    break;
+            }
+            ++k;
+            while (k < toks.size() &&
+                   (isPunct(toks[k], "&") || isPunct(toks[k], "*") ||
+                    isIdent(toks[k], "const")))
+                ++k;
+            if (k + 1 < toks.size() && toks[k].type == Token::Ident &&
+                !isPunct(toks[k + 1], "("))
+                g_unorderedNames[stemKey(file)].insert(toks[k].text);
+            continue;
+        }
+        // Range-for: record the last identifier of the range
+        // expression; resolved against g_unorderedNames at the end.
+        if (isIdent(t, "for") && i + 1 < toks.size() &&
+            isPunct(toks[i + 1], "(")) {
+            const std::size_t cp = matchBracket(toks, i + 1);
+            int depth = 0;
+            std::size_t colon = 0;
+            for (std::size_t m = i + 2; m < cp; ++m) {
+                if (toks[m].type != Token::Punct)
+                    continue;
+                const std::string &p = toks[m].text;
+                if (p == "(" || p == "[" || p == "{")
+                    ++depth;
+                else if (p == ")" || p == "]" || p == "}")
+                    --depth;
+                else if (p == ":" && depth == 0) {
+                    colon = m;
+                    break;
+                }
+            }
+            if (!colon)
+                continue;
+            std::string name;
+            for (std::size_t m = colon + 1; m < cp; ++m)
+                if (toks[m].type == Token::Ident)
+                    name = toks[m].text;
+            if (!name.empty())
+                g_rangeForSites.push_back({file, t.line, name});
+        }
+    }
+}
+
+/** After all files: flag range-fors over known-unordered names. */
+void
+crossCheckDeterminism()
+{
+    for (const auto &site : g_rangeForSites) {
+        const auto it = g_unorderedNames.find(stemKey(site.file));
+        if (it != g_unorderedNames.end() && it->second.count(site.name))
+            report(site.file, site.line, "determinism",
+                   "range-for over unordered container '" + site.name +
+                       "': iteration order is host-dependent and must "
+                       "not feed sim state (sort into a vector, or "
+                       "annotate // dolos-lint: allow(determinism))");
+    }
+}
+
 // --- driver ---------------------------------------------------------
 
 void
@@ -1086,6 +1715,10 @@ lintFile(const std::string &path)
     scanProfScopes(path, toks);
     scanFormatCalls(path, toks);
     scanRawAllocs(path, toks);
+    scanThreadShared(path, toks);
+    scanCrashPoints(path, toks);
+    scanHookAdjacency(path, toks);
+    scanDeterminism(path, toks);
 }
 
 bool
@@ -1102,14 +1735,62 @@ int
 main(int argc, char **argv)
 {
     std::vector<std::string> files;
+    const auto parseCheckList = [](const std::string &csv,
+                                   const char *flag) {
+        std::vector<std::string> names;
+        std::string cur;
+        for (const char c : csv + ",") {
+            if (c == ',') {
+                if (!cur.empty())
+                    names.push_back(cur);
+                cur.clear();
+            } else {
+                cur += c;
+            }
+        }
+        for (const auto &n : names)
+            if (!isKnownCheck(n)) {
+                std::fprintf(stderr,
+                             "dolos_lint: %s: unknown check '%s' "
+                             "(see --list-checks)\n",
+                             flag, n.c_str());
+                std::exit(2);
+            }
+        return names;
+    };
+    std::vector<std::string> skipChecks;
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
         if (a == "--help" || a == "-h") {
-            std::printf("usage: dolos_lint PATH...\n"
-                        "  checks: state-class manifest stat-name "
-                        "trace-arity prof-scope format raw-alloc\n"
-                        "  exit: 0 clean, 1 violations, 2 usage\n");
+            std::printf(
+                "usage: dolos_lint [options] PATH...\n"
+                "  --list-checks     print the check registry and "
+                "exit\n"
+                "  --only A,B        run only the named checks\n"
+                "  --skip A,B        run all but the named checks\n"
+                "  exit: 0 clean, 1 violations, 2 usage\n");
             return 0;
+        }
+        if (a == "--list-checks") {
+            for (const auto &c : g_checkTable)
+                std::printf("%-14s %s\n", c.name, c.summary);
+            return 0;
+        }
+        if (a == "--only" || a == "--skip") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "dolos_lint: %s needs a comma-separated "
+                             "check list\n",
+                             a.c_str());
+                return 2;
+            }
+            const auto names = parseCheckList(argv[++i], a.c_str());
+            if (a == "--only")
+                g_enabledChecks.insert(names.begin(), names.end());
+            else
+                skipChecks.insert(skipChecks.end(), names.begin(),
+                                  names.end());
+            continue;
         }
         std::error_code ec;
         if (fs::is_directory(a, ec)) {
@@ -1132,9 +1813,19 @@ main(int argc, char **argv)
     }
     std::sort(files.begin(), files.end());
 
+    if (!skipChecks.empty()) {
+        if (g_enabledChecks.empty())
+            for (const auto &c : g_checkTable)
+                g_enabledChecks.insert(c.name);
+        for (const auto &n : skipChecks)
+            g_enabledChecks.erase(n);
+    }
+
     for (const auto &f : files)
         lintFile(f);
     crossCheckStateClasses();
+    crossCheckCrashPoints();
+    crossCheckDeterminism();
 
     std::sort(g_violations.begin(), g_violations.end());
     for (const auto &v : g_violations)

@@ -40,12 +40,14 @@
  * 2 usage, 3 attack alarm, 4 unrecoverable media.
  */
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <functional>
 #include <optional>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "secure/address_map.hh"
@@ -54,6 +56,7 @@
 #include "sim/exit_codes.hh"
 #include "sim/heartbeat.hh"
 #include "sim/random.hh"
+#include "sim/thread_annotations.hh"
 #include "verify/diff_oracle.hh"
 #include "verify/fault_injector.hh"
 #include "verify/sweep_driver.hh"
@@ -139,6 +142,10 @@ usage(int code)
         "  --heartbeat N emit an NDJSON progress record to stderr "
         "every N cases\n"
         "                (campaign and sweep; default 5, 0 = off)\n"
+        "  --jobs N      worker threads for campaign episodes and "
+        "sweep crash points\n"
+        "                (default 1; verdicts are bit-identical to "
+        "--jobs 1)\n"
         "  --summary-json FILE\n"
         "                write the campaign-summary record to FILE\n");
     std::exit(code);
@@ -149,6 +156,7 @@ usage(int code)
  * configuration the harness builds: campaigns, replays, planted-bug
  * hunts, and sweeps all torture the optimized machine.
  */
+DOLOS_THREAD_LOCAL_OK; // parsed in main() before any worker starts
 OptKnobs gOptKnobs;
 
 /**
@@ -156,6 +164,7 @@ OptKnobs gOptKnobs;
  * nonzero at parse time; the config validator would reject 0 anyway,
  * but a CLI typo deserves a CLI-shaped error.
  */
+DOLOS_THREAD_LOCAL_OK; // parsed in main() before any worker starts
 std::optional<std::uint64_t> gEadrBudget;
 
 SystemConfig
@@ -585,6 +594,7 @@ main(int argc, char **argv)
     bool sweep = false;
     bool metaFaults = false;
     std::uint64_t heartbeat = 5;
+    unsigned jobs = 1;
     std::string summaryJson;
     std::string sweepWorkload = "hashmap";
     std::string sweepPoints = "every-op";
@@ -660,6 +670,12 @@ main(int argc, char **argv)
             metaFaults = true;
         } else if (a == "--heartbeat") {
             heartbeat = std::strtoull(value(), nullptr, 0);
+        } else if (a == "--jobs") {
+            jobs = unsigned(std::strtoull(value(), nullptr, 0));
+            if (jobs == 0) {
+                std::fprintf(stderr, "--jobs must be >= 1\n");
+                usage(ExitUsage);
+            }
         } else if (a == "--summary-json") {
             summaryJson = value();
         } else if (a == "--opt-knobs") {
@@ -720,6 +736,7 @@ main(int argc, char **argv)
         opt.recoveryCrashStep = recoveryCrash;
         opt.metadataFaults = metaFaults;
         opt.heartbeatEvery = heartbeat;
+        opt.jobs = jobs;
         const auto result = sweepCrashPoints(opt);
         std::printf("sweep [%s]: %zu candidate points, %zu run, "
                     "%zu failures\n",
@@ -743,10 +760,13 @@ main(int argc, char **argv)
                 gEadrBudget ? " --eadr-budget " +
                                   std::to_string(*gEadrBudget)
                             : std::string();
+            // --jobs stays in the repro line for fidelity, but the
+            // verdicts are jobs-invariant: a --jobs 1 re-run must
+            // reproduce any parallel-run finding.
             std::printf("REPRO: dolos_torture --sweep --mode %s "
                         "--workload %s --txns %llu --budget %zu "
                         "--seed %llu --points %s%s%s%s%s "
-                        "--opt-knobs %s\n",
+                        "--opt-knobs %s --jobs %u\n",
                         modeCliName(mode), sweepWorkload.c_str(),
                         (unsigned long long)sweepTxns, sweepBudget,
                         (unsigned long long)seed, sweepPoints.c_str(),
@@ -756,7 +776,7 @@ main(int argc, char **argv)
                             : "",
                         metaFaults ? " --meta-faults" : "",
                         budget_arg.c_str(),
-                        formatOptKnobs(gOptKnobs).c_str());
+                        formatOptKnobs(gOptKnobs).c_str(), jobs);
             return ExitViolation;
         }
         return ExitOk;
@@ -848,25 +868,70 @@ main(int argc, char **argv)
     unsigned failed = 0;
     bool any_attack = false;
     std::printf("torture campaign: %u episodes x %u ops, mode %s, "
-                "base seed %llu, opt-knobs %s\n",
+                "base seed %llu, opt-knobs %s, jobs %u\n",
                 campaign, opsPerEpisode, securityModeName(mode),
                 (unsigned long long)seed,
-                formatOptKnobs(gOptKnobs).c_str());
+                formatOptKnobs(gOptKnobs).c_str(), jobs);
     CampaignMonitor monitor("torture", campaign, heartbeat);
-    for (unsigned ep = 0; ep < campaign; ++ep) {
-        const std::uint64_t ep_seed = seed + ep;
-        const auto ops = genProgram(
-            ep_seed, opsPerEpisode,
-            isDolosMode(mode) || mode == SecurityMode::EadrSecure);
-        const auto out = runProgram(mode, ops, PlantSpec{});
-        monitor.caseDone(ep_seed, out.failed);
-        if (!out.failed)
-            continue;
-        ++failed;
-        any_attack |= out.attack;
-        std::printf("FAIL episode %u (seed %llu): %s\n", ep,
-                    (unsigned long long)ep_seed, out.note.c_str());
-        minimizeAndReport(mode, ops, PlantSpec{});
+    if (jobs <= 1) {
+        for (unsigned ep = 0; ep < campaign; ++ep) {
+            const std::uint64_t ep_seed = seed + ep;
+            const auto ops = genProgram(
+                ep_seed, opsPerEpisode,
+                isDolosMode(mode) || mode == SecurityMode::EadrSecure);
+            const auto out = runProgram(mode, ops, PlantSpec{});
+            monitor.caseDone(ep_seed, out.failed);
+            if (!out.failed)
+                continue;
+            ++failed;
+            any_attack |= out.attack;
+            std::printf("FAIL episode %u (seed %llu): %s\n", ep,
+                        (unsigned long long)ep_seed, out.note.c_str());
+            minimizeAndReport(mode, ops, PlantSpec{});
+        }
+    } else {
+        // Two-phase parallel campaign: workers run episodes into
+        // per-episode slots (each episode is seeded and
+        // self-contained, so the outcome set is identical to the
+        // serial run), then failures are reported and minimized
+        // serially in episode order so the log and the minimizer's
+        // stdout stay deterministic.
+        std::vector<Outcome> outcomes(campaign);
+        std::atomic<unsigned> next{0};
+        std::vector<std::thread> workers;
+        workers.reserve(jobs);
+        for (unsigned w = 0; w < std::min(jobs, campaign); ++w)
+            workers.emplace_back([&] {
+                for (;;) {
+                    const unsigned ep =
+                        next.fetch_add(1, std::memory_order_relaxed);
+                    if (ep >= campaign)
+                        return;
+                    const std::uint64_t ep_seed = seed + ep;
+                    const auto ops = genProgram(
+                        ep_seed, opsPerEpisode,
+                        isDolosMode(mode) ||
+                            mode == SecurityMode::EadrSecure);
+                    outcomes[ep] = runProgram(mode, ops, PlantSpec{});
+                    monitor.caseDone(ep_seed, outcomes[ep].failed);
+                }
+            });
+        for (auto &t : workers)
+            t.join();
+        for (unsigned ep = 0; ep < campaign; ++ep) {
+            const auto &out = outcomes[ep];
+            if (!out.failed)
+                continue;
+            ++failed;
+            any_attack |= out.attack;
+            const std::uint64_t ep_seed = seed + ep;
+            std::printf("FAIL episode %u (seed %llu): %s\n", ep,
+                        (unsigned long long)ep_seed, out.note.c_str());
+            const auto ops = genProgram(
+                ep_seed, opsPerEpisode,
+                isDolosMode(mode) || mode == SecurityMode::EadrSecure);
+            minimizeAndReport(mode, ops, PlantSpec{});
+        }
     }
     monitor.finish();
     if (!summaryJson.empty() && !monitor.writeSummary(summaryJson)) {
